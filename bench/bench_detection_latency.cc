@@ -1,0 +1,117 @@
+// Ablation: detection latency of the asynchronous auditor (§3.2). The
+// Data Codeword scheme trades the read-path cost of prechecking for a
+// *detection window*: corruption sits unnoticed until the sweep reaches
+// it. This bench injects wild writes at random offsets while the
+// background auditor sweeps, and reports the latency distribution from
+// injection to detection for several slice sizes (larger slices sweep
+// faster but hold protection latches longer per step).
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/auditor.h"
+#include "core/database.h"
+#include "faultinject/fault_injector.h"
+
+namespace cwdb {
+namespace {
+
+void RunCase(const std::string& dir, uint64_t slice_bytes, int trials) {
+  DatabaseOptions opts;
+  opts.path = dir;
+  opts.arena_size = 64ull << 20;
+  opts.page_size = 8192;
+  opts.protection.scheme = ProtectionScheme::kDataCodeword;
+  opts.protection.region_size = 512;
+  auto db = Database::Open(opts);
+  if (!db.ok()) std::exit(1);
+  auto txn = (*db)->Begin();
+  auto t = (*db)->CreateTable(*txn, "t", 100, 50000);
+  for (int i = 0; i < 50000; ++i) {
+    (void)(*db)->Insert(*txn, *t, std::string(100, 'd'));
+  }
+  (void)(*db)->Commit(*txn);
+
+  std::mutex mu;
+  std::condition_variable cv;
+  bool detected = false;
+
+  BackgroundAuditor::Options aopts;
+  aopts.interval = std::chrono::milliseconds(0);
+  aopts.slice_bytes = slice_bytes;
+  BackgroundAuditor auditor(db->get(), aopts, [&](const AuditReport&) {
+    std::lock_guard<std::mutex> guard(mu);
+    detected = true;
+    cv.notify_all();
+  });
+
+  std::vector<double> latencies_ms;
+  FaultInjector inject(db->get(), 777);
+  for (int trial = 0; trial < trials; ++trial) {
+    auditor.Start();
+    auditor.WaitForFullSweep();  // Clean baseline.
+    auto start = std::chrono::steady_clock::now();
+    auto outcome = inject.WildWrite(32);
+    if (!outcome.changed_bits) {
+      auditor.Stop();
+      continue;
+    }
+    {
+      std::unique_lock<std::mutex> guard(mu);
+      cv.wait(guard, [&] { return detected; });
+      detected = false;
+    }
+    auto end = std::chrono::steady_clock::now();
+    latencies_ms.push_back(
+        std::chrono::duration<double, std::milli>(end - start).count());
+    auditor.Stop();
+    // Repair so the next trial starts clean.
+    uint64_t region = opts.protection.region_size;
+    uint64_t lo = outcome.off & ~(region - 1);
+    uint64_t hi = std::min<uint64_t>(
+        (outcome.off + outcome.len + region - 1) & ~(region - 1),
+        (*db)->arena_size());
+    if (!(*db)->CacheRecover({CorruptRange{lo, hi - lo}}).ok()) std::exit(1);
+  }
+
+  std::sort(latencies_ms.begin(), latencies_ms.end());
+  auto pct = [&](double p) {
+    if (latencies_ms.empty()) return 0.0;
+    return latencies_ms[static_cast<size_t>(p * (latencies_ms.size() - 1))];
+  };
+  std::printf("  %9llu KiB | %6zu %9.1f %9.1f %9.1f\n",
+              static_cast<unsigned long long>(slice_bytes >> 10),
+              latencies_ms.size(), pct(0.5), pct(0.9), pct(1.0));
+}
+
+}  // namespace
+}  // namespace cwdb
+
+int main() {
+  using namespace cwdb;
+  std::printf(
+      "Ablation: wild-write detection latency under the background auditor\n"
+      "(64 MiB image, 512 B regions, sweeps back-to-back)\n\n");
+  std::printf("  %13s | %6s %9s %9s %9s\n", "slice", "trials", "p50 ms",
+              "p90 ms", "max ms");
+  std::printf("  ------------- | ------ --------- --------- ---------\n");
+
+  char tmpl[] = "/dev/shm/cwdb_bench_latency_XXXXXX";
+  char* base = ::mkdtemp(tmpl);
+  int idx = 0;
+  for (uint64_t slice : {256ull << 10, 1ull << 20, 4ull << 20}) {
+    RunCase(std::string(base) + "/l" + std::to_string(idx++), slice, 12);
+  }
+  std::string cleanup = std::string("rm -rf '") + base + "'";
+  [[maybe_unused]] int rc = ::system(cleanup.c_str());
+  std::printf(
+      "\nDetection latency is bounded by one full sweep; bigger slices\n"
+      "shorten the sweep at the cost of longer exclusive-latch holds per\n"
+      "step (worse tail latency for concurrent updaters).\n");
+  return 0;
+}

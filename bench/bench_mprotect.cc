@@ -1,0 +1,88 @@
+// Reproduces Table 1 / Figure 1 of the paper ("Performance of
+// Protect/Unprotect", §5.1): 2000 pages are protected and then
+// unprotected, repeated 50 times; the reported number is protect/unprotect
+// pairs per second.
+//
+// The paper measured 1990s workstations (SPARCstation 20: 15,600 pairs/s;
+// UltraSPARC 2: 43,000; HP 9000 C110: 3,300; SGI Challenge DM: 8,200) and
+// used the spread to argue that mprotect cost is erratic across platforms.
+// This binary measures the same microbenchmark on the current host and
+// prints it next to the paper's rows.
+
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+
+namespace {
+
+constexpr int kPages = 2000;
+constexpr int kReps = 50;
+
+double MeasurePairsPerSecond(bool per_page) {
+  const size_t page = static_cast<size_t>(sysconf(_SC_PAGESIZE));
+  const size_t bytes = page * kPages;
+  void* mem = ::mmap(nullptr, bytes, PROT_READ | PROT_WRITE,
+                     MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  if (mem == MAP_FAILED) {
+    std::perror("mmap");
+    std::exit(1);
+  }
+  // Touch every page so the measurement is not dominated by first-fault.
+  for (size_t i = 0; i < bytes; i += page) {
+    static_cast<volatile char*>(mem)[i] = 1;
+  }
+
+  auto start = std::chrono::steady_clock::now();
+  for (int rep = 0; rep < kReps; ++rep) {
+    if (per_page) {
+      // One syscall per page, matching a DBMS that exposes/reprotects
+      // individual pages around updates.
+      char* p = static_cast<char*>(mem);
+      for (int i = 0; i < kPages; ++i) {
+        ::mprotect(p + i * page, page, PROT_READ);
+      }
+      for (int i = 0; i < kPages; ++i) {
+        ::mprotect(p + i * page, page, PROT_READ | PROT_WRITE);
+      }
+    } else {
+      ::mprotect(mem, bytes, PROT_READ);
+      ::mprotect(mem, bytes, PROT_READ | PROT_WRITE);
+    }
+  }
+  auto end = std::chrono::steady_clock::now();
+  double seconds = std::chrono::duration<double>(end - start).count();
+  ::munmap(mem, bytes);
+  return static_cast<double>(kPages) * kReps / seconds;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "Table 1 / Figure 1: Performance of Protect/Unprotect\n"
+      "(%d pages protected+unprotected, %d repetitions; pairs/second)\n\n",
+      kPages, kReps);
+  std::printf("  %-28s %15s\n", "Platform", "pairs/second");
+  std::printf("  %-28s %15s\n", "----------------------------",
+              "------------");
+  std::printf("  %-28s %15s   (paper)\n", "SPARCstation 20", "15,600");
+  std::printf("  %-28s %15s   (paper)\n", "UltraSPARC 2", "43,000");
+  std::printf("  %-28s %15s   (paper)\n", "HP 9000 C110", "3,300");
+  std::printf("  %-28s %15s   (paper)\n", "SGI Challenge DM", "8,200");
+
+  double per_page = MeasurePairsPerSecond(/*per_page=*/true);
+  double whole_range = MeasurePairsPerSecond(/*per_page=*/false);
+  std::printf("  %-28s %15.0f   (measured, per-page syscalls)\n",
+              "this host", per_page);
+  std::printf("  %-28s %15.0f   (measured, one syscall for all pages)\n",
+              "this host (batched)", whole_range);
+  std::printf(
+      "\nThe paper's point: mprotect throughput varies wildly across\n"
+      "platforms and does not track integer performance, so hardware\n"
+      "protection has unpredictable cost while codeword schemes scale\n"
+      "with plain integer speed.\n");
+  return 0;
+}

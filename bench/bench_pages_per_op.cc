@@ -1,0 +1,68 @@
+// Ablation A1: pages touched per operation under Hardware Protection.
+// The paper observes (§5.3): "on average operations updated about 11
+// pages. Only 4 tuples are touched by an operation, and the extra page
+// updates arise from updates to allocation information and control
+// information not residing on the same page as the tuple." This bench
+// reproduces that accounting: it runs TPC-B under the mprotect scheme and
+// reports mprotect calls and pages exposed per operation.
+
+#include <cstdio>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "core/database.h"
+#include "workload/tpcb.h"
+
+int main() {
+  cwdb::PinToCpu(0);
+  using namespace cwdb;
+  TpcbConfig cfg;
+  cfg.accounts = 10000;
+  cfg.tellers = 1000;
+  cfg.branches = 100;
+  cfg.ops_per_txn = 500;
+  const uint64_t ops = 10000;
+  cfg.history_capacity = ops + 1000;
+
+  char tmpl[] = "/dev/shm/cwdb_bench_pages_XXXXXX";
+  char* dir = ::mkdtemp(tmpl);
+  DatabaseOptions opts;
+  opts.path = dir;
+  opts.page_size = 8192;
+  opts.arena_size = (cfg.MinArenaSize(opts.page_size) + (4u << 20) + 8191) &
+                    ~uint64_t{8191};
+  opts.protection.scheme = ProtectionScheme::kHardware;
+  auto db = Database::Open(opts);
+  if (!db.ok()) {
+    std::fprintf(stderr, "open: %s\n", db.status().ToString().c_str());
+    return 1;
+  }
+  TpcbWorkload workload(db->get(), cfg);
+  if (!workload.Setup().ok()) return 1;
+
+  (*db)->protection()->ResetStats();
+  if (!workload.RunOps(ops).ok()) return 1;
+  const ProtectionStats& stats = (*db)->GetStats().protection;
+
+  std::printf(
+      "Ablation A1: Hardware Protection page exposure per TPC-B operation\n"
+      "(OS page size %zu; one operation = 3 balance updates + 1 history "
+      "insert)\n\n",
+      Arena::OsPageSize());
+  std::printf("  updates (BeginUpdate calls) per op : %6.2f\n",
+              static_cast<double>(stats.updates) / ops);
+  std::printf("  pages exposed (unprotected) per op : %6.2f\n",
+              static_cast<double>(stats.pages_unprotected) / ops);
+  std::printf("  mprotect syscalls per op           : %6.2f\n",
+              static_cast<double>(stats.mprotect_calls) / ops);
+  std::printf("\n  paper (§5.3, 200MHz UltraSPARC)    : ~11 pages per op\n");
+  std::printf(
+      "\nOnly 4 records are logically touched; the rest is allocation\n"
+      "bitmaps, the table directory and other control pages — the cost of\n"
+      "a non-page-based layout under the expose-page update model.\n");
+
+  db->reset();
+  std::string cleanup = std::string("rm -rf '") + dir + "'";
+  [[maybe_unused]] int rc = ::system(cleanup.c_str());
+  return 0;
+}

@@ -1,0 +1,126 @@
+// Ablation A4: delete-transaction recovery cost as corruption spreads.
+// The paper does not measure recovery time ("Corruption recovery is
+// expected to be relatively rare, and the time required is highly
+// dependent on the application"); this ablation quantifies it for our
+// substrate: wall-clock recovery time and number of deleted transactions
+// as a function of how many hot records are corrupted and how long the
+// post-corruption history is.
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "core/database.h"
+#include "faultinject/fault_injector.h"
+#include "workload/tpcb.h"
+
+namespace cwdb {
+namespace {
+
+struct Config {
+  uint64_t corrupt_accounts;
+  uint64_t ops_after_corruption;
+};
+
+void RunCase(const std::string& dir, const Config& c) {
+  TpcbConfig cfg;
+  cfg.accounts = 2000;
+  cfg.tellers = 200;
+  cfg.branches = 20;
+  cfg.ops_per_txn = 50;
+  cfg.history_capacity = 2 * c.ops_after_corruption + 4000;
+
+  DatabaseOptions opts;
+  opts.path = dir;
+  opts.page_size = 8192;
+  opts.arena_size = (cfg.MinArenaSize(opts.page_size) + (4u << 20) + 8191) &
+                    ~uint64_t{8191};
+  opts.protection.scheme = ProtectionScheme::kReadLog;
+  opts.protection.region_size = 512;
+  auto db = Database::Open(opts);
+  if (!db.ok()) {
+    std::fprintf(stderr, "open: %s\n", db.status().ToString().c_str());
+    std::exit(1);
+  }
+  TpcbWorkload workload(db->get(), cfg);
+  if (!workload.Setup().ok() || !workload.RunOps(1000).ok()) std::exit(1);
+  if (!(*db)->Checkpoint().ok()) std::exit(1);
+
+  // Corrupt the balances of the first K accounts, then keep running: every
+  // operation that reads one of them becomes a carrier.
+  FaultInjector inject(db->get(), 7);
+  for (uint64_t i = 0; i < c.corrupt_accounts; ++i) {
+    int64_t garbage = static_cast<int64_t>(0xBADBADBAD + i);
+    inject.WildWriteAt(
+        (*db)->image()->RecordOff(workload.accounts(),
+                                  static_cast<uint32_t>(i)) +
+            TpcbLayout::kBalanceOff,
+        Slice(reinterpret_cast<const char*>(&garbage), 8));
+  }
+  if (!workload.RunOps(c.ops_after_corruption).ok()) std::exit(1);
+
+  auto audit = (*db)->Audit();
+  if (!audit.ok() || audit->clean) {
+    std::fprintf(stderr, "audit did not detect corruption\n");
+    std::exit(1);
+  }
+  auto start = std::chrono::steady_clock::now();
+  Status s = (*db)->CrashAndRecover();
+  auto end = std::chrono::steady_clock::now();
+  if (!s.ok()) {
+    std::fprintf(stderr, "recovery: %s\n", s.ToString().c_str());
+    std::exit(1);
+  }
+  const RecoveryReport& report = (*db)->last_recovery_report();
+  double ms = std::chrono::duration<double, std::milli>(end - start).count();
+
+  TpcbWorkload check(db->get(), cfg);
+  if (!check.Attach().ok() || !check.CheckConsistency().ok()) {
+    std::fprintf(stderr, "post-recovery consistency violated\n");
+    std::exit(1);
+  }
+
+  std::printf("  %10llu %12llu %14zu %14llu %12.1f\n",
+              static_cast<unsigned long long>(c.corrupt_accounts),
+              static_cast<unsigned long long>(c.ops_after_corruption),
+              report.deleted_txns.size(),
+              static_cast<unsigned long long>(report.redo_records_skipped),
+              ms);
+}
+
+}  // namespace
+}  // namespace cwdb
+
+int main() {
+  cwdb::PinToCpu(0);
+  using namespace cwdb;
+  std::printf(
+      "Ablation A4: delete-transaction recovery vs corruption spread\n"
+      "(TPC-B 2000 accounts, 50-op transactions, Data CW w/ReadLog)\n\n");
+  std::printf("  %10s %12s %14s %14s %12s\n", "corrupted", "ops after",
+              "txns deleted", "writes", "recovery");
+  std::printf("  %10s %12s %14s %14s %12s\n", "accounts", "corruption",
+              "", "suppressed", "time (ms)");
+  std::printf("  ---------- ------------ -------------- -------------- "
+              "------------\n");
+
+  char tmpl[] = "/dev/shm/cwdb_bench_recovery_XXXXXX";
+  char* base = ::mkdtemp(tmpl);
+  int idx = 0;
+  for (uint64_t corrupt : {1ull, 8ull, 64ull}) {
+    for (uint64_t ops : {1000ull, 5000ull}) {
+      RunCase(std::string(base) + "/c" + std::to_string(idx++),
+              Config{corrupt, ops});
+    }
+  }
+  std::string cleanup = std::string("rm -rf '") + base + "'";
+  [[maybe_unused]] int rc = ::system(cleanup.c_str());
+
+  std::printf(
+      "\nDeleted-transaction count grows with both the number of corrupt\n"
+      "records and the amount of history replayed over them; recovery time\n"
+      "is dominated by the redo scan plus the final certifying checkpoint.\n");
+  return 0;
+}

@@ -1,0 +1,174 @@
+// Reproduces Table 2 of the paper ("Cost of Corruption Protection", §5.3):
+// a single process executing TPC-B style operations — 100,000 accounts,
+// 10,000 tellers, 1,000 branches, 100-byte records, 50,000 operations per
+// run, transactions committed every 500 operations — for each protection
+// scheme, reporting operations/second and the slowdown relative to the
+// unprotected baseline. Each configuration is run several times and
+// averaged, as in the paper (6 runs there; see kRuns below).
+//
+// Absolute numbers are hardware-dependent (the paper used a 200 MHz
+// UltraSPARC and reached 417 ops/sec; a modern machine is orders of
+// magnitude faster). The reproduction target is the *ordering and shape*:
+// Data CW cheapest, precheck cost exploding with region size, ReadLog <
+// CW ReadLog, and hardware protection expensive relative to codewords.
+
+#include <cstdio>
+#include <cstring>
+#include <iterator>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/database.h"
+#include "workload/tpcb.h"
+
+namespace cwdb {
+namespace {
+
+struct Row {
+  const char* name;
+  const char* direct;    // Protection against direct corruption.
+  const char* indirect;  // Protection against indirect corruption.
+  ProtectionScheme scheme;
+  uint32_t region_size;
+  double paper_pct;  // Paper's "% slower" for reference.
+};
+
+const Row kRows[] = {
+    {"Baseline", "None", "None", ProtectionScheme::kNone, 512, 0.0},
+    {"Data CW", "Correct", "None", ProtectionScheme::kDataCodeword, 512, 8.5},
+    {"Data CW w/Precheck, 64 byte", "Correct", "Prevent",
+     ProtectionScheme::kReadPrecheck, 64, 12.2},
+    {"Data CW w/ReadLog", "Correct", "Correct", ProtectionScheme::kReadLog,
+     512, 17.1},
+    {"Data CW w/CW ReadLog", "Correct", "Correct",
+     ProtectionScheme::kCodewordReadLog, 512, 22.4},
+    {"Data CW w/Precheck, 512 byte", "Correct", "Prevent",
+     ProtectionScheme::kReadPrecheck, 512, 25.4},
+    {"Memory Protection", "Prevent", "Unneeded", ProtectionScheme::kHardware,
+     512, 38.2},
+    {"Data CW w/Precheck, 8K byte", "Correct", "Prevent",
+     ProtectionScheme::kReadPrecheck, 8192, 72.4},
+};
+
+/// One open database + workload per Table 2 row. All rows are set up
+/// first and the measured runs are interleaved round-robin across rows so
+/// machine-wide drift (page cache, frequency scaling, noisy neighbours)
+/// averages out instead of biasing whichever row ran last.
+struct Bench {
+  std::unique_ptr<Database> db;
+  std::unique_ptr<TpcbWorkload> workload;
+  double total_rate = 0;
+};
+
+void SetupOne(const std::string& dir, const Row& row, const TpcbConfig& cfg,
+              uint64_t ops, Bench* bench) {
+  DatabaseOptions opts;
+  opts.path = dir;
+  opts.page_size = 8192;
+  opts.arena_size = cfg.MinArenaSize(opts.page_size) + (8u << 20);
+  // Round the arena to the page size.
+  opts.arena_size = (opts.arena_size + opts.page_size - 1) &
+                    ~uint64_t{opts.page_size - 1};
+  opts.protection.scheme = row.scheme;
+  opts.protection.region_size = row.region_size;
+
+  auto db = Database::Open(opts);
+  if (!db.ok()) {
+    std::fprintf(stderr, "open failed: %s\n", db.status().ToString().c_str());
+    std::exit(1);
+  }
+  bench->db = std::move(db).value();
+  bench->workload = std::make_unique<TpcbWorkload>(bench->db.get(), cfg);
+  Status s = bench->workload->Setup();
+  if (!s.ok()) {
+    std::fprintf(stderr, "setup failed: %s\n", s.ToString().c_str());
+    std::exit(1);
+  }
+  // Warm-up pass so steady-state cost is measured.
+  s = bench->workload->RunOps(ops / 10);
+  if (!s.ok()) {
+    std::fprintf(stderr, "warmup failed: %s\n", s.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+}  // namespace
+}  // namespace cwdb
+
+int main(int argc, char** argv) {
+  cwdb::PinToCpu(0);
+  using namespace cwdb;
+  // --quick shrinks the run for smoke testing; default matches the paper.
+  bool quick = argc > 1 && std::strcmp(argv[1], "--quick") == 0;
+
+  TpcbConfig cfg;
+  cfg.accounts = quick ? 10000 : 100000;
+  cfg.tellers = quick ? 1000 : 10000;
+  cfg.branches = quick ? 100 : 1000;
+  cfg.ops_per_txn = 500;
+  const uint64_t ops = quick ? 5000 : 50000;
+  const int runs = quick ? 2 : 6;  // Paper: "Each test was run six times".
+  // History must hold the warm-up pass plus every measured run.
+  cfg.history_capacity = ops / 10 + static_cast<uint64_t>(runs) * ops + 1000;
+
+  std::printf(
+      "Table 2: Cost of Corruption Protection\n"
+      "(TPC-B style: %llu accounts / %llu tellers / %llu branches, "
+      "%llu ops per run,\n commit every %u ops, %d runs averaged)\n\n",
+      static_cast<unsigned long long>(cfg.accounts),
+      static_cast<unsigned long long>(cfg.tellers),
+      static_cast<unsigned long long>(cfg.branches),
+      static_cast<unsigned long long>(ops), cfg.ops_per_txn, runs);
+  std::printf("  %-30s %-8s %-9s %12s %9s %14s\n", "Algorithm", "Direct",
+              "Indirect", "Ops/Sec", "% Slower", "Paper % Slower");
+  std::printf(
+      "  ------------------------------ -------- --------- ------------ "
+      "--------- --------------\n");
+
+  char dir_template[] = "/dev/shm/cwdb_table2_XXXXXX";
+  char* base_dir = ::mkdtemp(dir_template);
+  constexpr int kRowCount = static_cast<int>(std::size(kRows));
+  Bench benches[kRowCount];
+  for (int i = 0; i < kRowCount; ++i) {
+    SetupOne(std::string(base_dir) + "/run" + std::to_string(i), kRows[i],
+             cfg, ops, &benches[i]);
+  }
+  for (int run = 0; run < runs; ++run) {
+    for (int i = 0; i < kRowCount; ++i) {
+      auto rate = benches[i].workload->RunTimed(ops);
+      if (!rate.ok()) {
+        std::fprintf(stderr, "run failed (%s): %s\n", kRows[i].name,
+                     rate.status().ToString().c_str());
+        return 1;
+      }
+      benches[i].total_rate += *rate;
+    }
+  }
+  double baseline = 0;
+  for (int i = 0; i < kRowCount; ++i) {
+    Status s = benches[i].workload->CheckConsistency();
+    if (!s.ok()) {
+      std::fprintf(stderr, "consistency failed (%s): %s\n", kRows[i].name,
+                   s.ToString().c_str());
+      return 1;
+    }
+    double rate = benches[i].total_rate / runs;
+    if (kRows[i].scheme == ProtectionScheme::kNone) baseline = rate;
+    double pct = baseline > 0 ? (1.0 - rate / baseline) * 100.0 : 0.0;
+    std::printf("  %-30s %-8s %-9s %12.0f %8.1f%% %13.1f%%\n", kRows[i].name,
+                kRows[i].direct, kRows[i].indirect, rate, pct,
+                kRows[i].paper_pct);
+  }
+  for (int i = 0; i < kRowCount; ++i) benches[i] = Bench{};
+  std::string cleanup = std::string("rm -rf '") + base_dir + "'";
+  [[maybe_unused]] int rc = ::system(cleanup.c_str());
+
+  std::printf(
+      "\nShape checks (paper §5.3): Data CW is the cheapest protection;\n"
+      "precheck cost grows with region size (64B < 512B << 8K); ReadLog <\n"
+      "CW ReadLog; small-region precheck beats Memory Protection on hosts\n"
+      "with slow mprotect.\n");
+  return 0;
+}

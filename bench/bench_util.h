@@ -1,0 +1,25 @@
+#ifndef CWDB_BENCH_BENCH_UTIL_H_
+#define CWDB_BENCH_BENCH_UTIL_H_
+
+#include <sched.h>
+
+#include <cstdio>
+
+namespace cwdb {
+
+/// Pins the calling thread to one CPU. The workload benches are
+/// single-threaded; pinning removes cross-core migration noise, which on
+/// small shared hosts is comparable to the effects being measured.
+inline void PinToCpu(int cpu) {
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(cpu, &set);
+  if (sched_setaffinity(0, sizeof(set), &set) != 0) {
+    std::fprintf(stderr, "note: could not pin to cpu %d; timings may be "
+                         "noisier\n", cpu);
+  }
+}
+
+}  // namespace cwdb
+
+#endif  // CWDB_BENCH_BENCH_UTIL_H_

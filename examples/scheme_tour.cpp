@@ -1,0 +1,131 @@
+// Scheme tour: subjects every protection scheme from Table 2 to the same
+// addressing error and shows what each one does about it — nothing,
+// detection by audit, read-time prevention, traced recovery, or hardware
+// prevention. A compact demonstration of the paper's protection matrix.
+//
+//   ./scheme_tour [base-directory]
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "core/database.h"
+#include "faultinject/fault_injector.h"
+
+using namespace cwdb;
+
+namespace {
+
+constexpr uint32_t kRecordSize = 256;
+
+struct Row {
+  ProtectionScheme scheme;
+  uint32_t region;
+};
+
+void RunScheme(const std::string& dir, ProtectionScheme scheme,
+               uint32_t region) {
+  std::printf("-- %s (region %u) --\n", ProtectionSchemeName(scheme), region);
+  DatabaseOptions opts;
+  opts.path = dir;
+  opts.arena_size = 8ull << 20;
+  opts.protection.scheme = scheme;
+  opts.protection.region_size = region;
+  auto db = Database::Open(opts);
+  if (!db.ok()) {
+    std::printf("   open failed: %s\n", db.status().ToString().c_str());
+    return;
+  }
+
+  // One committed record, certified checkpoint.
+  auto txn = (*db)->Begin();
+  auto t = (*db)->CreateTable(*txn, "t", kRecordSize, 16);
+  auto rid = (*db)->Insert(*txn, *t, std::string(kRecordSize, 'v'));
+  (void)(*db)->Commit(*txn);
+  (void)(*db)->Checkpoint();
+
+  // The addressing error.
+  FaultInjector inject(db->get(), 1);
+  DbPtr off = (*db)->image()->RecordOff(*t, rid->slot);
+  auto outcome = inject.WildWriteAt(off, "WILD WRITE");
+  std::printf("   wild write: %s\n",
+              outcome.prevented ? "PREVENTED by page protection (SIGSEGV trapped)"
+                                : "landed in the database image");
+  if (outcome.prevented) {
+    std::printf("\n");
+    return;
+  }
+
+  // A transaction tries to use the data.
+  txn = (*db)->Begin();
+  TxnId reader_id = (*txn)->id();
+  std::string got;
+  Status rs = (*db)->Read(*txn, *t, rid->slot, &got);
+  if (rs.IsCorruption()) {
+    std::printf("   read: REFUSED (%s)\n", rs.ToString().c_str());
+    (void)(*db)->Abort(*txn);
+  } else if (rs.ok()) {
+    std::printf("   read: returned %s bytes%s\n",
+                got.substr(0, 4) == "WILD" ? "CORRUPT" : "clean",
+                scheme == ProtectionScheme::kReadLog ||
+                        scheme == ProtectionScheme::kCodewordReadLog
+                    ? " (identity logged for tracing)"
+                    : "");
+    (void)(*db)->Commit(*txn);
+  }
+
+  // The audit.
+  auto report = (*db)->Audit();
+  if (report.ok()) {
+    std::printf("   audit: %s\n",
+                report->clean ? "clean (no codewords to disagree)"
+                              : "detected the corrupt region");
+    if (!report->clean) {
+      (void)(*db)->CrashAndRecover();
+      const RecoveryReport& rr = (*db)->last_recovery_report();
+      std::printf("   recovery: image repaired");
+      if (!rr.deleted_txns.empty()) {
+        std::printf("; deleted carrier txns:");
+        for (TxnId id : rr.deleted_txns) {
+          std::printf(" %llu", static_cast<unsigned long long>(id));
+        }
+        (void)reader_id;
+      } else {
+        std::printf(" by replaying clean history");
+      }
+      std::printf("\n");
+      txn = (*db)->Begin();
+      if ((*db)->Read(*txn, *t, rid->slot, &got).ok()) {
+        std::printf("   post-recovery read: %s\n",
+                    got == std::string(kRecordSize, 'v') ? "original value"
+                                                         : "UNEXPECTED");
+      }
+      (void)(*db)->Commit(*txn);
+    }
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string base = argc > 1 ? argv[1] : "/tmp/cwdb_scheme_tour";
+  std::string scrub = "rm -rf '" + base + "'";
+  [[maybe_unused]] int rc = ::system(scrub.c_str());
+
+  std::printf(
+      "One addressing error, six schemes (the paper's Table 2 matrix):\n\n");
+  const Row rows[] = {
+      {ProtectionScheme::kNone, 512},
+      {ProtectionScheme::kDataCodeword, 512},
+      {ProtectionScheme::kReadPrecheck, 512},
+      {ProtectionScheme::kReadLog, 512},
+      {ProtectionScheme::kCodewordReadLog, 512},
+      {ProtectionScheme::kHardware, 512},
+  };
+  int i = 0;
+  for (const Row& row : rows) {
+    RunScheme(base + "/s" + std::to_string(i++), row.scheme, row.region);
+  }
+  return 0;
+}

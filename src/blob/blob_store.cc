@@ -1,0 +1,224 @@
+#include "blob/blob_store.h"
+
+#include <cstring>
+
+namespace cwdb {
+
+namespace {
+
+std::string HeapName(const std::string& name) { return name + ".heap"; }
+
+std::string EncodeHeader(uint32_t magic, uint64_t size) {
+  std::string out(16, '\0');
+  std::memcpy(out.data(), &magic, 4);
+  std::memcpy(out.data() + 8, &size, 8);
+  return out;
+}
+
+uint64_t AlignUp8(uint64_t n) { return (n + 7) & ~uint64_t{7}; }
+
+}  // namespace
+
+Result<BlobStore> BlobStore::Create(Database* db, Transaction* txn,
+                                    const std::string& name,
+                                    uint64_t heap_bytes) {
+  if (heap_bytes < kSuperblockBytes + kHeaderBytes + kMinPayload ||
+      heap_bytes > ~uint32_t{0}) {
+    return Status::InvalidArgument("blob heap size out of range");
+  }
+  // The heap is a capacity-1 table: one contiguous extent, visible in the
+  // directory, never accessed through record operations.
+  CWDB_ASSIGN_OR_RETURN(
+      TableId table,
+      db->CreateTable(txn, HeapName(name),
+                      static_cast<uint32_t>(heap_bytes), 1));
+  DbPtr start = db->image()->table_meta(table)->data_off;
+  BlobStore store(db, table, start, heap_bytes);
+
+  // Superblock: free-list head -> the one block spanning the whole heap.
+  uint64_t first_rel = kSuperblockBytes;
+  uint64_t head_plus_1 = first_rel + 1;
+  uint64_t zero = 0;
+  CWDB_RETURN_IF_ERROR(db->RawUpdate(
+      txn, start, Slice(reinterpret_cast<const char*>(&head_plus_1), 8)));
+  CWDB_RETURN_IF_ERROR(db->RawUpdate(
+      txn, start + 8, Slice(reinterpret_cast<const char*>(&zero), 8)));
+  uint64_t payload = heap_bytes - kSuperblockBytes - kHeaderBytes;
+  CWDB_RETURN_IF_ERROR(db->RawUpdate(txn, start + first_rel,
+                                     EncodeHeader(kFreeMagic, payload)));
+  // End-of-list marker in the free block's first payload bytes.
+  CWDB_RETURN_IF_ERROR(db->RawUpdate(
+      txn, start + first_rel + kHeaderBytes,
+      Slice(reinterpret_cast<const char*>(&zero), 8)));
+  return store;
+}
+
+Result<BlobStore> BlobStore::Open(Database* db, const std::string& name) {
+  CWDB_ASSIGN_OR_RETURN(TableId table, db->FindTable(HeapName(name)));
+  const TableMetaRaw* meta = db->image()->table_meta(table);
+  return BlobStore(db, table, meta->data_off, meta->record_size);
+}
+
+Status BlobStore::LockHeap(Transaction* txn) {
+  if (db_->txns()->recovery_mode()) return Status::OK();
+  // Held for the transaction's duration: allocator surgery by one
+  // transaction must stay invisible (and un-conflicted) until it commits
+  // or its raw-region undo restores the lists.
+  return db_->txns()->locks().Acquire(txn->id(), LockId::Table(table_),
+                                      LockMode::kExclusive);
+}
+
+Result<BlobStore::BlockView> BlobStore::ReadBlock(DbPtr header_off) const {
+  if (header_off < heap_start_ + kSuperblockBytes ||
+      header_off + kHeaderBytes > HeapEnd()) {
+    return Status::Corruption("block header outside the heap");
+  }
+  BlockView view;
+  const uint8_t* p = db_->image()->At(header_off);
+  std::memcpy(&view.magic, p, 4);
+  std::memcpy(&view.size, p + 8, 8);
+  view.next_plus_1 = 0;
+  if (view.magic == kFreeMagic) {
+    std::memcpy(&view.next_plus_1, p + kHeaderBytes, 8);
+  } else if (view.magic != kAllocatedMagic) {
+    return Status::Corruption("bad block magic");
+  }
+  if (view.size < kMinPayload ||
+      header_off + kHeaderBytes + view.size > HeapEnd()) {
+    return Status::Corruption("bad block size");
+  }
+  return view;
+}
+
+Result<DbPtr> BlobStore::Alloc(Transaction* txn, uint64_t size) {
+  if (size == 0) return Status::InvalidArgument("zero-size blob");
+  uint64_t need = AlignUp8(std::max(size, kMinPayload));
+  CWDB_RETURN_IF_ERROR(LockHeap(txn));
+
+  // First-fit walk. `link_off` is the absolute offset of the 8-byte link
+  // pointing at the current block (superblock head, then predecessors'
+  // next fields).
+  DbPtr link_off = heap_start_;
+  uint64_t cur_plus_1;
+  std::memcpy(&cur_plus_1, db_->image()->At(link_off), 8);
+  while (cur_plus_1 != 0) {
+    DbPtr header = heap_start_ + (cur_plus_1 - 1);
+    CWDB_ASSIGN_OR_RETURN(BlockView block, ReadBlock(header));
+    if (block.magic != kFreeMagic) {
+      return Status::Corruption("free list points at an allocated block");
+    }
+    if (block.size >= need) {
+      uint64_t leftover = block.size - need;
+      uint64_t next_for_link = block.next_plus_1;
+      if (leftover >= kHeaderBytes + kMinPayload) {
+        // Split: the tail becomes a new free block chained in our place.
+        DbPtr rem_header = header + kHeaderBytes + need;
+        CWDB_RETURN_IF_ERROR(db_->RawUpdate(
+            txn, rem_header,
+            EncodeHeader(kFreeMagic, leftover - kHeaderBytes)));
+        CWDB_RETURN_IF_ERROR(db_->RawUpdate(
+            txn, rem_header + kHeaderBytes,
+            Slice(reinterpret_cast<const char*>(&block.next_plus_1), 8)));
+        next_for_link = (rem_header - heap_start_) + 1;
+      } else {
+        need = block.size;  // Absorb the unsplittable remainder.
+      }
+      CWDB_RETURN_IF_ERROR(db_->RawUpdate(
+          txn, link_off,
+          Slice(reinterpret_cast<const char*>(&next_for_link), 8)));
+      CWDB_RETURN_IF_ERROR(
+          db_->RawUpdate(txn, header, EncodeHeader(kAllocatedMagic, need)));
+      return header + kHeaderBytes;
+    }
+    link_off = header + kHeaderBytes;
+    cur_plus_1 = block.next_plus_1;
+  }
+  return Status::NoSpace("no free block fits the blob");
+}
+
+Status BlobStore::Free(Transaction* txn, DbPtr blob) {
+  DbPtr header = blob - kHeaderBytes;
+  CWDB_ASSIGN_OR_RETURN(BlockView block, ReadBlock(header));
+  if (block.magic != kAllocatedMagic) {
+    return Status::InvalidArgument("not an allocated blob");
+  }
+  CWDB_RETURN_IF_ERROR(LockHeap(txn));
+  uint64_t head_plus_1;
+  std::memcpy(&head_plus_1, db_->image()->At(heap_start_), 8);
+  // Push onto the free list (no coalescing; see class comment).
+  CWDB_RETURN_IF_ERROR(
+      db_->RawUpdate(txn, header, EncodeHeader(kFreeMagic, block.size)));
+  CWDB_RETURN_IF_ERROR(db_->RawUpdate(
+      txn, blob, Slice(reinterpret_cast<const char*>(&head_plus_1), 8)));
+  uint64_t new_head = (header - heap_start_) + 1;
+  return db_->RawUpdate(
+      txn, heap_start_, Slice(reinterpret_cast<const char*>(&new_head), 8));
+}
+
+Status BlobStore::Write(Transaction* txn, DbPtr blob, uint64_t off,
+                        Slice data) {
+  CWDB_ASSIGN_OR_RETURN(uint64_t size, SizeOf(blob));
+  if (off + data.size() > size) {
+    return Status::InvalidArgument("write beyond blob bounds");
+  }
+  return db_->RawUpdate(txn, blob + off, data);
+}
+
+Status BlobStore::Read(Transaction* txn, DbPtr blob, uint64_t off,
+                       uint64_t len, void* out) {
+  CWDB_ASSIGN_OR_RETURN(uint64_t size, SizeOf(blob));
+  if (off + len > size) {
+    return Status::InvalidArgument("read beyond blob bounds");
+  }
+  return txn->Read(blob + off, out, static_cast<uint32_t>(len));
+}
+
+Result<uint64_t> BlobStore::SizeOf(DbPtr blob) const {
+  CWDB_ASSIGN_OR_RETURN(BlockView block, ReadBlock(blob - kHeaderBytes));
+  if (block.magic != kAllocatedMagic) {
+    return Status::InvalidArgument("not an allocated blob");
+  }
+  return block.size;
+}
+
+Result<uint64_t> BlobStore::CheckHeap() const {
+  // Pass 1: walk every block front to back.
+  uint64_t free_blocks = 0;
+  uint64_t seen_free_bytes = 0;
+  DbPtr cur = heap_start_ + kSuperblockBytes;
+  while (cur < HeapEnd()) {
+    CWDB_ASSIGN_OR_RETURN(BlockView block, ReadBlock(cur));
+    if (block.magic == kFreeMagic) {
+      ++free_blocks;
+      seen_free_bytes += block.size;
+    }
+    cur += kHeaderBytes + block.size;
+  }
+  if (cur != HeapEnd()) {
+    return Status::Corruption("blocks do not tile the heap");
+  }
+  // Pass 2: the free list must reach exactly the free blocks.
+  uint64_t listed = 0;
+  uint64_t listed_bytes = 0;
+  uint64_t cur_plus_1;
+  std::memcpy(&cur_plus_1, db_->image()->At(heap_start_), 8);
+  while (cur_plus_1 != 0) {
+    if (listed > free_blocks) {
+      return Status::Corruption("free list longer than free blocks (cycle?)");
+    }
+    CWDB_ASSIGN_OR_RETURN(BlockView block,
+                          ReadBlock(heap_start_ + (cur_plus_1 - 1)));
+    if (block.magic != kFreeMagic) {
+      return Status::Corruption("free list entry not free");
+    }
+    ++listed;
+    listed_bytes += block.size;
+    cur_plus_1 = block.next_plus_1;
+  }
+  if (listed != free_blocks || listed_bytes != seen_free_bytes) {
+    return Status::Corruption("free list does not match free blocks");
+  }
+  return free_blocks;
+}
+
+}  // namespace cwdb

@@ -1,0 +1,83 @@
+#include "ckpt/archive.h"
+
+#include "common/file_util.h"
+
+namespace cwdb {
+
+namespace {
+
+constexpr char kArchiveImage[] = "/archived.img";
+constexpr char kArchiveMeta[] = "/archived.meta";
+constexpr char kArchiveLog[] = "/system.log";
+constexpr char kArchiveAudit[] = "/audit.meta";
+
+Status CopyFile(const std::string& from, const std::string& to) {
+  std::string contents;
+  CWDB_RETURN_IF_ERROR(ReadFileToString(from, &contents));
+  return WriteFileAtomic(to, contents);
+}
+
+}  // namespace
+
+Result<CheckpointMeta> CreateArchive(const DbFiles& db_files,
+                                     const std::string& archive_dir) {
+  CWDB_RETURN_IF_ERROR(MakeDirs(archive_dir));
+  std::string anchor;
+  CWDB_RETURN_IF_ERROR(ReadFileToString(db_files.Anchor(), &anchor));
+  int which = anchor == "A" ? 0 : anchor == "B" ? 1 : -1;
+  if (which < 0) return Status::Corruption("bad checkpoint anchor");
+
+  CWDB_RETURN_IF_ERROR(
+      CopyFile(db_files.CkptImage(which), archive_dir + kArchiveImage));
+  CWDB_RETURN_IF_ERROR(
+      CopyFile(db_files.CkptMeta(which), archive_dir + kArchiveMeta));
+  CWDB_RETURN_IF_ERROR(
+      CopyFile(db_files.SystemLog(), archive_dir + kArchiveLog));
+  if (FileExists(db_files.AuditMeta())) {
+    CWDB_RETURN_IF_ERROR(
+        CopyFile(db_files.AuditMeta(), archive_dir + kArchiveAudit));
+  }
+  // Re-read the archived meta through a throwaway DbFiles view is not
+  // possible (names differ), so parse nothing here: the caller can read
+  // CK_end from the database. For convenience, decode the copied meta by
+  // writing it under a temp DbFiles-compatible name... simpler: read the
+  // live meta again via its own path using the image-independent part.
+  // The meta file format is validated on restore; here we only report the
+  // ck_end by scanning the copy for the caller.
+  std::string meta_contents;
+  CWDB_RETURN_IF_ERROR(
+      ReadFileToString(archive_dir + kArchiveMeta, &meta_contents));
+  CheckpointMeta meta;
+  // Layout: magic(8) ck_end(8) ... (see Checkpointer::WriteMeta).
+  if (meta_contents.size() < 16) {
+    return Status::Corruption("archived meta too small");
+  }
+  std::memcpy(&meta.ck_end, meta_contents.data() + 8, 8);
+  return meta;
+}
+
+Status RestoreArchive(const std::string& archive_dir,
+                      const DbFiles& db_files) {
+  if (!FileExists(archive_dir + kArchiveImage) ||
+      !FileExists(archive_dir + kArchiveMeta)) {
+    return Status::NotFound("no archive at " + archive_dir);
+  }
+  // Install as checkpoint A and point the anchor at it. The live log stays
+  // in place: it is a superset of what the archive saw (append-only). If
+  // the live log is damaged or missing, fall back to the archived copy.
+  CWDB_RETURN_IF_ERROR(
+      CopyFile(archive_dir + kArchiveImage, db_files.CkptImage(0)));
+  CWDB_RETURN_IF_ERROR(
+      CopyFile(archive_dir + kArchiveMeta, db_files.CkptMeta(0)));
+  if (!FileExists(db_files.SystemLog())) {
+    CWDB_RETURN_IF_ERROR(
+        CopyFile(archive_dir + kArchiveLog, db_files.SystemLog()));
+  }
+  if (FileExists(archive_dir + kArchiveAudit)) {
+    CWDB_RETURN_IF_ERROR(
+        CopyFile(archive_dir + kArchiveAudit, db_files.AuditMeta()));
+  }
+  return WriteFileAtomic(db_files.Anchor(), "A");
+}
+
+}  // namespace cwdb

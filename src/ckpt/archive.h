@@ -1,0 +1,43 @@
+#ifndef CWDB_CKPT_ARCHIVE_H_
+#define CWDB_CKPT_ARCHIVE_H_
+
+#include <string>
+
+#include "ckpt/checkpoint.h"
+#include "common/result.h"
+#include "common/status.h"
+
+namespace cwdb {
+
+/// Checkpoint archives. The paper's prior-state recovery model (§4.1)
+/// rewinds by "replaying logs which were generated prior to that point" —
+/// which needs a checkpoint no newer than the rewind point. Since ping-pong
+/// checkpointing overwrites the two live images, rewinding past them
+/// requires an archived copy. (It also notes the post-recovery checkpoint
+/// "invalidates all archives": after any corruption recovery, take fresh
+/// archives.)
+///
+/// An archive is a directory holding a copy of the then-active checkpoint
+/// image + metadata and the stable log prefix it refers to. The database's
+/// own log is append-only and never truncated, so restoring an archive
+/// only rewinds the *checkpoint*; redo replays forward from the archived
+/// CK_end over the live log (optionally bounded by a prior-state limit).
+
+/// Copies the active checkpoint (image, meta, anchor, audit meta, and the
+/// stable log as a safety copy) from `db_files` into `archive_dir`
+/// (created if absent). Call after Database::Checkpoint() for a fresh
+/// archive point. Returns the archived checkpoint's metadata.
+Result<CheckpointMeta> CreateArchive(const DbFiles& db_files,
+                                     const std::string& archive_dir);
+
+/// Installs the archived checkpoint into a COLD database directory (no
+/// Database may have it open): the archived image/meta become the active
+/// checkpoint; the live stable log is left untouched. A subsequent
+/// Database::Open replays forward from the archived CK_end — combine with
+/// RecoverToPriorState to stop at a rewind point.
+Status RestoreArchive(const std::string& archive_dir,
+                      const DbFiles& db_files);
+
+}  // namespace cwdb
+
+#endif  // CWDB_CKPT_ARCHIVE_H_

@@ -1,0 +1,62 @@
+#include "common/codeword.h"
+
+#include <cstring>
+
+namespace cwdb {
+
+codeword_t CodewordCompute(const void* data, size_t len) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  codeword_t cw = 0;
+  // Whole words first; memcpy keeps this alignment-safe and compiles to a
+  // plain load on this platform.
+  size_t words = len / 4;
+  for (size_t i = 0; i < words; ++i) {
+    uint32_t w;
+    std::memcpy(&w, p + 4 * i, 4);
+    cw ^= w;
+  }
+  // Tail bytes occupy the low lanes of a final zero-padded word.
+  size_t tail = len & 3;
+  if (tail != 0) {
+    uint32_t w = 0;
+    std::memcpy(&w, p + 4 * words, tail);
+    cw ^= w;
+  }
+  return cw;
+}
+
+codeword_t CodewordFold(size_t lane_offset, const void* data, size_t len) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  codeword_t cw = 0;
+  size_t i = 0;
+  // Leading bytes until we reach a word boundary relative to the origin.
+  size_t lane = lane_offset & 3;
+  while (lane != 0 && i < len) {
+    cw ^= static_cast<codeword_t>(p[i]) << (8 * lane);
+    lane = (lane + 1) & 3;
+    ++i;
+  }
+  // Aligned middle.
+  while (i + 4 <= len) {
+    uint32_t w;
+    std::memcpy(&w, p + i, 4);
+    cw ^= w;
+    i += 4;
+  }
+  // Trailing bytes land in the low lanes of the next word.
+  lane = 0;
+  while (i < len) {
+    cw ^= static_cast<codeword_t>(p[i]) << (8 * lane);
+    ++lane;
+    ++i;
+  }
+  return cw;
+}
+
+codeword_t CodewordDelta(size_t lane_offset, const void* before,
+                         const void* after, size_t len) {
+  return CodewordFold(lane_offset, before, len) ^
+         CodewordFold(lane_offset, after, len);
+}
+
+}  // namespace cwdb

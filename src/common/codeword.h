@@ -1,0 +1,45 @@
+#ifndef CWDB_COMMON_CODEWORD_H_
+#define CWDB_COMMON_CODEWORD_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace cwdb {
+
+/// Codeword arithmetic (paper, Section 3).
+///
+/// The codeword of a protection region is the bitwise exclusive-or of the
+/// 32-bit words of the region: bit i of the codeword is the parity of bit i
+/// across all words. Two properties make this cheap to maintain:
+///
+///  1. XOR is its own inverse, so an in-place update can adjust the stored
+///     codeword incrementally from the undo image and the new value:
+///         cw' = cw ^ fold(offset, before) ^ fold(offset, after)
+///     with no need to rescan the whole region (Section 3.1, "the undo image
+///     stored in the log and the current value of the updated region are
+///     used to update the codeword").
+///
+///  2. The fold of a byte range depends only on the bytes and their byte
+///     lane (offset mod 4) within the region, so unaligned updates that
+///     cover partial words are handled by placing each byte into its lane.
+///
+/// A region whose length is not a multiple of 4 is treated as if it were
+/// zero-padded to the next word boundary.
+using codeword_t = uint32_t;
+
+/// Codeword of a whole region starting at `data` (lane 0), `len` bytes.
+codeword_t CodewordCompute(const void* data, size_t len);
+
+/// Positioned fold of `len` bytes that begin `lane_offset` bytes past some
+/// word-aligned origin (a region start). XOR-ing folds of the before and
+/// after images of an update into a stored codeword keeps it consistent.
+codeword_t CodewordFold(size_t lane_offset, const void* data, size_t len);
+
+/// Incremental maintenance: the delta to XOR into a stored codeword when
+/// bytes at `lane_offset` change from `before` to `after` (`len` bytes).
+codeword_t CodewordDelta(size_t lane_offset, const void* before,
+                         const void* after, size_t len);
+
+}  // namespace cwdb
+
+#endif  // CWDB_COMMON_CODEWORD_H_

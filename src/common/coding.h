@@ -1,0 +1,113 @@
+#ifndef CWDB_COMMON_CODING_H_
+#define CWDB_COMMON_CODING_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+#include "common/slice.h"
+
+namespace cwdb {
+
+/// Little-endian fixed-width binary encoding helpers for log records and
+/// checkpoint metadata. The host is little-endian; memcpy keeps the code
+/// alignment-safe and the explicit helpers document intent at call sites.
+
+inline void PutFixed16(std::string* dst, uint16_t v) {
+  dst->append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+inline void PutFixed32(std::string* dst, uint32_t v) {
+  dst->append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+inline void PutFixed64(std::string* dst, uint64_t v) {
+  dst->append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+inline void PutFixed8(std::string* dst, uint8_t v) {
+  dst->push_back(static_cast<char>(v));
+}
+
+/// Length-prefixed byte string.
+inline void PutLengthPrefixed(std::string* dst, Slice value) {
+  PutFixed32(dst, static_cast<uint32_t>(value.size()));
+  dst->append(value.data(), value.size());
+}
+
+inline uint16_t DecodeFixed16(const char* p) {
+  uint16_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+inline uint32_t DecodeFixed32(const char* p) {
+  uint32_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+inline uint64_t DecodeFixed64(const char* p) {
+  uint64_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+/// Sequential decoder over a byte buffer. Decoding failures (truncated
+/// input) are flagged rather than aborting: log tails can legitimately be
+/// torn at the last record.
+class Decoder {
+ public:
+  explicit Decoder(Slice input) : p_(input.data()), end_(p_ + input.size()) {}
+
+  bool ok() const { return ok_; }
+  size_t remaining() const { return static_cast<size_t>(end_ - p_); }
+
+  uint8_t GetFixed8() {
+    if (!Require(1)) return 0;
+    return static_cast<uint8_t>(*p_++);
+  }
+  uint16_t GetFixed16() {
+    if (!Require(2)) return 0;
+    uint16_t v = DecodeFixed16(p_);
+    p_ += 2;
+    return v;
+  }
+  uint32_t GetFixed32() {
+    if (!Require(4)) return 0;
+    uint32_t v = DecodeFixed32(p_);
+    p_ += 4;
+    return v;
+  }
+  uint64_t GetFixed64() {
+    if (!Require(8)) return 0;
+    uint64_t v = DecodeFixed64(p_);
+    p_ += 8;
+    return v;
+  }
+  Slice GetLengthPrefixed() {
+    uint32_t n = GetFixed32();
+    if (!Require(n)) return Slice();
+    Slice s(p_, n);
+    p_ += n;
+    return s;
+  }
+  Slice GetBytes(size_t n) {
+    if (!Require(n)) return Slice();
+    Slice s(p_, n);
+    p_ += n;
+    return s;
+  }
+
+ private:
+  bool Require(size_t n) {
+    if (!ok_ || static_cast<size_t>(end_ - p_) < n) {
+      ok_ = false;
+      return false;
+    }
+    return true;
+  }
+
+  const char* p_;
+  const char* end_;
+  bool ok_ = true;
+};
+
+}  // namespace cwdb
+
+#endif  // CWDB_COMMON_CODING_H_

@@ -1,0 +1,43 @@
+#include "common/crc32.h"
+
+namespace cwdb {
+
+namespace {
+
+// Table-driven CRC-32C, generated at first use (polynomial 0x82F63B78,
+// reflected).
+struct Crc32cTable {
+  uint32_t entries[256];
+  Crc32cTable() {
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? (0x82F63B78u ^ (c >> 1)) : (c >> 1);
+      }
+      entries[i] = c;
+    }
+  }
+};
+
+const Crc32cTable& Table() {
+  static const Crc32cTable table;
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32cExtend(uint32_t crc, const void* data, size_t len) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  const Crc32cTable& t = Table();
+  crc = ~crc;
+  for (size_t i = 0; i < len; ++i) {
+    crc = t.entries[(crc ^ p[i]) & 0xFF] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+uint32_t Crc32c(const void* data, size_t len) {
+  return Crc32cExtend(0, data, len);
+}
+
+}  // namespace cwdb

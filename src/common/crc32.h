@@ -1,0 +1,20 @@
+#ifndef CWDB_COMMON_CRC32_H_
+#define CWDB_COMMON_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace cwdb {
+
+/// CRC-32C (Castagnoli). Used to frame records in the stable system log and
+/// to validate checkpoint metadata; *not* used as the region codeword (the
+/// paper's codeword is the XOR parity in codeword.h — CRC protects the I/O
+/// path, codewords protect the in-memory image).
+uint32_t Crc32c(const void* data, size_t len);
+
+/// Streaming form: continue a CRC over another chunk.
+uint32_t Crc32cExtend(uint32_t crc, const void* data, size_t len);
+
+}  // namespace cwdb
+
+#endif  // CWDB_COMMON_CRC32_H_

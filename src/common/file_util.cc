@@ -1,0 +1,158 @@
+#include "common/file_util.h"
+
+#include <fcntl.h>
+#include <libgen.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <vector>
+
+namespace cwdb {
+
+namespace {
+
+Status Errno(const std::string& what, const std::string& path) {
+  return Status::IoError(what + " " + path + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+Status ReadFileToString(const std::string& path, std::string* out) {
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    if (errno == ENOENT) return Status::NotFound("no such file: " + path);
+    return Errno("open", path);
+  }
+  out->clear();
+  char buf[1 << 16];
+  ssize_t n;
+  while ((n = ::read(fd, buf, sizeof(buf))) > 0) {
+    out->append(buf, static_cast<size_t>(n));
+  }
+  Status s = n < 0 ? Errno("read", path) : Status::OK();
+  ::close(fd);
+  return s;
+}
+
+Status WriteFileAtomic(const std::string& path, const std::string& data) {
+  std::string tmp = path + ".tmp";
+  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return Errno("open", tmp);
+  size_t done = 0;
+  while (done < data.size()) {
+    ssize_t n = ::write(fd, data.data() + done, data.size() - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      Status s = Errno("write", tmp);
+      ::close(fd);
+      return s;
+    }
+    done += static_cast<size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    Status s = Errno("fsync", tmp);
+    ::close(fd);
+    return s;
+  }
+  ::close(fd);
+  if (::rename(tmp.c_str(), path.c_str()) != 0) return Errno("rename", path);
+  // fsync the directory so the rename itself is durable.
+  std::vector<char> dir(path.begin(), path.end());
+  dir.push_back('\0');
+  int dfd = ::open(::dirname(dir.data()), O_RDONLY | O_DIRECTORY);
+  if (dfd >= 0) {
+    ::fsync(dfd);
+    ::close(dfd);
+  }
+  return Status::OK();
+}
+
+Status PWriteAll(int fd, const void* data, size_t len, uint64_t offset) {
+  const char* p = static_cast<const char*>(data);
+  size_t done = 0;
+  while (done < len) {
+    ssize_t n = ::pwrite(fd, p + done, len - done,
+                         static_cast<off_t>(offset + done));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(std::string("pwrite: ") + std::strerror(errno));
+    }
+    done += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status PReadAll(int fd, void* data, size_t len, uint64_t offset) {
+  char* p = static_cast<char*>(data);
+  size_t done = 0;
+  while (done < len) {
+    ssize_t n =
+        ::pread(fd, p + done, len - done, static_cast<off_t>(offset + done));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(std::string("pread: ") + std::strerror(errno));
+    }
+    if (n == 0) return Status::IoError("pread: unexpected EOF");
+    done += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status EnsureFileSize(const std::string& path, uint64_t size) {
+  int fd = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
+  if (fd < 0) return Errno("open", path);
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    Status s = Errno("fstat", path);
+    ::close(fd);
+    return s;
+  }
+  Status s = Status::OK();
+  if (static_cast<uint64_t>(st.st_size) != size) {
+    if (::ftruncate(fd, static_cast<off_t>(size)) != 0) {
+      s = Errno("ftruncate", path);
+    }
+  }
+  ::close(fd);
+  return s;
+}
+
+Status FsyncFd(int fd) {
+  if (::fsync(fd) != 0) {
+    return Status::IoError(std::string("fsync: ") + std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+bool FileExists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+Status RemoveFileIfExists(const std::string& path) {
+  if (::unlink(path.c_str()) != 0 && errno != ENOENT) {
+    return Errno("unlink", path);
+  }
+  return Status::OK();
+}
+
+Status MakeDirs(const std::string& path) {
+  std::string partial;
+  size_t pos = 0;
+  while (pos < path.size()) {
+    size_t next = path.find('/', pos + 1);
+    if (next == std::string::npos) next = path.size();
+    partial = path.substr(0, next);
+    if (!partial.empty() && partial != "/") {
+      if (::mkdir(partial.c_str(), 0755) != 0 && errno != EEXIST) {
+        return Errno("mkdir", partial);
+      }
+    }
+    pos = next;
+  }
+  return Status::OK();
+}
+
+}  // namespace cwdb

@@ -1,0 +1,42 @@
+#ifndef CWDB_COMMON_FILE_UTIL_H_
+#define CWDB_COMMON_FILE_UTIL_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace cwdb {
+
+/// Small POSIX file helpers used by the checkpointer and recovery. All
+/// return Status; none throw.
+
+/// Reads the whole file into *out. NotFound if it does not exist.
+Status ReadFileToString(const std::string& path, std::string* out);
+
+/// Writes `data` to a temp file, fsyncs, renames over `path`, and fsyncs
+/// the parent directory — the classic atomic small-file update (used for
+/// the checkpoint anchor and side notes).
+Status WriteFileAtomic(const std::string& path, const std::string& data);
+
+/// pwrite the full buffer at `offset` of the (pre-opened) fd.
+Status PWriteAll(int fd, const void* data, size_t len, uint64_t offset);
+
+/// pread exactly `len` bytes at `offset`.
+Status PReadAll(int fd, void* data, size_t len, uint64_t offset);
+
+/// Creates (if absent) a file of exactly `size` bytes.
+Status EnsureFileSize(const std::string& path, uint64_t size);
+
+Status FsyncFd(int fd);
+
+bool FileExists(const std::string& path);
+
+Status RemoveFileIfExists(const std::string& path);
+
+/// mkdir -p.
+Status MakeDirs(const std::string& path);
+
+}  // namespace cwdb
+
+#endif  // CWDB_COMMON_FILE_UTIL_H_

@@ -1,0 +1,55 @@
+#ifndef CWDB_COMMON_LOGGING_H_
+#define CWDB_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace cwdb {
+namespace internal_logging {
+
+/// Accumulates a failure message and aborts the process when destroyed.
+/// Used by CWDB_CHECK; invariant violations in a storage manager must not
+/// be allowed to keep running and corrupt persistent state further.
+class CheckFailure {
+ public:
+  CheckFailure(const char* file, int line, const char* expr) {
+    stream_ << "CWDB_CHECK failed at " << file << ":" << line << ": " << expr
+            << " ";
+  }
+  [[noreturn]] ~CheckFailure() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+  std::ostream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+struct Voidify {
+  // Lowest-precedence operator: lets the macro below swallow the stream
+  // expression while keeping `CWDB_CHECK(x) << "msg"` well-formed.
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace internal_logging
+}  // namespace cwdb
+
+/// Always-on invariant check (release builds included). Database invariant
+/// violations abort rather than continue with corrupt state.
+#define CWDB_CHECK(expr)                                                   \
+  (expr) ? (void)0                                                         \
+         : ::cwdb::internal_logging::Voidify() &                           \
+               ::cwdb::internal_logging::CheckFailure(__FILE__, __LINE__,  \
+                                                      #expr)               \
+                   .stream()
+
+#ifndef NDEBUG
+#define CWDB_DCHECK(expr) CWDB_CHECK(expr)
+#else
+#define CWDB_DCHECK(expr) \
+  while (false) CWDB_CHECK(expr)
+#endif
+
+#endif  // CWDB_COMMON_LOGGING_H_

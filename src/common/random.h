@@ -1,0 +1,42 @@
+#ifndef CWDB_COMMON_RANDOM_H_
+#define CWDB_COMMON_RANDOM_H_
+
+#include <cstdint>
+
+namespace cwdb {
+
+/// Small deterministic PRNG (xorshift64*). Workloads and fault-injection
+/// campaigns take an explicit seed so every experiment is reproducible.
+class Random {
+ public:
+  explicit Random(uint64_t seed) : state_(seed ? seed : 0x9E3779B97F4A7C15ull) {}
+
+  uint64_t Next() {
+    uint64_t x = state_;
+    x ^= x >> 12;
+    x ^= x << 25;
+    x ^= x >> 27;
+    state_ = x;
+    return x * 0x2545F4914F6CDD1Dull;
+  }
+
+  /// Uniform in [0, n). n must be > 0.
+  uint64_t Uniform(uint64_t n) { return Next() % n; }
+
+  /// Uniform in [lo, hi].
+  uint64_t Range(uint64_t lo, uint64_t hi) {
+    return lo + Uniform(hi - lo + 1);
+  }
+
+  /// True with probability p_num / p_den.
+  bool OneIn(uint64_t n) { return Uniform(n) == 0; }
+
+  uint32_t Next32() { return static_cast<uint32_t>(Next() >> 32); }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace cwdb
+
+#endif  // CWDB_COMMON_RANDOM_H_

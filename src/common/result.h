@@ -1,0 +1,73 @@
+#ifndef CWDB_COMMON_RESULT_H_
+#define CWDB_COMMON_RESULT_H_
+
+#include <optional>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/status.h"
+
+namespace cwdb {
+
+/// A value or an error Status. The library's no-exceptions analogue of
+/// absl::StatusOr<T>.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from a value: allows `return value;` from Result-returning
+  /// functions, mirroring StatusOr.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit from a non-OK Status: allows `return Status::NotFound(...)`.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    CWDB_CHECK(!status_.ok()) << "Result constructed from OK status";
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) = default;
+  Result& operator=(Result&&) = default;
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  T& value() & {
+    CWDB_CHECK(ok()) << "value() on error Result: " << status_.ToString();
+    return *value_;
+  }
+  const T& value() const& {
+    CWDB_CHECK(ok()) << "value() on error Result: " << status_.ToString();
+    return *value_;
+  }
+  T&& value() && {
+    CWDB_CHECK(ok()) << "value() on error Result: " << status_.ToString();
+    return std::move(*value_);
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Evaluates a Result<T> expression; on error returns its Status, otherwise
+/// assigns the value into `lhs` (a declaration or existing variable).
+#define CWDB_ASSIGN_OR_RETURN(lhs, expr)                       \
+  CWDB_ASSIGN_OR_RETURN_IMPL_(                                 \
+      CWDB_RESULT_CONCAT_(_cwdb_result, __LINE__), lhs, expr)
+
+#define CWDB_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                                \
+  if (!tmp.ok()) return tmp.status();               \
+  lhs = std::move(tmp).value()
+
+#define CWDB_RESULT_CONCAT_INNER_(a, b) a##b
+#define CWDB_RESULT_CONCAT_(a, b) CWDB_RESULT_CONCAT_INNER_(a, b)
+
+}  // namespace cwdb
+
+#endif  // CWDB_COMMON_RESULT_H_

@@ -1,0 +1,45 @@
+#ifndef CWDB_COMMON_SLICE_H_
+#define CWDB_COMMON_SLICE_H_
+
+#include <cstddef>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+namespace cwdb {
+
+/// A non-owning view of a byte range. Mirrors the classic storage-engine
+/// Slice: cheap to copy, never owns, caller guarantees lifetime.
+class Slice {
+ public:
+  Slice() : data_(nullptr), size_(0) {}
+  Slice(const void* data, size_t size)
+      : data_(static_cast<const char*>(data)), size_(size) {}
+  Slice(const std::string& s) : data_(s.data()), size_(s.size()) {}  // NOLINT
+  Slice(const char* s) : data_(s), size_(std::strlen(s)) {}          // NOLINT
+
+  const char* data() const { return data_; }
+  const unsigned char* udata() const {
+    return reinterpret_cast<const unsigned char*>(data_);
+  }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  char operator[](size_t i) const { return data_[i]; }
+
+  std::string ToString() const { return std::string(data_, size_); }
+  std::string_view view() const { return std::string_view(data_, size_); }
+
+  bool operator==(const Slice& other) const {
+    return size_ == other.size_ &&
+           (size_ == 0 || std::memcmp(data_, other.data_, size_) == 0);
+  }
+
+ private:
+  const char* data_;
+  size_t size_;
+};
+
+}  // namespace cwdb
+
+#endif  // CWDB_COMMON_SLICE_H_

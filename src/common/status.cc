@@ -1,0 +1,49 @@
+#include "common/status.h"
+
+namespace cwdb {
+
+namespace {
+
+const char* CodeName(Status::Code code) {
+  switch (code) {
+    case Status::Code::kOk:
+      return "OK";
+    case Status::Code::kInvalidArgument:
+      return "InvalidArgument";
+    case Status::Code::kNotFound:
+      return "NotFound";
+    case Status::Code::kAlreadyExists:
+      return "AlreadyExists";
+    case Status::Code::kCorruption:
+      return "Corruption";
+    case Status::Code::kProtectionFault:
+      return "ProtectionFault";
+    case Status::Code::kDeadlock:
+      return "Deadlock";
+    case Status::Code::kIoError:
+      return "IoError";
+    case Status::Code::kNoSpace:
+      return "NoSpace";
+    case Status::Code::kBusy:
+      return "Busy";
+    case Status::Code::kAborted:
+      return "Aborted";
+    case Status::Code::kInternal:
+      return "Internal";
+  }
+  return "Unknown";
+}
+
+}  // namespace
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = CodeName(code_);
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+}  // namespace cwdb

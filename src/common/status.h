@@ -1,0 +1,106 @@
+#ifndef CWDB_COMMON_STATUS_H_
+#define CWDB_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace cwdb {
+
+/// Outcome of a cwdb operation. The library does not use exceptions; every
+/// fallible call returns a Status (or a Result<T>, see result.h).
+///
+/// Codes of note:
+///  * kCorruption       — a codeword audit or precheck failed: the bytes of a
+///                        protection region no longer match its codeword.
+///  * kProtectionFault  — a write was refused by the Hardware Protection
+///                        scheme (the page was read-only).
+///  * kDeadlock         — the lock manager aborted this transaction to break
+///                        a waits-for cycle; the caller should retry.
+class Status {
+ public:
+  enum class Code {
+    kOk = 0,
+    kInvalidArgument,
+    kNotFound,
+    kAlreadyExists,
+    kCorruption,
+    kProtectionFault,
+    kDeadlock,
+    kIoError,
+    kNoSpace,
+    kBusy,
+    kAborted,
+    kInternal,
+  };
+
+  Status() : code_(Code::kOk) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(Code::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(Code::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(Code::kAlreadyExists, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(Code::kCorruption, std::move(msg));
+  }
+  static Status ProtectionFault(std::string msg) {
+    return Status(Code::kProtectionFault, std::move(msg));
+  }
+  static Status Deadlock(std::string msg) {
+    return Status(Code::kDeadlock, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(Code::kIoError, std::move(msg));
+  }
+  static Status NoSpace(std::string msg) {
+    return Status(Code::kNoSpace, std::move(msg));
+  }
+  static Status Busy(std::string msg) {
+    return Status(Code::kBusy, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(Code::kAborted, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(Code::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == Code::kOk; }
+  Code code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  bool IsCorruption() const { return code_ == Code::kCorruption; }
+  bool IsProtectionFault() const { return code_ == Code::kProtectionFault; }
+  bool IsDeadlock() const { return code_ == Code::kDeadlock; }
+  bool IsNotFound() const { return code_ == Code::kNotFound; }
+
+  /// "OK" or "<code name>: <message>", for logs and test failure output.
+  std::string ToString() const;
+
+ private:
+  Status(Code code, std::string msg) : code_(code), message_(std::move(msg)) {}
+
+  Code code_;
+  std::string message_;
+};
+
+/// Propagates a non-OK Status to the caller. Standard early-return macro.
+#define CWDB_RETURN_IF_ERROR(expr)                 \
+  do {                                             \
+    ::cwdb::Status _cwdb_status = (expr);          \
+    if (!_cwdb_status.ok()) return _cwdb_status;   \
+  } while (0)
+
+}  // namespace cwdb
+
+#endif  // CWDB_COMMON_STATUS_H_

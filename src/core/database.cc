@@ -1,0 +1,250 @@
+#include "core/database.h"
+
+#include <sys/stat.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "ckpt/archive.h"
+#include "common/file_util.h"
+
+namespace cwdb {
+
+Database::Database(const DatabaseOptions& options)
+    : options_(options), files_(options.path) {}
+
+Result<std::unique_ptr<Database>> Database::Open(
+    const DatabaseOptions& options) {
+  if (options.path.empty()) {
+    return Status::InvalidArgument("database path required");
+  }
+  CWDB_RETURN_IF_ERROR(MakeDirs(options.path));
+  std::unique_ptr<Database> db(new Database(options));
+  CWDB_RETURN_IF_ERROR(db->OpenImpl());
+  return db;
+}
+
+Database::~Database() = default;
+
+Status Database::OpenImpl() {
+  CWDB_ASSIGN_OR_RETURN(
+      image_, DbImage::Create(options_.arena_size, options_.page_size));
+  CWDB_ASSIGN_OR_RETURN(
+      protection_,
+      ProtectionManager::Create(options_.protection, image_.get()));
+  CWDB_ASSIGN_OR_RETURN(log_, SystemLog::Open(files_.SystemLog()));
+  txns_ = std::make_unique<TxnManager>(image_.get(), protection_.get(),
+                                       log_.get());
+  checkpointer_ = std::make_unique<Checkpointer>(
+      files_, image_.get(), txns_.get(), log_.get(), protection_.get());
+
+  if (FileExists(files_.Anchor())) {
+    CWDB_RETURN_IF_ERROR(RunRecovery());
+  } else {
+    // Fresh database: the image is already formatted; take checkpoint zero
+    // so restart always has an anchor to start from.
+    CWDB_RETURN_IF_ERROR(protection_->ResetFromImage());
+    CWDB_RETURN_IF_ERROR(checkpointer_->InitializeFresh());
+    CWDB_RETURN_IF_ERROR(WriteAuditMeta(files_.AuditMeta(), 0));
+  }
+  // Arm hardware protection only once the database is open for business
+  // (recovery and formatting write the image directly).
+  CWDB_RETURN_IF_ERROR(protection_->ReprotectAll());
+  return Status::OK();
+}
+
+Lsn Database::LastCleanAuditLsn() const {
+  Result<Lsn> lsn = ReadAuditMeta(files_.AuditMeta());
+  return lsn.ok() ? *lsn : 0;
+}
+
+Status Database::RunRecovery() {
+  RecoveryOptions ropts;
+  ropts.redo_limit = options_.recover_to_lsn;
+  ropts.use_logged_checksums =
+      options_.protection.scheme == ProtectionScheme::kCodewordReadLog;
+  if (FileExists(files_.CorruptNote())) {
+    CWDB_ASSIGN_OR_RETURN(ropts.note,
+                          ReadCorruptionNote(files_.CorruptNote()));
+    ropts.corruption_recovery = true;
+  } else if (ropts.use_logged_checksums) {
+    // §4.3 Extension: with codewords in read log records, corruption
+    // recovery runs on every restart — it can detect corruption that
+    // happened after the last audit but before a true crash.
+    ropts.corruption_recovery = true;
+    ropts.note.last_clean_audit_lsn = LastCleanAuditLsn();
+  }
+  RecoveryDriver driver(files_, image_.get(), txns_.get(), log_.get(),
+                        protection_.get(), checkpointer_.get());
+  CWDB_ASSIGN_OR_RETURN(last_report_, driver.Run(ropts));
+  // A rewind-at-open is one-shot: its final checkpoint made the prior
+  // state the new truth, so later recoveries go to the latest state.
+  options_.recover_to_lsn = kInvalidLsn;
+  return Status::OK();
+}
+
+Result<Transaction*> Database::Begin() { return txns_->Begin(); }
+
+Status Database::Commit(Transaction* txn) { return txns_->Commit(txn); }
+
+Status Database::Abort(Transaction* txn) { return txns_->Abort(txn); }
+
+Result<TableId> Database::CreateTable(Transaction* txn,
+                                      const std::string& name,
+                                      uint32_t record_size,
+                                      uint64_t capacity) {
+  return table_ops::CreateTable(*txns_, txn, name, record_size, capacity);
+}
+
+Result<TableId> Database::FindTable(const std::string& name) const {
+  TableId t = image_->FindTable(name);
+  if (t == kMaxTables) return Status::NotFound("no such table: " + name);
+  return t;
+}
+
+Result<RecordId> Database::Insert(Transaction* txn, TableId table,
+                                  Slice record) {
+  return table_ops::Insert(*txns_, txn, table, record);
+}
+
+Status Database::Delete(Transaction* txn, TableId table, uint32_t slot) {
+  return table_ops::Delete(*txns_, txn, table, slot);
+}
+
+Status Database::Update(Transaction* txn, TableId table, uint32_t slot,
+                        uint32_t field_off, Slice data) {
+  return table_ops::Update(*txns_, txn, table, slot, field_off, data);
+}
+
+Status Database::Read(Transaction* txn, TableId table, uint32_t slot,
+                      std::string* out) {
+  return table_ops::ReadRecord(*txns_, txn, table, slot, out);
+}
+
+Status Database::ReadField(Transaction* txn, TableId table, uint32_t slot,
+                           uint32_t field_off, uint32_t len, void* out) {
+  return table_ops::ReadField(*txns_, txn, table, slot, field_off, len, out);
+}
+
+Status Database::RawUpdate(Transaction* txn, DbPtr off, Slice data) {
+  return table_ops::RawUpdate(*txns_, txn, off, data);
+}
+
+uint64_t Database::CountRecords(TableId table) const {
+  return table_ops::CountRecords(*image_, table);
+}
+
+Status Database::Checkpoint() {
+  const bool certify =
+      options_.certify_checkpoints && options_.protection.UsesCodewords();
+  // The certification audit begins no earlier than here.
+  Lsn audit_lsn = log_->CurrentLsn();
+  std::vector<CorruptRange> corrupt;
+  Status s = checkpointer_->Checkpoint(certify, &corrupt);
+  if (s.IsCorruption()) {
+    CWDB_RETURN_IF_ERROR(NoteCorruption(corrupt));
+    return s;
+  }
+  CWDB_RETURN_IF_ERROR(s);
+  if (certify) {
+    CWDB_RETURN_IF_ERROR(WriteAuditMeta(files_.AuditMeta(), audit_lsn));
+  }
+  return Status::OK();
+}
+
+Result<AuditReport> Database::Audit() {
+  AuditReport report;
+  // Mark the audit's position in the log: Audit_SN. A clean audit
+  // certifies data read before this point.
+  std::string payload;
+  EncodeAuditBegin(&payload);
+  report.audit_lsn = log_->Append(payload);
+  uint64_t before = protection_->stats().regions_audited;
+  Status s = protection_->AuditAll(&report.ranges);
+  report.regions_audited = protection_->stats().regions_audited - before;
+  if (s.IsCorruption()) {
+    report.clean = false;
+    CWDB_RETURN_IF_ERROR(NoteCorruption(report.ranges));
+    return report;
+  }
+  CWDB_RETURN_IF_ERROR(s);
+  report.clean = true;
+  CWDB_RETURN_IF_ERROR(WriteAuditMeta(files_.AuditMeta(), report.audit_lsn));
+  return report;
+}
+
+Status Database::NoteCorruption(const std::vector<CorruptRange>& ranges) {
+  CorruptionNote note;
+  note.last_clean_audit_lsn = LastCleanAuditLsn();
+  note.ranges = ranges;
+  return WriteCorruptionNote(files_.CorruptNote(), note);
+}
+
+Status Database::CacheRecover(const std::vector<CorruptRange>& ranges) {
+  CWDB_RETURN_IF_ERROR(CacheRecoverRegions(files_, image_.get(), txns_.get(),
+                                           log_.get(), protection_.get(),
+                                           checkpointer_.get(), ranges));
+  // The cache image is repaired; the noted corruption (if any) is resolved.
+  return RemoveFileIfExists(files_.CorruptNote());
+}
+
+Status Database::ReportCorruption(const std::vector<CorruptRange>& ranges) {
+  return NoteCorruption(ranges);
+}
+
+Status Database::RecoverFromCorruption(const std::vector<CorruptRange>& ranges,
+                                       std::optional<Lsn> not_before_lsn) {
+  CorruptionNote note;
+  note.last_clean_audit_lsn =
+      not_before_lsn.has_value() ? *not_before_lsn : LastCleanAuditLsn();
+  note.ranges = ranges;
+  CWDB_RETURN_IF_ERROR(WriteCorruptionNote(files_.CorruptNote(), note));
+  return CrashAndRecover();
+}
+
+Status Database::RecordCleanAudit(Lsn audit_lsn) {
+  return WriteAuditMeta(files_.AuditMeta(), audit_lsn);
+}
+
+Status Database::RecoverToPriorState(Lsn point) {
+  log_->DiscardTail();
+  txns_->ClearForCrash();
+  RecoveryOptions ropts;
+  ropts.redo_limit = point;
+  RecoveryDriver driver(files_, image_.get(), txns_.get(), log_.get(),
+                        protection_.get(), checkpointer_.get());
+  CWDB_ASSIGN_OR_RETURN(last_report_, driver.Run(ropts));
+  return protection_->ReprotectAll();
+}
+
+Result<Lsn> Database::Archive(const std::string& archive_dir) {
+  CWDB_RETURN_IF_ERROR(Checkpoint());
+  CWDB_RETURN_IF_ERROR(log_->Flush());
+  CWDB_ASSIGN_OR_RETURN(CheckpointMeta meta,
+                        CreateArchive(files_, archive_dir));
+  return meta.ck_end;
+}
+
+Status Database::CrashAndRecover() {
+  // Everything volatile dies with the process: the un-flushed log tail,
+  // the ATT with its local logs, and the lock tables.
+  log_->DiscardTail();
+  txns_->ClearForCrash();
+  CWDB_RETURN_IF_ERROR(RunRecovery());
+  CWDB_RETURN_IF_ERROR(protection_->ReprotectAll());
+  return Status::OK();
+}
+
+DatabaseStats Database::GetStats() const {
+  DatabaseStats stats;
+  stats.commits = txns_->commits();
+  stats.aborts = txns_->aborts();
+  stats.checkpoints = checkpointer_->checkpoints_taken();
+  stats.log_bytes_appended = log_->bytes_appended();
+  stats.log_flushes = log_->flush_count();
+  stats.protection = protection_->stats();
+  stats.protection_space_overhead_bytes = protection_->SpaceOverheadBytes();
+  return stats;
+}
+
+}  // namespace cwdb

@@ -1,0 +1,107 @@
+#include "faultinject/fault_injector.h"
+
+#include <csetjmp>
+#include <csignal>
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace cwdb {
+
+namespace {
+
+// Scoped SIGSEGV/SIGBUS trap used while attempting an injected write. The
+// handler longjmps out of the faulting store; the write is then known to
+// have been prevented by page protection. Not thread-safe by design: fault
+// injection is a single-threaded test harness activity.
+sigjmp_buf g_fault_jmp;
+
+void FaultHandler(int) { siglongjmp(g_fault_jmp, 1); }
+
+class ScopedTrap {
+ public:
+  ScopedTrap() {
+    struct sigaction sa;
+    std::memset(&sa, 0, sizeof(sa));
+    sa.sa_handler = FaultHandler;
+    sigemptyset(&sa.sa_mask);
+    ::sigaction(SIGSEGV, &sa, &old_segv_);
+    ::sigaction(SIGBUS, &sa, &old_bus_);
+  }
+  ~ScopedTrap() {
+    ::sigaction(SIGSEGV, &old_segv_, nullptr);
+    ::sigaction(SIGBUS, &old_bus_, nullptr);
+  }
+
+ private:
+  struct sigaction old_segv_;
+  struct sigaction old_bus_;
+};
+
+}  // namespace
+
+FaultInjector::Outcome FaultInjector::WildWriteAt(DbPtr off, Slice bytes) {
+  Outcome out;
+  out.off = off;
+  out.len = static_cast<uint32_t>(bytes.size());
+  CWDB_CHECK(off + bytes.size() <= db_->arena_size());
+  uint8_t* target = db_->UnsafeRawBase() + off;
+  // Reading is always permitted (pages are PROT_READ at minimum).
+  std::string before(reinterpret_cast<const char*>(target), bytes.size());
+
+  ScopedTrap trap;
+  if (sigsetjmp(g_fault_jmp, 1) == 0) {
+    std::memcpy(target, bytes.data(), bytes.size());
+    out.prevented = false;
+  } else {
+    out.prevented = true;
+  }
+  out.changed_bits =
+      std::memcmp(target, before.data(), bytes.size()) != 0;
+  return out;
+}
+
+FaultInjector::Outcome FaultInjector::WildWrite(uint32_t max_len) {
+  uint32_t len = static_cast<uint32_t>(rng_.Range(1, max_len));
+  DbPtr off = rng_.Uniform(db_->arena_size() - len);
+  std::string garbage(len, '\0');
+  for (uint32_t i = 0; i < len; ++i) {
+    garbage[i] = static_cast<char>(rng_.Next32());
+  }
+  return WildWriteAt(off, garbage);
+}
+
+FaultInjector::Outcome FaultInjector::CopyOverrun(TableId table,
+                                                  uint32_t slot,
+                                                  uint32_t overrun_len) {
+  const TableMetaRaw* meta = db_->image()->table_meta(table);
+  CWDB_CHECK(meta->in_use);
+  // A copy that was meant to fill the record but ran `overrun_len` bytes
+  // past its end.
+  DbPtr end_of_record =
+      db_->image()->RecordOff(table, slot) + meta->record_size;
+  std::string garbage(overrun_len, '\0');
+  for (uint32_t i = 0; i < overrun_len; ++i) {
+    garbage[i] = static_cast<char>(rng_.Next32());
+  }
+  return WildWriteAt(end_of_record, garbage);
+}
+
+FaultInjector::Outcome FaultInjector::BitFlip() {
+  DbPtr off = rng_.Uniform(db_->arena_size());
+  uint8_t byte = db_->UnsafeRawBase()[off];
+  byte ^= static_cast<uint8_t>(1u << rng_.Uniform(8));
+  return WildWriteAt(off, Slice(reinterpret_cast<const char*>(&byte), 1));
+}
+
+std::vector<FaultInjector::Outcome> FaultInjector::Campaign(uint64_t n,
+                                                            uint32_t max_len) {
+  std::vector<Outcome> outcomes;
+  outcomes.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    outcomes.push_back(WildWrite(max_len));
+  }
+  return outcomes;
+}
+
+}  // namespace cwdb

@@ -1,0 +1,58 @@
+#ifndef CWDB_FAULTINJECT_FAULT_INJECTOR_H_
+#define CWDB_FAULTINJECT_FAULT_INJECTOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "common/slice.h"
+#include "core/database.h"
+
+namespace cwdb {
+
+/// Injects the paper's class of software errors — addressing errors such
+/// as wild writes through uninitialized pointers and copy overruns — by
+/// writing to the mapped database image *without* the prescribed
+/// BeginUpdate/EndUpdate interface. This is direct physical corruption.
+///
+/// Under the Hardware Protection scheme such a write raises SIGSEGV; the
+/// injector installs a scoped signal handler so the attempt is recorded as
+/// "prevented" instead of killing the process (modelling the paper's "a
+/// trap is issued to the process and the offending write is not
+/// completed").
+class FaultInjector {
+ public:
+  struct Outcome {
+    DbPtr off = 0;
+    uint32_t len = 0;
+    bool prevented = false;     ///< Trapped by hardware protection.
+    bool changed_bits = false;  ///< At least one bit actually differs.
+  };
+
+  FaultInjector(Database* db, uint64_t seed) : db_(db), rng_(seed) {}
+
+  /// Writes `bytes` at image offset `off`, bypassing the update interface.
+  Outcome WildWriteAt(DbPtr off, Slice bytes);
+
+  /// Wild write of random bytes (1..max_len) at a uniformly random image
+  /// offset.
+  Outcome WildWrite(uint32_t max_len);
+
+  /// Copy overrun: writes `overrun_len` bytes past the end of a record,
+  /// clobbering whatever lives there.
+  Outcome CopyOverrun(TableId table, uint32_t slot, uint32_t overrun_len);
+
+  /// Flips a single random bit somewhere in the image.
+  Outcome BitFlip();
+
+  /// Injection campaign: `n` random wild writes. Returns the outcomes.
+  std::vector<Outcome> Campaign(uint64_t n, uint32_t max_len);
+
+ private:
+  Database* db_;
+  Random rng_;
+};
+
+}  // namespace cwdb
+
+#endif  // CWDB_FAULTINJECT_FAULT_INJECTOR_H_

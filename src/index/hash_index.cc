@@ -1,0 +1,159 @@
+#include "index/hash_index.h"
+
+#include <cstring>
+
+namespace cwdb {
+
+namespace {
+
+std::string BucketsName(const std::string& name) { return name + ".buckets"; }
+std::string EntriesName(const std::string& name) { return name + ".entries"; }
+
+std::string EncodeEntry(uint64_t key, uint32_t value_slot,
+                        uint32_t next_plus_1) {
+  std::string out(16, '\0');
+  std::memcpy(out.data(), &key, 8);
+  std::memcpy(out.data() + 8, &value_slot, 4);
+  std::memcpy(out.data() + 12, &next_plus_1, 4);
+  return out;
+}
+
+}  // namespace
+
+Result<HashIndex> HashIndex::Create(Database* db, Transaction* txn,
+                                    const std::string& name, uint64_t buckets,
+                                    uint64_t capacity) {
+  if (buckets == 0 || capacity == 0) {
+    return Status::InvalidArgument("buckets and capacity must be positive");
+  }
+  CWDB_ASSIGN_OR_RETURN(
+      TableId buckets_table,
+      db->CreateTable(txn, BucketsName(name), 8, buckets));
+  CWDB_ASSIGN_OR_RETURN(
+      TableId entries_table,
+      db->CreateTable(txn, EntriesName(name), sizeof(Entry), capacity));
+  // Materialize every bucket record (head = 0, empty chain). Slots are
+  // assigned sequentially in a fresh table, so bucket b lives at slot b.
+  const std::string empty(8, '\0');
+  for (uint64_t b = 0; b < buckets; ++b) {
+    CWDB_ASSIGN_OR_RETURN(RecordId rid,
+                          db->Insert(txn, buckets_table, empty));
+    CWDB_CHECK(rid.slot == b) << "bucket slots must be dense";
+  }
+  return HashIndex(db, buckets_table, entries_table, buckets);
+}
+
+Result<HashIndex> HashIndex::Open(Database* db, const std::string& name) {
+  CWDB_ASSIGN_OR_RETURN(TableId buckets_table,
+                        db->FindTable(BucketsName(name)));
+  CWDB_ASSIGN_OR_RETURN(TableId entries_table,
+                        db->FindTable(EntriesName(name)));
+  uint64_t buckets = db->image()->table_meta(buckets_table)->capacity;
+  return HashIndex(db, buckets_table, entries_table, buckets);
+}
+
+Result<uint32_t> HashIndex::ReadHead(Transaction* txn, uint32_t bucket,
+                                     bool exclusive) {
+  if (exclusive && !db_->txns()->recovery_mode()) {
+    // Chain mutations serialize on the bucket record's exclusive lock
+    // (acquired before the shared lock ReadField would take; re-entrant).
+    CWDB_RETURN_IF_ERROR(db_->txns()->locks().Acquire(
+        txn->id(), LockId::Record(buckets_, bucket), LockMode::kExclusive));
+  }
+  uint32_t head_plus_1 = 0;
+  CWDB_RETURN_IF_ERROR(
+      db_->ReadField(txn, buckets_, bucket, 0, 4, &head_plus_1));
+  return head_plus_1;
+}
+
+Result<HashIndex::Entry> HashIndex::ReadEntry(Transaction* txn,
+                                              uint32_t entry_slot) {
+  Entry e;
+  std::string bytes;
+  CWDB_RETURN_IF_ERROR(db_->Read(txn, entries_, entry_slot, &bytes));
+  std::memcpy(&e, bytes.data(), sizeof(e));
+  return e;
+}
+
+Status HashIndex::Insert(Transaction* txn, uint64_t key,
+                         uint32_t value_slot) {
+  const uint32_t bucket = BucketOf(key);
+  CWDB_ASSIGN_OR_RETURN(uint32_t head_plus_1,
+                        ReadHead(txn, bucket, /*exclusive=*/true));
+  for (uint32_t e = head_plus_1; e != 0;) {
+    CWDB_ASSIGN_OR_RETURN(Entry entry, ReadEntry(txn, e - 1));
+    if (entry.key == key) {
+      return Status::AlreadyExists("key already indexed");
+    }
+    e = entry.next_plus_1;
+  }
+  // New entry becomes the chain head: link first, then swing the head.
+  CWDB_ASSIGN_OR_RETURN(
+      RecordId rid,
+      db_->Insert(txn, entries_, EncodeEntry(key, value_slot, head_plus_1)));
+  uint32_t new_head_plus_1 = rid.slot + 1;
+  return db_->Update(txn, buckets_, bucket, 0,
+                     Slice(reinterpret_cast<const char*>(&new_head_plus_1),
+                           4));
+}
+
+Result<uint32_t> HashIndex::Lookup(Transaction* txn, uint64_t key) {
+  const uint32_t bucket = BucketOf(key);
+  CWDB_ASSIGN_OR_RETURN(uint32_t head_plus_1,
+                        ReadHead(txn, bucket, /*exclusive=*/false));
+  for (uint32_t e = head_plus_1; e != 0;) {
+    CWDB_ASSIGN_OR_RETURN(Entry entry, ReadEntry(txn, e - 1));
+    if (entry.key == key) return entry.value_slot;
+    e = entry.next_plus_1;
+  }
+  return Status::NotFound("key not indexed");
+}
+
+Status HashIndex::Erase(Transaction* txn, uint64_t key) {
+  const uint32_t bucket = BucketOf(key);
+  CWDB_ASSIGN_OR_RETURN(uint32_t head_plus_1,
+                        ReadHead(txn, bucket, /*exclusive=*/true));
+  uint32_t prev = 0;  // Entry slot + 1 of the predecessor; 0 = head.
+  for (uint32_t e = head_plus_1; e != 0;) {
+    CWDB_ASSIGN_OR_RETURN(Entry entry, ReadEntry(txn, e - 1));
+    if (entry.key == key) {
+      // Unlink: predecessor's next (or the bucket head) skips `e`.
+      if (prev == 0) {
+        CWDB_RETURN_IF_ERROR(db_->Update(
+            txn, buckets_, bucket, 0,
+            Slice(reinterpret_cast<const char*>(&entry.next_plus_1), 4)));
+      } else {
+        CWDB_RETURN_IF_ERROR(db_->Update(
+            txn, entries_, prev - 1, offsetof(Entry, next_plus_1),
+            Slice(reinterpret_cast<const char*>(&entry.next_plus_1), 4)));
+      }
+      return db_->Delete(txn, entries_, e - 1);
+    }
+    prev = e;
+    e = entry.next_plus_1;
+  }
+  return Status::NotFound("key not indexed");
+}
+
+Status HashIndex::Update(Transaction* txn, uint64_t key,
+                         uint32_t value_slot) {
+  const uint32_t bucket = BucketOf(key);
+  CWDB_ASSIGN_OR_RETURN(uint32_t head_plus_1,
+                        ReadHead(txn, bucket, /*exclusive=*/true));
+  for (uint32_t e = head_plus_1; e != 0;) {
+    CWDB_ASSIGN_OR_RETURN(Entry entry, ReadEntry(txn, e - 1));
+    if (entry.key == key) {
+      return db_->Update(
+          txn, entries_, e - 1, offsetof(Entry, value_slot),
+          Slice(reinterpret_cast<const char*>(&value_slot), 4));
+    }
+    e = entry.next_plus_1;
+  }
+  return Status::NotFound("key not indexed");
+}
+
+uint64_t HashIndex::EntryCount() const {
+  return db_->CountRecords(entries_);
+}
+
+}  // namespace cwdb

@@ -1,0 +1,403 @@
+#include "index/ordered_index.h"
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+namespace cwdb {
+
+namespace {
+
+std::string NodesName(const std::string& name) { return name + ".nodes"; }
+std::string MetaName(const std::string& name) { return name + ".meta"; }
+
+// On-record node layout (256 bytes):
+//   [0]   u8  is_leaf
+//   [1]   u8  count
+//   [2]   u16 pad
+//   [4]   u32 right sibling slot + 1 (leaves; 0 = none)
+//   [8]   u64 keys[kFanout]                          (8..160)
+//   leaf:     u32 values[kFanout]                    (160..236)
+//   internal: u32 children[kFanout + 1]              (160..240)
+constexpr size_t kKeysOff = 8;
+constexpr size_t kSlotsOff = 160;
+
+}  // namespace
+
+struct OrderedIndex::Node {
+  bool is_leaf = true;
+  uint8_t count = 0;
+  uint32_t right_plus1 = 0;
+  uint64_t keys[kFanout] = {};
+  uint32_t vals[kFanout + 1] = {};  // Leaf values or internal children.
+
+  std::string Encode() const {
+    std::string out(kNodeBytes, '\0');
+    out[0] = is_leaf ? 1 : 0;
+    out[1] = static_cast<char>(count);
+    std::memcpy(out.data() + 4, &right_plus1, 4);
+    std::memcpy(out.data() + kKeysOff, keys, sizeof(uint64_t) * count);
+    size_t nvals = is_leaf ? count : count + 1u;
+    std::memcpy(out.data() + kSlotsOff, vals, sizeof(uint32_t) * nvals);
+    return out;
+  }
+
+  static Node Decode(const std::string& bytes) {
+    Node n;
+    n.is_leaf = bytes[0] != 0;
+    n.count = static_cast<uint8_t>(bytes[1]);
+    if (n.count > kFanout) n.count = kFanout;  // Defensive clamp.
+    std::memcpy(&n.right_plus1, bytes.data() + 4, 4);
+    std::memcpy(n.keys, bytes.data() + kKeysOff, sizeof(uint64_t) * n.count);
+    size_t nvals = n.is_leaf ? n.count : n.count + 1u;
+    std::memcpy(n.vals, bytes.data() + kSlotsOff, sizeof(uint32_t) * nvals);
+    return n;
+  }
+};
+
+Result<OrderedIndex> OrderedIndex::Create(Database* db, Transaction* txn,
+                                          const std::string& name,
+                                          uint64_t max_nodes) {
+  if (max_nodes < 2) {
+    return Status::InvalidArgument("ordered index needs at least 2 nodes");
+  }
+  CWDB_ASSIGN_OR_RETURN(
+      TableId nodes,
+      db->CreateTable(txn, NodesName(name), kNodeBytes, max_nodes));
+  CWDB_ASSIGN_OR_RETURN(TableId meta,
+                        db->CreateTable(txn, MetaName(name), 8, 1));
+  OrderedIndex index(db, nodes, meta);
+  Node root;  // Empty leaf.
+  CWDB_ASSIGN_OR_RETURN(uint32_t root_slot, index.AllocNode(txn, root));
+  std::string meta_rec(8, '\0');
+  uint32_t root_plus1 = root_slot + 1;
+  std::memcpy(meta_rec.data(), &root_plus1, 4);
+  CWDB_ASSIGN_OR_RETURN(RecordId rid, db->Insert(txn, meta, meta_rec));
+  CWDB_CHECK(rid.slot == 0);
+  return index;
+}
+
+Result<OrderedIndex> OrderedIndex::Open(Database* db,
+                                        const std::string& name) {
+  CWDB_ASSIGN_OR_RETURN(TableId nodes, db->FindTable(NodesName(name)));
+  CWDB_ASSIGN_OR_RETURN(TableId meta, db->FindTable(MetaName(name)));
+  return OrderedIndex(db, nodes, meta);
+}
+
+Status OrderedIndex::LockIndex(Transaction* txn, bool exclusive) {
+  if (db_->txns()->recovery_mode()) return Status::OK();
+  return db_->txns()->locks().Acquire(
+      txn->id(), LockId::Table(nodes_),
+      exclusive ? LockMode::kExclusive : LockMode::kShared);
+}
+
+Result<uint32_t> OrderedIndex::RootSlot(Transaction* txn) {
+  uint32_t root_plus1 = 0;
+  CWDB_RETURN_IF_ERROR(db_->ReadField(txn, meta_, 0, 0, 4, &root_plus1));
+  if (root_plus1 == 0) return Status::Corruption("ordered index has no root");
+  return root_plus1 - 1;
+}
+
+Status OrderedIndex::SetRootSlot(Transaction* txn, uint32_t root) {
+  uint32_t root_plus1 = root + 1;
+  return db_->Update(txn, meta_, 0, 0,
+                     Slice(reinterpret_cast<const char*>(&root_plus1), 4));
+}
+
+Result<OrderedIndex::Node> OrderedIndex::ReadNode(Transaction* txn,
+                                                  uint32_t slot) {
+  std::string bytes;
+  CWDB_RETURN_IF_ERROR(db_->Read(txn, nodes_, slot, &bytes));
+  return Node::Decode(bytes);
+}
+
+Status OrderedIndex::WriteNode(Transaction* txn, uint32_t slot,
+                               const Node& node) {
+  return db_->Update(txn, nodes_, slot, 0, node.Encode());
+}
+
+Result<uint32_t> OrderedIndex::AllocNode(Transaction* txn, const Node& node) {
+  CWDB_ASSIGN_OR_RETURN(RecordId rid, db_->Insert(txn, nodes_, node.Encode()));
+  return rid.slot;
+}
+
+Result<uint32_t> OrderedIndex::DescendToLeaf(
+    Transaction* txn, uint64_t key,
+    std::vector<std::pair<uint32_t, uint32_t>>* path) {
+  CWDB_ASSIGN_OR_RETURN(uint32_t slot, RootSlot(txn));
+  for (int depth = 0; depth < 64; ++depth) {  // Defensive bound.
+    CWDB_ASSIGN_OR_RETURN(Node node, ReadNode(txn, slot));
+    if (node.is_leaf) return slot;
+    uint32_t ci = static_cast<uint32_t>(
+        std::upper_bound(node.keys, node.keys + node.count, key) - node.keys);
+    if (path != nullptr) path->push_back({slot, ci});
+    slot = node.vals[ci];
+  }
+  return Status::Corruption("ordered index deeper than 64 levels (cycle?)");
+}
+
+Status OrderedIndex::Insert(Transaction* txn, uint64_t key, uint32_t value) {
+  CWDB_RETURN_IF_ERROR(LockIndex(txn, /*exclusive=*/true));
+  std::vector<std::pair<uint32_t, uint32_t>> path;
+  CWDB_ASSIGN_OR_RETURN(uint32_t leaf_slot, DescendToLeaf(txn, key, &path));
+  CWDB_ASSIGN_OR_RETURN(Node leaf, ReadNode(txn, leaf_slot));
+
+  uint32_t pos = static_cast<uint32_t>(
+      std::lower_bound(leaf.keys, leaf.keys + leaf.count, key) - leaf.keys);
+  if (pos < leaf.count && leaf.keys[pos] == key) {
+    return Status::AlreadyExists("key already indexed");
+  }
+  if (leaf.count < kFanout) {
+    for (uint32_t i = leaf.count; i > pos; --i) {
+      leaf.keys[i] = leaf.keys[i - 1];
+      leaf.vals[i] = leaf.vals[i - 1];
+    }
+    leaf.keys[pos] = key;
+    leaf.vals[pos] = value;
+    ++leaf.count;
+    return WriteNode(txn, leaf_slot, leaf);
+  }
+
+  // Leaf split: distribute kFanout+1 entries across the old and a new
+  // right sibling; the separator is the right sibling's first key.
+  uint64_t tmp_keys[kFanout + 1];
+  uint32_t tmp_vals[kFanout + 1];
+  std::memcpy(tmp_keys, leaf.keys, sizeof(uint64_t) * pos);
+  std::memcpy(tmp_vals, leaf.vals, sizeof(uint32_t) * pos);
+  tmp_keys[pos] = key;
+  tmp_vals[pos] = value;
+  std::memcpy(tmp_keys + pos + 1, leaf.keys + pos,
+              sizeof(uint64_t) * (leaf.count - pos));
+  std::memcpy(tmp_vals + pos + 1, leaf.vals + pos,
+              sizeof(uint32_t) * (leaf.count - pos));
+  const uint32_t total = kFanout + 1;
+  const uint32_t left_n = total / 2;
+
+  Node right;
+  right.is_leaf = true;
+  right.count = static_cast<uint8_t>(total - left_n);
+  std::memcpy(right.keys, tmp_keys + left_n,
+              sizeof(uint64_t) * right.count);
+  std::memcpy(right.vals, tmp_vals + left_n,
+              sizeof(uint32_t) * right.count);
+  right.right_plus1 = leaf.right_plus1;
+  CWDB_ASSIGN_OR_RETURN(uint32_t right_slot, AllocNode(txn, right));
+
+  leaf.count = static_cast<uint8_t>(left_n);
+  std::memcpy(leaf.keys, tmp_keys, sizeof(uint64_t) * left_n);
+  std::memcpy(leaf.vals, tmp_vals, sizeof(uint32_t) * left_n);
+  leaf.right_plus1 = right_slot + 1;
+  CWDB_RETURN_IF_ERROR(WriteNode(txn, leaf_slot, leaf));
+
+  uint64_t sep = right.keys[0];
+  uint32_t new_child = right_slot;
+
+  // Propagate the separator up the recorded path.
+  for (auto it = path.rbegin(); it != path.rend(); ++it) {
+    auto [parent_slot, ci] = *it;
+    CWDB_ASSIGN_OR_RETURN(Node parent, ReadNode(txn, parent_slot));
+    if (parent.count < kFanout) {
+      for (uint32_t i = parent.count; i > ci; --i) {
+        parent.keys[i] = parent.keys[i - 1];
+      }
+      for (uint32_t i = parent.count + 1; i > ci + 1; --i) {
+        parent.vals[i] = parent.vals[i - 1];
+      }
+      parent.keys[ci] = sep;
+      parent.vals[ci + 1] = new_child;
+      ++parent.count;
+      return WriteNode(txn, parent_slot, parent);
+    }
+    // Internal split: kFanout+1 keys, kFanout+2 children; the middle key
+    // is promoted (not kept in either half).
+    uint64_t ikeys[kFanout + 1];
+    uint32_t ichildren[kFanout + 2];
+    std::memcpy(ikeys, parent.keys, sizeof(uint64_t) * ci);
+    ikeys[ci] = sep;
+    std::memcpy(ikeys + ci + 1, parent.keys + ci,
+                sizeof(uint64_t) * (parent.count - ci));
+    std::memcpy(ichildren, parent.vals, sizeof(uint32_t) * (ci + 1));
+    ichildren[ci + 1] = new_child;
+    std::memcpy(ichildren + ci + 2, parent.vals + ci + 1,
+                sizeof(uint32_t) * (parent.count - ci));
+    const uint32_t nkeys = kFanout + 1;
+    const uint32_t mid = nkeys / 2;
+
+    Node iright;
+    iright.is_leaf = false;
+    iright.count = static_cast<uint8_t>(nkeys - mid - 1);
+    std::memcpy(iright.keys, ikeys + mid + 1,
+                sizeof(uint64_t) * iright.count);
+    std::memcpy(iright.vals, ichildren + mid + 1,
+                sizeof(uint32_t) * (iright.count + 1u));
+    CWDB_ASSIGN_OR_RETURN(uint32_t iright_slot, AllocNode(txn, iright));
+
+    parent.count = static_cast<uint8_t>(mid);
+    std::memcpy(parent.keys, ikeys, sizeof(uint64_t) * mid);
+    std::memcpy(parent.vals, ichildren, sizeof(uint32_t) * (mid + 1u));
+    CWDB_RETURN_IF_ERROR(WriteNode(txn, parent_slot, parent));
+
+    sep = ikeys[mid];
+    new_child = iright_slot;
+  }
+
+  // The root itself split: grow the tree by one level.
+  CWDB_ASSIGN_OR_RETURN(uint32_t old_root, RootSlot(txn));
+  Node new_root;
+  new_root.is_leaf = false;
+  new_root.count = 1;
+  new_root.keys[0] = sep;
+  new_root.vals[0] = old_root;
+  new_root.vals[1] = new_child;
+  CWDB_ASSIGN_OR_RETURN(uint32_t new_root_slot, AllocNode(txn, new_root));
+  return SetRootSlot(txn, new_root_slot);
+}
+
+Result<uint32_t> OrderedIndex::Lookup(Transaction* txn, uint64_t key) {
+  CWDB_RETURN_IF_ERROR(LockIndex(txn, /*exclusive=*/false));
+  CWDB_ASSIGN_OR_RETURN(uint32_t leaf_slot,
+                        DescendToLeaf(txn, key, nullptr));
+  CWDB_ASSIGN_OR_RETURN(Node leaf, ReadNode(txn, leaf_slot));
+  uint32_t pos = static_cast<uint32_t>(
+      std::lower_bound(leaf.keys, leaf.keys + leaf.count, key) - leaf.keys);
+  if (pos < leaf.count && leaf.keys[pos] == key) return leaf.vals[pos];
+  return Status::NotFound("key not indexed");
+}
+
+Status OrderedIndex::Erase(Transaction* txn, uint64_t key) {
+  CWDB_RETURN_IF_ERROR(LockIndex(txn, /*exclusive=*/true));
+  CWDB_ASSIGN_OR_RETURN(uint32_t leaf_slot,
+                        DescendToLeaf(txn, key, nullptr));
+  CWDB_ASSIGN_OR_RETURN(Node leaf, ReadNode(txn, leaf_slot));
+  uint32_t pos = static_cast<uint32_t>(
+      std::lower_bound(leaf.keys, leaf.keys + leaf.count, key) - leaf.keys);
+  if (pos >= leaf.count || leaf.keys[pos] != key) {
+    return Status::NotFound("key not indexed");
+  }
+  for (uint32_t i = pos + 1; i < leaf.count; ++i) {
+    leaf.keys[i - 1] = leaf.keys[i];
+    leaf.vals[i - 1] = leaf.vals[i];
+  }
+  --leaf.count;  // Lazy delete: no merge, the tree stays valid.
+  return WriteNode(txn, leaf_slot, leaf);
+}
+
+Status OrderedIndex::Update(Transaction* txn, uint64_t key, uint32_t value) {
+  CWDB_RETURN_IF_ERROR(LockIndex(txn, /*exclusive=*/true));
+  CWDB_ASSIGN_OR_RETURN(uint32_t leaf_slot,
+                        DescendToLeaf(txn, key, nullptr));
+  CWDB_ASSIGN_OR_RETURN(Node leaf, ReadNode(txn, leaf_slot));
+  uint32_t pos = static_cast<uint32_t>(
+      std::lower_bound(leaf.keys, leaf.keys + leaf.count, key) - leaf.keys);
+  if (pos >= leaf.count || leaf.keys[pos] != key) {
+    return Status::NotFound("key not indexed");
+  }
+  leaf.vals[pos] = value;
+  return WriteNode(txn, leaf_slot, leaf);
+}
+
+Status OrderedIndex::Scan(
+    Transaction* txn, uint64_t lo, uint64_t hi,
+    const std::function<Status(uint64_t, uint32_t)>& fn) {
+  CWDB_RETURN_IF_ERROR(LockIndex(txn, /*exclusive=*/false));
+  CWDB_ASSIGN_OR_RETURN(uint32_t slot, DescendToLeaf(txn, lo, nullptr));
+  while (true) {
+    CWDB_ASSIGN_OR_RETURN(Node leaf, ReadNode(txn, slot));
+    for (uint32_t i = 0; i < leaf.count; ++i) {
+      if (leaf.keys[i] < lo) continue;
+      if (leaf.keys[i] > hi) return Status::OK();
+      CWDB_RETURN_IF_ERROR(fn(leaf.keys[i], leaf.vals[i]));
+    }
+    if (leaf.right_plus1 == 0) return Status::OK();
+    slot = leaf.right_plus1 - 1;
+  }
+}
+
+Result<uint64_t> OrderedIndex::KeyCount(Transaction* txn) {
+  uint64_t count = 0;
+  CWDB_RETURN_IF_ERROR(
+      Scan(txn, 0, ~0ull, [&](uint64_t, uint32_t) {
+        ++count;
+        return Status::OK();
+      }));
+  return count;
+}
+
+Status OrderedIndex::CheckSubtree(Transaction* txn, uint32_t slot,
+                                  uint64_t lo, uint64_t hi, bool has_lo,
+                                  bool has_hi, uint32_t depth,
+                                  uint32_t* leaf_depth) {
+  if (depth > 64) return Status::Corruption("tree too deep (cycle?)");
+  CWDB_ASSIGN_OR_RETURN(Node node, ReadNode(txn, slot));
+  for (uint32_t i = 0; i < node.count; ++i) {
+    if (i > 0 && node.keys[i] <= node.keys[i - 1]) {
+      return Status::Corruption("keys out of order in node");
+    }
+    if (has_lo && node.keys[i] < lo) {
+      return Status::Corruption("key below subtree bound");
+    }
+    if (has_hi && node.keys[i] >= hi) {
+      return Status::Corruption("key above subtree bound");
+    }
+  }
+  if (node.is_leaf) {
+    if (*leaf_depth == ~0u) {
+      *leaf_depth = depth;
+    } else if (*leaf_depth != depth) {
+      return Status::Corruption("leaves at different depths");
+    }
+    return Status::OK();
+  }
+  for (uint32_t i = 0; i <= node.count; ++i) {
+    uint64_t child_lo = i == 0 ? lo : node.keys[i - 1];
+    bool child_has_lo = i == 0 ? has_lo : true;
+    uint64_t child_hi = i == node.count ? hi : node.keys[i];
+    bool child_has_hi = i == node.count ? has_hi : true;
+    CWDB_RETURN_IF_ERROR(CheckSubtree(txn, node.vals[i], child_lo, child_hi,
+                                      child_has_lo, child_has_hi, depth + 1,
+                                      leaf_depth));
+  }
+  return Status::OK();
+}
+
+Result<uint32_t> OrderedIndex::CheckTree(Transaction* txn) {
+  CWDB_RETURN_IF_ERROR(LockIndex(txn, /*exclusive=*/false));
+  CWDB_ASSIGN_OR_RETURN(uint32_t root, RootSlot(txn));
+  uint32_t leaf_depth = ~0u;
+  CWDB_RETURN_IF_ERROR(
+      CheckSubtree(txn, root, 0, 0, false, false, 0, &leaf_depth));
+  // The leaf chain must visit keys in strictly increasing order and agree
+  // with the recursive walk's count.
+  uint64_t recursive_count = 0;
+  std::function<Status(uint32_t)> count_rec = [&](uint32_t s) -> Status {
+    CWDB_ASSIGN_OR_RETURN(Node n, ReadNode(txn, s));
+    if (n.is_leaf) {
+      recursive_count += n.count;
+      return Status::OK();
+    }
+    for (uint32_t i = 0; i <= n.count; ++i) {
+      CWDB_RETURN_IF_ERROR(count_rec(n.vals[i]));
+    }
+    return Status::OK();
+  };
+  CWDB_RETURN_IF_ERROR(count_rec(root));
+
+  uint64_t chain_count = 0;
+  uint64_t prev = 0;
+  bool first = true;
+  CWDB_RETURN_IF_ERROR(Scan(txn, 0, ~0ull, [&](uint64_t k, uint32_t) {
+    if (!first && k <= prev) {
+      return Status::Corruption("leaf chain out of order");
+    }
+    first = false;
+    prev = k;
+    ++chain_count;
+    return Status::OK();
+  }));
+  if (chain_count != recursive_count) {
+    return Status::Corruption("leaf chain does not reach every leaf");
+  }
+  return leaf_depth + 1;
+}
+
+}  // namespace cwdb

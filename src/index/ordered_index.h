@@ -1,0 +1,103 @@
+#ifndef CWDB_INDEX_ORDERED_INDEX_H_
+#define CWDB_INDEX_ORDERED_INDEX_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "core/database.h"
+
+namespace cwdb {
+
+/// A persistent, transactional ordered index (B+-tree) over 64-bit keys —
+/// the ordered access structure of a Dalí-style storage manager, enabling
+/// range scans. Like HashIndex and BlobStore it is built entirely on the
+/// table layer: nodes are fixed-size records, every structural mutation is
+/// an ordinary logged record operation, and the LIFO logical undo of those
+/// operations restores the exact pre-transaction tree. Index descents read
+/// node records through the protected read path, so under the read-logging
+/// schemes corruption inside the *tree* is traced to the transactions that
+/// navigated through it.
+///
+/// Structure: classic B+-tree with fixed 256-byte nodes (fanout ~20),
+/// right-sibling links on leaves for range scans, eager splits on insert
+/// and lazy deletes (no merging — a valid if under-full tree; Dalí-era
+/// main-memory trees made the same trade). The root slot lives in a
+/// one-record meta table.
+///
+/// Concurrency: writers take the index's node table lock exclusively and
+/// readers share it, for the transaction's duration (coarse two-phase
+/// index locking: serializable, phantom-free range scans; per-node
+/// latching is future work).
+class OrderedIndex {
+ public:
+  static constexpr uint32_t kNodeBytes = 256;
+  /// Max keys per node.
+  static constexpr uint32_t kFanout = 19;
+
+  /// Creates the backing node + meta tables inside `txn`. `max_nodes`
+  /// bounds the tree size (roughly key_capacity / (kFanout/2)).
+  static Result<OrderedIndex> Create(Database* db, Transaction* txn,
+                                     const std::string& name,
+                                     uint64_t max_nodes);
+
+  static Result<OrderedIndex> Open(Database* db, const std::string& name);
+
+  /// Maps `key` to `value`. kAlreadyExists if present.
+  Status Insert(Transaction* txn, uint64_t key, uint32_t value);
+
+  /// The value mapped to `key`, or kNotFound.
+  Result<uint32_t> Lookup(Transaction* txn, uint64_t key);
+
+  /// Removes `key` (lazy: no rebalancing). kNotFound if absent.
+  Status Erase(Transaction* txn, uint64_t key);
+
+  /// Re-points an existing key. kNotFound if absent.
+  Status Update(Transaction* txn, uint64_t key, uint32_t value);
+
+  /// In-order visit of every entry with lo <= key <= hi. A non-OK return
+  /// from `fn` stops the scan and is propagated.
+  Status Scan(Transaction* txn, uint64_t lo, uint64_t hi,
+              const std::function<Status(uint64_t key, uint32_t value)>& fn);
+
+  /// Number of live keys (leaf walk inside `txn`).
+  Result<uint64_t> KeyCount(Transaction* txn);
+
+  /// Validates the whole tree: key order within and across nodes,
+  /// separator consistency, uniform leaf depth, sibling chain order.
+  /// Returns the tree height or kCorruption with a diagnosis.
+  Result<uint32_t> CheckTree(Transaction* txn);
+
+  TableId nodes_table() const { return nodes_; }
+
+ private:
+  struct Node;  // Defined in the .cc; decoded view of a node record.
+
+  OrderedIndex(Database* db, TableId nodes, TableId meta)
+      : db_(db), nodes_(nodes), meta_(meta) {}
+
+  Status LockIndex(Transaction* txn, bool exclusive);
+  Result<uint32_t> RootSlot(Transaction* txn);
+  Status SetRootSlot(Transaction* txn, uint32_t root);
+  Result<Node> ReadNode(Transaction* txn, uint32_t slot);
+  Status WriteNode(Transaction* txn, uint32_t slot, const Node& node);
+  Result<uint32_t> AllocNode(Transaction* txn, const Node& node);
+
+  /// Descends to the leaf that should hold `key`, recording the path of
+  /// (node slot, child index) pairs from the root (exclusive of the leaf).
+  Result<uint32_t> DescendToLeaf(
+      Transaction* txn, uint64_t key,
+      std::vector<std::pair<uint32_t, uint32_t>>* path);
+
+  Status CheckSubtree(Transaction* txn, uint32_t slot, uint64_t lo,
+                      uint64_t hi, bool has_lo, bool has_hi, uint32_t depth,
+                      uint32_t* leaf_depth);
+
+  Database* db_;
+  TableId nodes_;
+  TableId meta_;
+};
+
+}  // namespace cwdb
+
+#endif  // CWDB_INDEX_ORDERED_INDEX_H_

@@ -1,0 +1,45 @@
+#include "protect/codeword_table.h"
+
+#include <bit>
+
+namespace cwdb {
+
+CodewordTable::CodewordTable(uint64_t arena_size, uint32_t region_size)
+    : region_size_(region_size) {
+  CWDB_CHECK(region_size >= 8 && std::has_single_bit(region_size))
+      << "region size must be a power of two >= 8, got " << region_size;
+  CWDB_CHECK(arena_size % region_size == 0)
+      << "arena size must be a multiple of the region size";
+  shift_ = std::countr_zero(region_size);
+  codewords_.assign(arena_size / region_size, 0);
+}
+
+void CodewordTable::ApplyDelta(DbPtr off, const uint8_t* before,
+                               const uint8_t* after, uint32_t len) {
+  uint32_t done = 0;
+  while (done < len) {
+    DbPtr cur = off + done;
+    uint64_t region = RegionOf(cur);
+    DbPtr region_end = RegionStart(region) + region_size_;
+    uint32_t chunk = static_cast<uint32_t>(
+        std::min<uint64_t>(len - done, region_end - cur));
+    // The lane within the word is determined by the offset from the region
+    // start; regions are word-aligned so (cur & 3) is the lane.
+    codewords_[region] ^=
+        CodewordDelta(cur & 3, before + done, after + done, chunk);
+    done += chunk;
+  }
+}
+
+codeword_t CodewordTable::ComputeFromImage(const uint8_t* arena_base,
+                                           uint64_t region) const {
+  return CodewordCompute(arena_base + RegionStart(region), region_size_);
+}
+
+void CodewordTable::RebuildAll(const uint8_t* arena_base) {
+  for (uint64_t r = 0; r < codewords_.size(); ++r) {
+    codewords_[r] = ComputeFromImage(arena_base, r);
+  }
+}
+
+}  // namespace cwdb

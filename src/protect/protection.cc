@@ -1,0 +1,78 @@
+#include "protect/protection.h"
+
+#include "common/codeword.h"
+#include "protect/codeword_protection.h"
+#include "protect/hardware_protection.h"
+
+namespace cwdb {
+
+const char* ProtectionSchemeName(ProtectionScheme scheme) {
+  switch (scheme) {
+    case ProtectionScheme::kNone:
+      return "Baseline";
+    case ProtectionScheme::kDataCodeword:
+      return "Data CW";
+    case ProtectionScheme::kReadPrecheck:
+      return "Data CW w/Precheck";
+    case ProtectionScheme::kReadLog:
+      return "Data CW w/ReadLog";
+    case ProtectionScheme::kCodewordReadLog:
+      return "Data CW w/CW ReadLog";
+    case ProtectionScheme::kHardware:
+      return "Memory Protection";
+  }
+  return "Unknown";
+}
+
+namespace {
+
+/// Baseline: the prescribed interface exists but does nothing extra.
+class NoProtection : public ProtectionManager {
+ public:
+  NoProtection(const ProtectionOptions& options, DbImage* image)
+      : ProtectionManager(options, image) {}
+
+  Status BeginUpdate(DbPtr off, uint32_t len, UpdateHandle* h) override {
+    h->off = off;
+    h->len = len;
+    ++stats_.updates;
+    return Status::OK();
+  }
+  void EndUpdate(const UpdateHandle&, const uint8_t*) override {}
+  void AbortUpdate(const UpdateHandle&) override {}
+  Status PrecheckRead(DbPtr, uint32_t) override { return Status::OK(); }
+  Status AuditAll(std::vector<CorruptRange>*) override { return Status::OK(); }
+  Status AuditRange(DbPtr, uint64_t, std::vector<CorruptRange>*) override {
+    return Status::OK();
+  }
+  Status ResetFromImage() override { return Status::OK(); }
+};
+
+}  // namespace
+
+codeword_t ProtectionManager::ChecksumBytes(const DbImage& image, DbPtr off,
+                                            uint32_t len) {
+  // Lane convention shared with read-time checksum computation: fold with
+  // the lane of the absolute offset so identical bytes at the same image
+  // offset always produce the same checksum.
+  return CodewordFold(off & 3, image.At(off), len);
+}
+
+Result<std::unique_ptr<ProtectionManager>> ProtectionManager::Create(
+    const ProtectionOptions& options, DbImage* image) {
+  switch (options.scheme) {
+    case ProtectionScheme::kNone:
+      return std::unique_ptr<ProtectionManager>(
+          new NoProtection(options, image));
+    case ProtectionScheme::kDataCodeword:
+    case ProtectionScheme::kReadPrecheck:
+    case ProtectionScheme::kReadLog:
+    case ProtectionScheme::kCodewordReadLog:
+      return CodewordProtection::Create(options, image);
+    case ProtectionScheme::kHardware:
+      return HardwareProtection::Create(options, image);
+  }
+  return Status::InvalidArgument("unknown protection scheme");
+}
+
+}  // namespace cwdb

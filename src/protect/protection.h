@@ -1,0 +1,119 @@
+#ifndef CWDB_PROTECT_PROTECTION_H_
+#define CWDB_PROTECT_PROTECTION_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/codeword.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "protect/options.h"
+#include "storage/db_image.h"
+#include "storage/layout.h"
+
+namespace cwdb {
+
+/// A byte range of the image found inconsistent with its codeword.
+struct CorruptRange {
+  DbPtr off = 0;
+  uint64_t len = 0;
+
+  bool operator==(const CorruptRange&) const = default;
+};
+
+/// Hook points of the prescribed update interface. The transaction layer
+/// calls BeginUpdate / EndUpdate (or AbortUpdate) around every in-place
+/// physical update and PrecheckRead before returning read data; the
+/// concrete manager implements a protection scheme from the paper.
+///
+/// Contract: at most one update handle may be outstanding per thread of
+/// control, and no PrecheckRead may be issued by a transaction between its
+/// own BeginUpdate and EndUpdate (the region latches are not reentrant).
+class ProtectionManager {
+ public:
+  /// Opaque per-update state carried from BeginUpdate to EndUpdate.
+  struct UpdateHandle {
+    DbPtr off = 0;
+    uint32_t len = 0;
+    std::vector<size_t> stripes;  ///< Held latch stripes, ascending.
+  };
+
+  virtual ~ProtectionManager() = default;
+
+  const ProtectionOptions& options() const { return options_; }
+  const ProtectionStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = ProtectionStats(); }
+
+  /// Called before the bytes of [off, off+len) are modified. Acquires
+  /// whatever latches / page permissions the scheme needs.
+  virtual Status BeginUpdate(DbPtr off, uint32_t len, UpdateHandle* h) = 0;
+
+  /// Called after the bytes are modified, with the undo image (`before`,
+  /// h->len bytes). Performs codeword maintenance and releases latches.
+  /// This is the point where the paper's codeword-applied flag is cleared.
+  virtual void EndUpdate(const UpdateHandle& h, const uint8_t* before) = 0;
+
+  /// Rollback of an in-flight update: the caller restored the undo image
+  /// already; the codeword was never advanced, so only latches / page
+  /// permissions are released (paper §3.1: "the undo image for this update
+  /// should be applied without updating the codeword").
+  virtual void AbortUpdate(const UpdateHandle& h) = 0;
+
+  /// Read Prechecking (§3.1): verifies every region covering [off,
+  /// off+len) against its codeword under an exclusive protection latch.
+  /// Returns Corruption on mismatch. No-op for non-precheck schemes.
+  virtual Status PrecheckRead(DbPtr off, uint32_t len) = 0;
+
+  /// Audits every region of the image (§3.2). Appends failing regions to
+  /// *corrupt (may be null to just get the status). Returns Corruption if
+  /// any region failed. For schemes without codewords, returns OK.
+  virtual Status AuditAll(std::vector<CorruptRange>* corrupt) = 0;
+
+  /// Audits only the regions covering [off, off+len).
+  virtual Status AuditRange(DbPtr off, uint64_t len,
+                            std::vector<CorruptRange>* corrupt) = 0;
+
+  /// Re-derives all protection state from the current image bytes (called
+  /// after a checkpoint image is loaded and after recovery writes).
+  virtual Status ResetFromImage() = 0;
+
+  /// Recomputes only the codewords of the regions covering [off, off+len)
+  /// from the image bytes (cache recovery after a region repair; other
+  /// regions keep their detection state). Default no-op.
+  virtual Status RecomputeRegions(DbPtr off, uint64_t len) {
+    (void)off;
+    (void)len;
+    return Status::OK();
+  }
+
+  /// Hardware scheme: temporarily make the whole image writable (recovery,
+  /// checkpoint load, fault injection harness teardown). No-op otherwise.
+  virtual Status ExposeAll() { return Status::OK(); }
+  /// Re-arm protection after ExposeAll.
+  virtual Status ReprotectAll() { return Status::OK(); }
+
+  /// Bytes of memory the scheme spends outside the image (codeword table).
+  virtual uint64_t SpaceOverheadBytes() const { return 0; }
+
+  /// Recomputes the codeword of the bytes at [off, off+len) in `image`
+  /// *without* consulting the stored table — used by recovery to evaluate
+  /// logged read checksums against a recovered image. Folds from lane 0.
+  static codeword_t ChecksumBytes(const DbImage& image, DbPtr off,
+                                  uint32_t len);
+
+  /// Creates the manager for `options.scheme`.
+  static Result<std::unique_ptr<ProtectionManager>> Create(
+      const ProtectionOptions& options, DbImage* image);
+
+ protected:
+  explicit ProtectionManager(const ProtectionOptions& options, DbImage* image)
+      : options_(options), image_(image) {}
+
+  ProtectionOptions options_;
+  DbImage* image_;
+  ProtectionStats stats_;
+};
+
+}  // namespace cwdb
+
+#endif  // CWDB_PROTECT_PROTECTION_H_

@@ -1,0 +1,88 @@
+#include "recovery/corrupt_note.h"
+
+#include "common/coding.h"
+#include "common/crc32.h"
+#include "common/file_util.h"
+
+namespace cwdb {
+
+namespace {
+
+constexpr uint64_t kNoteMagic = 0x434F52525550544Eull;   // "CORRUPTN"
+constexpr uint64_t kAuditMagic = 0x41554449544D4554ull;  // "AUDITMET"
+
+std::string Sealed(const std::string& body) {
+  std::string out = body;
+  PutFixed32(&out, Crc32c(body.data(), body.size()));
+  return out;
+}
+
+Status Unseal(const std::string& contents, std::string* body) {
+  if (contents.size() < 4) return Status::Corruption("note too short");
+  *body = contents.substr(0, contents.size() - 4);
+  uint32_t crc = DecodeFixed32(contents.data() + contents.size() - 4);
+  if (Crc32c(body->data(), body->size()) != crc) {
+    return Status::Corruption("note CRC mismatch");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status WriteCorruptionNote(const std::string& path,
+                           const CorruptionNote& note) {
+  std::string body;
+  PutFixed64(&body, kNoteMagic);
+  PutFixed64(&body, note.last_clean_audit_lsn);
+  PutFixed32(&body, static_cast<uint32_t>(note.ranges.size()));
+  for (const CorruptRange& r : note.ranges) {
+    PutFixed64(&body, r.off);
+    PutFixed64(&body, r.len);
+  }
+  return WriteFileAtomic(path, Sealed(body));
+}
+
+Result<CorruptionNote> ReadCorruptionNote(const std::string& path) {
+  std::string contents;
+  CWDB_RETURN_IF_ERROR(ReadFileToString(path, &contents));
+  std::string body;
+  CWDB_RETURN_IF_ERROR(Unseal(contents, &body));
+  Decoder dec(body);
+  if (dec.GetFixed64() != kNoteMagic) {
+    return Status::Corruption("bad corruption-note magic");
+  }
+  CorruptionNote note;
+  note.last_clean_audit_lsn = dec.GetFixed64();
+  uint32_t n = dec.GetFixed32();
+  for (uint32_t i = 0; i < n && dec.ok(); ++i) {
+    CorruptRange r;
+    r.off = dec.GetFixed64();
+    r.len = dec.GetFixed64();
+    note.ranges.push_back(r);
+  }
+  if (!dec.ok()) return Status::Corruption("truncated corruption note");
+  return note;
+}
+
+Status WriteAuditMeta(const std::string& path, Lsn last_clean_audit_lsn) {
+  std::string body;
+  PutFixed64(&body, kAuditMagic);
+  PutFixed64(&body, last_clean_audit_lsn);
+  return WriteFileAtomic(path, Sealed(body));
+}
+
+Result<Lsn> ReadAuditMeta(const std::string& path) {
+  std::string contents;
+  CWDB_RETURN_IF_ERROR(ReadFileToString(path, &contents));
+  std::string body;
+  CWDB_RETURN_IF_ERROR(Unseal(contents, &body));
+  Decoder dec(body);
+  if (dec.GetFixed64() != kAuditMagic) {
+    return Status::Corruption("bad audit-meta magic");
+  }
+  Lsn lsn = dec.GetFixed64();
+  if (!dec.ok()) return Status::Corruption("truncated audit meta");
+  return lsn;
+}
+
+}  // namespace cwdb

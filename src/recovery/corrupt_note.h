@@ -1,0 +1,38 @@
+#ifndef CWDB_RECOVERY_CORRUPT_NOTE_H_
+#define CWDB_RECOVERY_CORRUPT_NOTE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "protect/protection.h"
+#include "wal/log_record.h"
+
+namespace cwdb {
+
+/// Side note written when an audit fails (paper §4.3: "On detecting an
+/// error, we simply note the region(s) failing the audit, and cause the
+/// database to crash"). Recovery reads it to drive the delete-transaction
+/// algorithm.
+struct CorruptionNote {
+  /// Audit_SN / Audit_LSN: the log position at which the last *clean* audit
+  /// began. Data certified clean before this point; the recovery algorithm
+  /// conservatively assumes the error occurred immediately after it.
+  Lsn last_clean_audit_lsn = 0;
+  /// Regions the failing audit found inconsistent with their codewords.
+  std::vector<CorruptRange> ranges;
+};
+
+Status WriteCorruptionNote(const std::string& path,
+                           const CorruptionNote& note);
+Result<CorruptionNote> ReadCorruptionNote(const std::string& path);
+
+/// audit.meta: the LSN at which the most recent clean audit began
+/// (including checkpoint certification audits).
+Status WriteAuditMeta(const std::string& path, Lsn last_clean_audit_lsn);
+Result<Lsn> ReadAuditMeta(const std::string& path);
+
+}  // namespace cwdb
+
+#endif  // CWDB_RECOVERY_CORRUPT_NOTE_H_

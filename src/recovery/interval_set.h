@@ -1,0 +1,62 @@
+#ifndef CWDB_RECOVERY_INTERVAL_SET_H_
+#define CWDB_RECOVERY_INTERVAL_SET_H_
+
+#include <cstdint>
+#include <map>
+
+namespace cwdb {
+
+/// Set of disjoint half-open byte intervals [start, end) over the database
+/// image; adjacent/overlapping inserts are coalesced. This is the
+/// CorruptDataTable of the delete-transaction recovery algorithm (§4.3):
+/// every byte a deleted transaction would have written is recorded here so
+/// later readers of those bytes can be detected.
+class IntervalSet {
+ public:
+  void Insert(uint64_t start, uint64_t len) {
+    if (len == 0) return;
+    uint64_t end = start + len;
+    // Find the first interval that could touch [start, end).
+    auto it = intervals_.upper_bound(start);
+    if (it != intervals_.begin()) {
+      auto prev = std::prev(it);
+      if (prev->second >= start) {  // Overlaps or abuts on the left.
+        it = prev;
+        start = prev->first;
+      }
+    }
+    while (it != intervals_.end() && it->first <= end) {
+      end = std::max(end, it->second);
+      it = intervals_.erase(it);
+    }
+    intervals_[start] = end;
+  }
+
+  bool Overlaps(uint64_t start, uint64_t len) const {
+    if (len == 0) return false;
+    uint64_t end = start + len;
+    auto it = intervals_.upper_bound(start);
+    if (it != intervals_.begin()) {
+      auto prev = std::prev(it);
+      if (prev->second > start) return true;
+    }
+    return it != intervals_.end() && it->first < end;
+  }
+
+  bool empty() const { return intervals_.empty(); }
+  size_t size() const { return intervals_.size(); }
+  uint64_t TotalBytes() const {
+    uint64_t total = 0;
+    for (const auto& [s, e] : intervals_) total += e - s;
+    return total;
+  }
+
+  const std::map<uint64_t, uint64_t>& intervals() const { return intervals_; }
+
+ private:
+  std::map<uint64_t, uint64_t> intervals_;  // start -> end.
+};
+
+}  // namespace cwdb
+
+#endif  // CWDB_RECOVERY_INTERVAL_SET_H_

@@ -1,0 +1,49 @@
+#include "storage/arena.h"
+
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <string>
+
+namespace cwdb {
+
+size_t Arena::OsPageSize() {
+  static const size_t kPage = static_cast<size_t>(sysconf(_SC_PAGESIZE));
+  return kPage;
+}
+
+Result<std::unique_ptr<Arena>> Arena::Create(size_t size) {
+  if (size == 0) {
+    return Status::InvalidArgument("arena size must be positive");
+  }
+  const size_t page = OsPageSize();
+  size = (size + page - 1) & ~(page - 1);
+  void* p = ::mmap(nullptr, size, PROT_READ | PROT_WRITE,
+                   MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  if (p == MAP_FAILED) {
+    return Status::IoError(std::string("mmap: ") + std::strerror(errno));
+  }
+  return std::unique_ptr<Arena>(new Arena(static_cast<uint8_t*>(p), size));
+}
+
+Arena::~Arena() {
+  if (base_ != nullptr) {
+    ::munmap(base_, size_);
+  }
+}
+
+Status Arena::Protect(size_t offset, size_t len, bool writable) {
+  const size_t page = OsPageSize();
+  size_t begin = offset & ~(page - 1);
+  size_t end = (offset + len + page - 1) & ~(page - 1);
+  if (end > size_) end = size_;
+  int prot = writable ? (PROT_READ | PROT_WRITE) : PROT_READ;
+  if (::mprotect(base_ + begin, end - begin, prot) != 0) {
+    return Status::IoError(std::string("mprotect: ") + std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+}  // namespace cwdb

@@ -1,0 +1,47 @@
+#ifndef CWDB_STORAGE_ARENA_H_
+#define CWDB_STORAGE_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace cwdb {
+
+/// The database image: one contiguous, page-aligned anonymous mapping that
+/// is directly visible to application code (the paper's system model maps
+/// database data into the application's address space). The Hardware
+/// Protection scheme changes page permissions on this mapping with
+/// mprotect, which is why it must be a real OS mapping rather than heap
+/// memory.
+class Arena {
+ public:
+  /// Maps `size` bytes (rounded up to the OS page size), zero-filled.
+  static Result<std::unique_ptr<Arena>> Create(size_t size);
+
+  ~Arena();
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  uint8_t* base() const { return base_; }
+  size_t size() const { return size_; }
+
+  /// Changes protection of [offset, offset+len) rounded out to OS pages.
+  /// `writable` false maps to PROT_READ, true to PROT_READ|PROT_WRITE.
+  Status Protect(size_t offset, size_t len, bool writable);
+
+  /// OS page size used for mprotect granularity.
+  static size_t OsPageSize();
+
+ private:
+  Arena(uint8_t* base, size_t size) : base_(base), size_(size) {}
+
+  uint8_t* base_;
+  size_t size_;
+};
+
+}  // namespace cwdb
+
+#endif  // CWDB_STORAGE_ARENA_H_

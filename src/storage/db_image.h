@@ -1,0 +1,109 @@
+#ifndef CWDB_STORAGE_DB_IMAGE_H_
+#define CWDB_STORAGE_DB_IMAGE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/arena.h"
+#include "storage/layout.h"
+
+namespace cwdb {
+
+/// Read-side view and address math over the database image. DbImage never
+/// mutates persistent bytes itself: all writes to the arena must go through
+/// the prescribed Transaction::BeginUpdate / EndUpdate interface so they are
+/// logged, codeword-maintained and (optionally) mprotect-guarded. The two
+/// exceptions are Format(), which runs once before any log exists, and
+/// checkpoint load, which replaces the whole image before recovery.
+///
+/// DbImage also tracks volatile dirty-page state for the ping-pong
+/// checkpointer: one dirty bitmap per checkpoint image (a page dirtied
+/// since image A was last written must go to A next time, independent of B).
+class DbImage {
+ public:
+  /// Creates a zeroed arena of `arena_size` and formats the header and
+  /// table directory. `page_size` is the *database* page size used for
+  /// dirty tracking and checkpoint granularity (a multiple of the OS page).
+  static Result<std::unique_ptr<DbImage>> Create(uint64_t arena_size,
+                                                 uint32_t page_size);
+
+  /// Validates the header after the arena contents have been replaced by a
+  /// checkpoint load.
+  Status ValidateHeader() const;
+
+  uint8_t* base() const { return arena_->base(); }
+  uint64_t size() const { return arena_size_; }
+  uint32_t page_size() const { return page_size_; }
+  uint64_t page_count() const { return arena_size_ / page_size_; }
+  Arena* arena() const { return arena_.get(); }
+
+  /// Raw pointer into the image; callers must stay within bounds.
+  uint8_t* At(DbPtr off) const { return arena_->base() + off; }
+
+  bool InBounds(DbPtr off, uint64_t len) const {
+    return off <= arena_size_ && len <= arena_size_ - off;
+  }
+
+  const DbHeaderRaw* header() const {
+    return reinterpret_cast<const DbHeaderRaw*>(At(kHeaderOff));
+  }
+  const TableMetaRaw* table_meta(TableId t) const {
+    return reinterpret_cast<const TableMetaRaw*>(At(TableMetaOff(t)));
+  }
+
+  /// Finds an in-use table by name. Returns kMaxTables if absent.
+  TableId FindTable(const std::string& name) const;
+
+  /// Image offset of record `slot` of table `t` (no liveness check).
+  DbPtr RecordOff(TableId t, uint32_t slot) const {
+    const TableMetaRaw* m = table_meta(t);
+    return m->data_off + static_cast<uint64_t>(slot) * m->record_size;
+  }
+
+  /// True if `slot` is allocated in table `t`'s bitmap.
+  bool SlotAllocated(TableId t, uint32_t slot) const;
+
+  /// First free slot at or after `hint`, wrapping once; kInvalidSlot if the
+  /// table is full. Read-only scan of the allocation bitmap.
+  uint32_t FindFreeSlot(TableId t, uint32_t hint) const;
+
+  uint64_t PageOf(DbPtr off) const { return off / page_size_; }
+
+  /// Volatile per-table slot-allocation hint (purely an optimization for
+  /// FindFreeSlot; safe to lose on crash).
+  uint32_t alloc_hint(TableId t) const { return alloc_hint_[t]; }
+  void set_alloc_hint(TableId t, uint32_t hint) { alloc_hint_[t] = hint; }
+
+  // -- Volatile dirty-page tracking (two sets: ping-pong images A and B) --
+
+  /// Marks pages covering [off, off+len) dirty in both checkpoint sets.
+  void MarkDirty(DbPtr off, uint64_t len);
+
+  /// Pages currently dirty with respect to checkpoint image `which` (0/1).
+  std::vector<uint64_t> DirtyPages(int which) const;
+  void ClearDirty(int which);
+  void MarkAllDirty();
+  bool IsDirty(int which, uint64_t page) const {
+    return dirty_[which][page];
+  }
+
+ private:
+  DbImage(std::unique_ptr<Arena> arena, uint64_t arena_size,
+          uint32_t page_size);
+
+  void FormatHeader();
+
+  std::unique_ptr<Arena> arena_;
+  uint64_t arena_size_;
+  uint32_t page_size_;
+  std::vector<bool> dirty_[2];
+  uint32_t alloc_hint_[kMaxTables] = {};
+};
+
+}  // namespace cwdb
+
+#endif  // CWDB_STORAGE_DB_IMAGE_H_

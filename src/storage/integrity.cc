@@ -1,0 +1,118 @@
+#include "storage/integrity.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace cwdb {
+
+namespace {
+
+void Violate(std::vector<IntegrityViolation>* out, DbPtr off, uint64_t len,
+             std::string message) {
+  out->push_back(IntegrityViolation{off, len, std::move(message)});
+}
+
+struct Extent {
+  uint64_t start;
+  uint64_t end;
+  TableId table;
+};
+
+}  // namespace
+
+std::vector<IntegrityViolation> CheckImageIntegrity(const DbImage& image) {
+  std::vector<IntegrityViolation> out;
+  const DbHeaderRaw* h = image.header();
+  const uint64_t arena = image.size();
+  const uint32_t page = image.page_size();
+
+  if (h->magic != kDbMagic) {
+    Violate(&out, kHeaderOff, sizeof(DbHeaderRaw), "bad header magic");
+    return out;  // Nothing else is trustworthy.
+  }
+  if (h->version != kDbVersion) {
+    Violate(&out, kHeaderOff, sizeof(DbHeaderRaw), "bad header version");
+  }
+  if (h->page_size != page || h->arena_size != arena) {
+    Violate(&out, kHeaderOff, sizeof(DbHeaderRaw),
+            "header geometry disagrees with the open image");
+  }
+  const uint64_t dir_end = kTableDirOff + kTableDirBytes;
+  if (h->alloc_cursor % page != 0 || h->alloc_cursor < dir_end ||
+      h->alloc_cursor > arena) {
+    Violate(&out, kHeaderOff + offsetof(DbHeaderRaw, alloc_cursor), 8,
+            "allocation cursor unaligned or out of bounds");
+  }
+
+  std::vector<Extent> extents;
+  for (TableId t = 0; t < kMaxTables; ++t) {
+    const TableMetaRaw* m = image.table_meta(t);
+    if (!m->in_use) continue;
+    const DbPtr meta_off = TableMetaOff(t);
+    bool meta_ok = true;
+    if (m->record_size == 0 || m->capacity == 0) {
+      Violate(&out, meta_off, kTableMetaBytes,
+              "table has zero record size or capacity");
+      meta_ok = false;
+    }
+    if (std::find(m->name, m->name + kTableNameBytes, '\0') ==
+        m->name + kTableNameBytes) {
+      Violate(&out, meta_off, kTableMetaBytes,
+              "table name is not NUL-terminated");
+      meta_ok = false;
+    }
+    if (m->bitmap_off % page != 0 || m->data_off % page != 0) {
+      Violate(&out, meta_off, kTableMetaBytes,
+              "table extents are not page-aligned");
+      meta_ok = false;
+    }
+    if (!meta_ok) continue;
+
+    const uint64_t bitmap_bytes = BitmapBytes(m->capacity);
+    const uint64_t data_bytes = m->capacity * m->record_size;
+    // Overflow-safe bounds checks.
+    if (m->bitmap_off > arena || bitmap_bytes > arena - m->bitmap_off ||
+        m->bitmap_off + bitmap_bytes > h->alloc_cursor ||
+        m->bitmap_off < dir_end) {
+      Violate(&out, meta_off, kTableMetaBytes,
+              "bitmap extent outside the allocated area");
+      continue;
+    }
+    if (m->data_off > arena || data_bytes > arena - m->data_off ||
+        m->data_off + data_bytes > h->alloc_cursor || m->data_off < dir_end) {
+      Violate(&out, meta_off, kTableMetaBytes,
+              "record extent outside the allocated area");
+      continue;
+    }
+    extents.push_back(Extent{m->bitmap_off, m->bitmap_off + bitmap_bytes, t});
+    extents.push_back(Extent{m->data_off, m->data_off + data_bytes, t});
+
+    // Bits beyond capacity must be clear (FindFreeSlot relies on it).
+    const uint64_t words = (m->capacity + 63) / 64;
+    const uint64_t last_word_off = m->bitmap_off + (words - 1) * 8;
+    uint64_t last_word;
+    std::memcpy(&last_word, image.At(last_word_off), 8);
+    const uint32_t valid_bits = static_cast<uint32_t>(
+        m->capacity - (words - 1) * 64);
+    if (valid_bits < 64 && (last_word >> valid_bits) != 0) {
+      Violate(&out, last_word_off, 8,
+              "allocation bits set beyond table capacity");
+    }
+  }
+
+  // Extents must not overlap across (or within) tables.
+  std::sort(extents.begin(), extents.end(),
+            [](const Extent& a, const Extent& b) { return a.start < b.start; });
+  for (size_t i = 1; i < extents.size(); ++i) {
+    if (extents[i].start < extents[i - 1].end) {
+      Violate(&out, extents[i].start,
+              extents[i - 1].end - extents[i].start,
+              "table extents overlap (tables " +
+                  std::to_string(extents[i - 1].table) + " and " +
+                  std::to_string(extents[i].table) + ")");
+    }
+  }
+  return out;
+}
+
+}  // namespace cwdb

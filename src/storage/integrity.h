@@ -1,0 +1,38 @@
+#ifndef CWDB_STORAGE_INTEGRITY_H_
+#define CWDB_STORAGE_INTEGRITY_H_
+
+#include <string>
+#include <vector>
+
+#include "storage/db_image.h"
+
+namespace cwdb {
+
+/// One structural-integrity violation.
+struct IntegrityViolation {
+  DbPtr off = 0;        ///< Start of the implicated bytes.
+  uint64_t len = 0;     ///< Length of the implicated bytes.
+  std::string message;  ///< Human-readable diagnosis.
+};
+
+/// Küspert-style structural audit of the image's control structures
+/// (paper §4, citing [10]: "specific techniques for detecting corruption
+/// of DBMS data structures"). Unlike the codeword audit — which compares
+/// bytes against a checksum and knows nothing about meaning — this checks
+/// the *semantic* invariants of the layout:
+///
+///  * header magic / version / geometry; allocation cursor aligned and in
+///    bounds;
+///  * every in-use table: sane record size and capacity, NUL-terminated
+///    name, page-aligned extents inside the allocated area;
+///  * no two tables' extents overlap;
+///  * allocation bitmaps have no bits set beyond the table's capacity.
+///
+/// Violations identify the implicated byte ranges, suitable for
+/// Database::RecoverFromCorruption when the damage is to control
+/// structures that the codeword audit window has already certified past.
+std::vector<IntegrityViolation> CheckImageIntegrity(const DbImage& image);
+
+}  // namespace cwdb
+
+#endif  // CWDB_STORAGE_INTEGRITY_H_

@@ -1,0 +1,101 @@
+#ifndef CWDB_STORAGE_LAYOUT_H_
+#define CWDB_STORAGE_LAYOUT_H_
+
+#include <cstdint>
+
+namespace cwdb {
+
+/// Persistent on-image layout. Everything below lives inside the arena and
+/// is therefore checkpointed, logged, codeword-protected, and (under the
+/// Hardware Protection scheme) covered by mprotect.
+///
+/// As in Dalí, allocation and control information is *not* stored on the
+/// same pages as user record data: the header and table directory occupy
+/// the front of the image, each table's record-allocation bitmap occupies
+/// its own pages, and record data occupies separate contiguous pages. This
+/// is what makes an update touch several distinct pages (the paper measures
+/// ~11 under Hardware Protection) even though it modifies only a few tuples.
+///
+/// Image layout:
+///   [0, kHeaderBytes)                     DbHeaderRaw
+///   [kTableDirOff, kTableDirEnd)          kMaxTables * TableMetaRaw
+///   [data area]                           bump-allocated: for each table, a
+///                                         bitmap extent and a record extent,
+///                                         both page-aligned.
+
+using DbPtr = uint64_t;     ///< Byte offset into the database image.
+using TableId = uint16_t;   ///< Index into the table directory.
+using TxnId = uint64_t;
+
+constexpr DbPtr kInvalidDbPtr = ~0ull;
+constexpr uint32_t kInvalidSlot = ~0u;
+
+/// A record is addressed by (table, slot); its bytes live at a fixed offset
+/// computed from the table's metadata.
+struct RecordId {
+  TableId table = 0;
+  uint32_t slot = kInvalidSlot;
+
+  bool valid() const { return slot != kInvalidSlot; }
+  bool operator==(const RecordId&) const = default;
+};
+
+constexpr uint64_t kDbMagic = 0x43574442'31393939ull;  // "CWDB1999"
+constexpr uint32_t kDbVersion = 1;
+
+constexpr uint64_t kHeaderOff = 0;
+constexpr uint64_t kHeaderBytes = 4096;
+constexpr uint32_t kMaxTables = 64;
+constexpr uint32_t kTableMetaBytes = 128;
+constexpr uint32_t kTableNameBytes = 48;
+constexpr uint64_t kTableDirOff = kHeaderBytes;
+constexpr uint64_t kTableDirBytes = kMaxTables * kTableMetaBytes;
+
+/// Fixed-position header at offset 0 of the image.
+struct DbHeaderRaw {
+  uint64_t magic;
+  uint32_t version;
+  uint32_t page_size;
+  uint64_t arena_size;
+  /// Bump allocator over the data area: next free page-aligned offset.
+  /// Space freed by DropTable is not reused (documented limitation).
+  uint64_t alloc_cursor;
+  uint32_t table_count;
+  uint32_t pad;
+};
+static_assert(sizeof(DbHeaderRaw) <= kHeaderBytes);
+
+/// One slot of the table directory.
+struct TableMetaRaw {
+  uint8_t in_use;
+  uint8_t pad[3];
+  uint32_t record_size;     ///< Bytes per record (fixed-size records).
+  uint64_t capacity;        ///< Maximum number of records.
+  uint64_t data_off;        ///< Image offset of the record extent.
+  uint64_t bitmap_off;      ///< Image offset of the allocation bitmap extent.
+  uint64_t record_count;    ///< Live records; maintained transactionally.
+  char name[kTableNameBytes];
+  uint8_t reserved[kTableMetaBytes - 4 - 4 - 8 * 4 - kTableNameBytes];
+};
+static_assert(sizeof(TableMetaRaw) == kTableMetaBytes);
+
+/// Image offset of table `t`'s directory entry.
+constexpr DbPtr TableMetaOff(TableId t) {
+  return kTableDirOff + static_cast<uint64_t>(t) * kTableMetaBytes;
+}
+
+/// Image offset of the 64-bit bitmap word covering `slot`, relative to a
+/// table whose bitmap extent begins at `bitmap_off`.
+constexpr DbPtr BitmapWordOff(uint64_t bitmap_off, uint32_t slot) {
+  return bitmap_off + (slot / 64) * 8;
+}
+constexpr uint64_t BitmapBitMask(uint32_t slot) {
+  return 1ull << (slot % 64);
+}
+constexpr uint64_t BitmapBytes(uint64_t capacity) {
+  return ((capacity + 63) / 64) * 8;
+}
+
+}  // namespace cwdb
+
+#endif  // CWDB_STORAGE_LAYOUT_H_

@@ -1,0 +1,124 @@
+#include "txn/lock_manager.h"
+
+#include "common/logging.h"
+
+namespace cwdb {
+
+bool LockManager::Compatible(const Entry& e, TxnId txn, LockMode mode) const {
+  for (const auto& [holder, held_mode] : e.holders) {
+    if (holder == txn) continue;  // Own holdings never conflict.
+    if (mode == LockMode::kExclusive || held_mode == LockMode::kExclusive) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool LockManager::WouldDeadlock(TxnId txn, const Entry& e,
+                                LockMode mode) const {
+  // DFS over waits-for: txn waits for the conflicting holders of `e`; each
+  // waiting transaction waits for the conflicting holders of the lock it is
+  // blocked on. mu_ is held by the caller.
+  std::vector<TxnId> frontier;
+  std::set<TxnId> visited;
+  for (const auto& [holder, held_mode] : e.holders) {
+    if (holder == txn) continue;
+    if (mode == LockMode::kExclusive || held_mode == LockMode::kExclusive) {
+      frontier.push_back(holder);
+    }
+  }
+  while (!frontier.empty()) {
+    TxnId t = frontier.back();
+    frontier.pop_back();
+    if (t == txn) return true;
+    if (!visited.insert(t).second) continue;
+    auto wit = waiting_for_.find(t);
+    if (wit == waiting_for_.end()) continue;
+    auto lit = locks_.find(wit->second);
+    if (lit == locks_.end()) continue;
+    for (const auto& [holder, held_mode] : lit->second.holders) {
+      (void)held_mode;
+      if (holder != t) frontier.push_back(holder);
+    }
+  }
+  return false;
+}
+
+Status LockManager::Acquire(TxnId txn, LockId id, LockMode mode) {
+  std::unique_lock<std::mutex> guard(mu_);
+  Entry& e = locks_[id];
+  auto self = e.holders.find(txn);
+  if (self != e.holders.end()) {
+    if (self->second == LockMode::kExclusive || mode == LockMode::kShared) {
+      return Status::OK();  // Already held strongly enough.
+    }
+    // Upgrade request falls through to the wait loop below.
+  }
+  while (!Compatible(e, txn, mode)) {
+    if (WouldDeadlock(txn, e, mode)) {
+      return Status::Deadlock("waits-for cycle acquiring lock");
+    }
+    waiting_for_[txn] = id;
+    ++e.waiters;
+    cv_.wait(guard);
+    --e.waiters;
+    waiting_for_.erase(txn);
+  }
+  e.holders[txn] = mode;
+  return Status::OK();
+}
+
+void LockManager::Release(TxnId txn, LockId id) {
+  std::lock_guard<std::mutex> guard(mu_);
+  auto it = locks_.find(id);
+  if (it == locks_.end()) return;
+  it->second.holders.erase(txn);
+  bool had_waiters = it->second.waiters > 0;
+  if (it->second.holders.empty() && it->second.waiters == 0) {
+    locks_.erase(it);
+  }
+  if (had_waiters) cv_.notify_all();
+}
+
+void LockManager::ReleaseAll(TxnId txn) {
+  std::lock_guard<std::mutex> guard(mu_);
+  bool notify = false;
+  for (auto it = locks_.begin(); it != locks_.end();) {
+    it->second.holders.erase(txn);
+    notify = notify || it->second.waiters > 0;
+    if (it->second.holders.empty() && it->second.waiters == 0) {
+      it = locks_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  if (notify) cv_.notify_all();
+}
+
+bool LockManager::Holds(TxnId txn, LockId id, LockMode mode) const {
+  std::lock_guard<std::mutex> guard(mu_);
+  auto it = locks_.find(id);
+  if (it == locks_.end()) return false;
+  auto h = it->second.holders.find(txn);
+  if (h == it->second.holders.end()) return false;
+  return mode == LockMode::kShared || h->second == LockMode::kExclusive;
+}
+
+void LockManager::Clear() {
+  std::lock_guard<std::mutex> guard(mu_);
+  locks_.clear();
+  waiting_for_.clear();
+  cv_.notify_all();
+}
+
+size_t LockManager::LockedCount() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  size_t n = 0;
+  for (const auto& [id, e] : locks_) {
+    (void)id;
+    if (!e.holders.empty()) ++n;
+  }
+  return n;
+}
+
+}  // namespace cwdb

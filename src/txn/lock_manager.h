@@ -1,0 +1,87 @@
+#ifndef CWDB_TXN_LOCK_MANAGER_H_
+#define CWDB_TXN_LOCK_MANAGER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <set>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/layout.h"
+
+namespace cwdb {
+
+/// Lockable unit: a record (table, slot), a whole table (slot ==
+/// kInvalidSlot), or the table directory (table == kMaxTables).
+struct LockId {
+  TableId table = 0;
+  uint32_t slot = kInvalidSlot;
+
+  static LockId Record(TableId t, uint32_t s) { return LockId{t, s}; }
+  static LockId Table(TableId t) { return LockId{t, kInvalidSlot}; }
+  static LockId Directory() { return LockId{kMaxTables, kInvalidSlot}; }
+
+  auto operator<=>(const LockId&) const = default;
+};
+
+enum class LockMode : uint8_t { kShared, kExclusive };
+
+/// Two-level lock manager for the Dalí-style transaction model:
+///  * Transaction-duration record locks (strict 2PL) — released only by
+///    ReleaseAll at commit/abort.
+///  * Operation-duration locks (the "lower level locks" of multi-level
+///    recovery, §2.1) — released explicitly when the operation commits.
+/// Both kinds live in the same table and the same waits-for graph.
+///
+/// Deadlocks are detected at wait time by a cycle search over the waits-for
+/// graph; the *requesting* transaction is the victim and gets kDeadlock.
+class LockManager {
+ public:
+  LockManager() = default;
+  LockManager(const LockManager&) = delete;
+  LockManager& operator=(const LockManager&) = delete;
+
+  /// Blocks until granted or deadlock. Re-entrant: a transaction already
+  /// holding the lock in a mode >= `mode` is granted immediately; a shared
+  /// holder requesting exclusive is upgraded when possible.
+  Status Acquire(TxnId txn, LockId id, LockMode mode);
+
+  /// Releases one lock (operation-duration locks at operation commit).
+  void Release(TxnId txn, LockId id);
+
+  /// Releases every lock held by `txn` (transaction commit/abort).
+  void ReleaseAll(TxnId txn);
+
+  /// True if `txn` currently holds `id` in at least `mode`.
+  bool Holds(TxnId txn, LockId id, LockMode mode) const;
+
+  /// Number of distinct lock ids with any holder (tests).
+  size_t LockedCount() const;
+
+  /// Drops all lock state (crash simulation: lock tables are volatile).
+  void Clear();
+
+ private:
+  struct Entry {
+    // Holders and their modes. Exclusive implies it is the only holder
+    // (except during upgrade, where the upgrader is also a shared holder).
+    std::map<TxnId, LockMode> holders;
+    int waiters = 0;
+  };
+
+  bool Compatible(const Entry& e, TxnId txn, LockMode mode) const;
+  /// True if granting would deadlock: `txn` transitively waits for itself.
+  bool WouldDeadlock(TxnId txn, const Entry& e, LockMode mode) const;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::map<LockId, Entry> locks_;
+  /// txn -> lock id it is currently waiting for (at most one).
+  std::map<TxnId, LockId> waiting_for_;
+};
+
+}  // namespace cwdb
+
+#endif  // CWDB_TXN_LOCK_MANAGER_H_

@@ -1,0 +1,80 @@
+#ifndef CWDB_TXN_TABLE_OPS_H_
+#define CWDB_TXN_TABLE_OPS_H_
+
+#include <functional>
+#include <string>
+
+#include "common/result.h"
+#include "common/slice.h"
+#include "common/status.h"
+#include "txn/txn_manager.h"
+
+namespace cwdb {
+namespace table_ops {
+
+/// Level-1 operations over fixed-size-record tables. Each runs as one
+/// multi-level-recovery operation: BeginOp, physical updates through the
+/// prescribed interface, CommitOp with a logical undo description.
+///
+/// Locking protocol (deadlock-free ordering: table operation lock before
+/// record locks):
+///  * Structure-modifying ops (insert/delete/create) take the table (or
+///    directory) lock exclusively for the operation's duration.
+///  * Record reads/writes take record locks for the transaction's duration
+///    (strict 2PL).
+
+/// Creates a table of `capacity` fixed-size records. The record extent and
+/// the allocation-bitmap extent are carved from the image's bump allocator
+/// on separate pages from each other and from the directory.
+Result<TableId> CreateTable(TxnManager& mgr, Transaction* txn,
+                            const std::string& name, uint32_t record_size,
+                            uint64_t capacity);
+
+/// Inserts a record (size must equal the table's record size); returns its
+/// id. Logical undo: delete the slot.
+Result<RecordId> Insert(TxnManager& mgr, Transaction* txn, TableId table,
+                        Slice record);
+
+/// Deletes the record. Logical undo: re-insert the old bytes at the slot.
+Status Delete(TxnManager& mgr, Transaction* txn, TableId table,
+              uint32_t slot);
+
+/// Overwrites `data.size()` bytes at `field_off` within the record.
+/// Logical undo: restore the previous field bytes.
+Status Update(TxnManager& mgr, Transaction* txn, TableId table, uint32_t slot,
+              uint32_t field_off, Slice data);
+
+/// Reads the whole record into *out (resized to the record size).
+Status ReadRecord(TxnManager& mgr, Transaction* txn, TableId table,
+                  uint32_t slot, std::string* out);
+
+/// Reads `len` bytes at `field_off` within the record.
+Status ReadField(TxnManager& mgr, Transaction* txn, TableId table,
+                 uint32_t slot, uint32_t field_off, uint32_t len, void* out);
+
+/// In-place update of an arbitrary image range, for application code that
+/// addresses the mapped database directly. Runs as an operation whose
+/// logical undo restores the previous bytes. Takes no locks: the caller is
+/// responsible for isolation of raw regions.
+Status RawUpdate(TxnManager& mgr, Transaction* txn, DbPtr off, Slice data);
+
+/// Live records in a table (allocation-bitmap scan; not transactional).
+uint64_t CountRecords(const DbImage& image, TableId table);
+
+/// Iterates the live records of `table` in slot order. Each visited record
+/// is share-locked for the transaction's duration (strict 2PL) and read
+/// through the protected read path (prechecked / read-logged per scheme).
+/// `fn` receives the slot and the record bytes (valid only for the call);
+/// a non-OK return stops the scan and is propagated.
+Status Scan(TxnManager& mgr, Transaction* txn, TableId table,
+            const std::function<Status(uint32_t slot, Slice record)>& fn);
+
+/// Executes one logical undo action as a first-class inverse operation.
+/// Idempotent: re-executing after a partial crash recovery is a no-op.
+Status ExecuteLogicalUndo(TxnManager& mgr, Transaction* txn,
+                          const LogicalUndo& undo);
+
+}  // namespace table_ops
+}  // namespace cwdb
+
+#endif  // CWDB_TXN_TABLE_OPS_H_

@@ -1,0 +1,133 @@
+#include "wal/log_record.h"
+
+#include "common/coding.h"
+
+namespace cwdb {
+
+namespace {
+
+void PutHeader(std::string* dst, LogRecordType type, TxnId txn) {
+  PutFixed8(dst, static_cast<uint8_t>(type));
+  PutFixed64(dst, txn);
+}
+
+}  // namespace
+
+void EncodeBeginTxn(std::string* dst, TxnId txn) {
+  PutHeader(dst, LogRecordType::kBeginTxn, txn);
+}
+
+void EncodeCommitTxn(std::string* dst, TxnId txn) {
+  PutHeader(dst, LogRecordType::kCommitTxn, txn);
+}
+
+void EncodeAbortTxn(std::string* dst, TxnId txn) {
+  PutHeader(dst, LogRecordType::kAbortTxn, txn);
+}
+
+void EncodePhysRedo(std::string* dst, TxnId txn, DbPtr off, Slice after,
+                    const codeword_t* before_cksum) {
+  PutHeader(dst, LogRecordType::kPhysRedo, txn);
+  PutFixed64(dst, off);
+  PutFixed32(dst, static_cast<uint32_t>(after.size()));
+  PutFixed8(dst, before_cksum != nullptr ? 1 : 0);
+  if (before_cksum != nullptr) PutFixed32(dst, *before_cksum);
+  dst->append(after.data(), after.size());
+}
+
+void EncodeReadLog(std::string* dst, TxnId txn, DbPtr off, uint32_t len,
+                   const codeword_t* cksum) {
+  PutHeader(dst, LogRecordType::kReadLog, txn);
+  PutFixed64(dst, off);
+  PutFixed32(dst, len);
+  PutFixed8(dst, cksum != nullptr ? 1 : 0);
+  if (cksum != nullptr) PutFixed32(dst, *cksum);
+}
+
+void EncodeBeginOp(std::string* dst, TxnId txn, uint32_t op_id, uint8_t level,
+                   OpCode opcode, TableId table, uint32_t slot, DbPtr raw_off,
+                   uint32_t raw_len) {
+  PutHeader(dst, LogRecordType::kBeginOp, txn);
+  PutFixed32(dst, op_id);
+  PutFixed8(dst, level);
+  PutFixed8(dst, static_cast<uint8_t>(opcode));
+  PutFixed16(dst, table);
+  PutFixed32(dst, slot);
+  PutFixed64(dst, raw_off);
+  PutFixed32(dst, raw_len);
+}
+
+void EncodeCommitOp(std::string* dst, TxnId txn, uint32_t op_id,
+                    uint8_t level, const LogicalUndo& undo) {
+  PutHeader(dst, LogRecordType::kCommitOp, txn);
+  PutFixed32(dst, op_id);
+  PutFixed8(dst, level);
+  PutFixed8(dst, static_cast<uint8_t>(undo.code));
+  PutFixed16(dst, undo.table);
+  PutFixed32(dst, undo.slot);
+  PutFixed32(dst, undo.field_off);
+  PutFixed64(dst, undo.raw_off);
+  PutLengthPrefixed(dst, undo.payload);
+}
+
+void EncodeAuditBegin(std::string* dst) {
+  PutHeader(dst, LogRecordType::kAuditBegin, 0);
+}
+
+bool DecodeLogRecord(Slice payload, LogRecord* out) {
+  Decoder dec(payload);
+  *out = LogRecord();
+  uint8_t type = dec.GetFixed8();
+  if (type < static_cast<uint8_t>(LogRecordType::kBeginTxn) ||
+      type > static_cast<uint8_t>(LogRecordType::kAuditBegin)) {
+    return false;
+  }
+  out->type = static_cast<LogRecordType>(type);
+  out->txn = dec.GetFixed64();
+  switch (out->type) {
+    case LogRecordType::kBeginTxn:
+    case LogRecordType::kCommitTxn:
+    case LogRecordType::kAbortTxn:
+    case LogRecordType::kAuditBegin:
+      break;
+    case LogRecordType::kPhysRedo: {
+      out->off = dec.GetFixed64();
+      out->len = dec.GetFixed32();
+      out->has_cksum = dec.GetFixed8() != 0;
+      if (out->has_cksum) out->cksum = dec.GetFixed32();
+      Slice after = dec.GetBytes(out->len);
+      out->after.assign(after.data(), after.size());
+      break;
+    }
+    case LogRecordType::kReadLog:
+      out->off = dec.GetFixed64();
+      out->len = dec.GetFixed32();
+      out->has_cksum = dec.GetFixed8() != 0;
+      if (out->has_cksum) out->cksum = dec.GetFixed32();
+      break;
+    case LogRecordType::kBeginOp:
+      out->op_id = dec.GetFixed32();
+      out->level = dec.GetFixed8();
+      out->opcode = static_cast<OpCode>(dec.GetFixed8());
+      out->table = dec.GetFixed16();
+      out->slot = dec.GetFixed32();
+      out->off = dec.GetFixed64();
+      out->len = dec.GetFixed32();
+      break;
+    case LogRecordType::kCommitOp: {
+      out->op_id = dec.GetFixed32();
+      out->level = dec.GetFixed8();
+      out->undo.code = static_cast<UndoCode>(dec.GetFixed8());
+      out->undo.table = dec.GetFixed16();
+      out->undo.slot = dec.GetFixed32();
+      out->undo.field_off = dec.GetFixed32();
+      out->undo.raw_off = dec.GetFixed64();
+      Slice payload_bytes = dec.GetLengthPrefixed();
+      out->undo.payload.assign(payload_bytes.data(), payload_bytes.size());
+      break;
+    }
+  }
+  return dec.ok();
+}
+
+}  // namespace cwdb

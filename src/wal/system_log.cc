@@ -1,0 +1,196 @@
+#include "wal/system_log.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <memory>
+
+#include "common/coding.h"
+#include "common/crc32.h"
+#include "common/logging.h"
+
+namespace cwdb {
+
+namespace {
+
+constexpr size_t kFrameHeaderBytes = 8;  // u32 len + u32 crc.
+
+Status ReadWholeFile(const std::string& path, std::string* out) {
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    if (errno == ENOENT) {
+      out->clear();
+      return Status::OK();
+    }
+    return Status::IoError("open " + path + ": " + std::strerror(errno));
+  }
+  out->clear();
+  char buf[1 << 16];
+  ssize_t n;
+  while ((n = ::read(fd, buf, sizeof(buf))) > 0) {
+    out->append(buf, static_cast<size_t>(n));
+  }
+  Status s = Status::OK();
+  if (n < 0) {
+    s = Status::IoError("read " + path + ": " + std::strerror(errno));
+  }
+  ::close(fd);
+  return s;
+}
+
+/// Length of the valid frame prefix of `contents`.
+uint64_t ValidPrefix(const std::string& contents) {
+  uint64_t pos = 0;
+  while (pos + kFrameHeaderBytes <= contents.size()) {
+    uint32_t len = DecodeFixed32(contents.data() + pos);
+    uint32_t crc = DecodeFixed32(contents.data() + pos + 4);
+    if (pos + kFrameHeaderBytes + len > contents.size()) break;
+    if (Crc32c(contents.data() + pos + kFrameHeaderBytes, len) != crc) break;
+    pos += kFrameHeaderBytes + len;
+  }
+  return pos;
+}
+
+}  // namespace
+
+SystemLog::SystemLog(std::string path, int fd, uint64_t stable_size)
+    : path_(std::move(path)), fd_(fd), stable_size_(stable_size) {}
+
+SystemLog::~SystemLog() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Result<std::unique_ptr<SystemLog>> SystemLog::Open(const std::string& path) {
+  std::string contents;
+  CWDB_RETURN_IF_ERROR(ReadWholeFile(path, &contents));
+  uint64_t stable = ValidPrefix(contents);
+  int fd = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
+  if (fd < 0) {
+    return Status::IoError("open " + path + ": " + std::strerror(errno));
+  }
+  // Physically drop any torn tail so appends continue from the valid prefix.
+  if (stable < contents.size()) {
+    if (::ftruncate(fd, static_cast<off_t>(stable)) != 0) {
+      Status s =
+          Status::IoError("ftruncate " + path + ": " + std::strerror(errno));
+      ::close(fd);
+      return s;
+    }
+  }
+  return std::unique_ptr<SystemLog>(new SystemLog(path, fd, stable));
+}
+
+Lsn SystemLog::Append(Slice payload) {
+  std::lock_guard<std::mutex> guard(latch_);
+  Lsn lsn = stable_size_ + flushing_bytes_ + tail_.size();
+  PutFixed32(&tail_, static_cast<uint32_t>(payload.size()));
+  PutFixed32(&tail_, Crc32c(payload.data(), payload.size()));
+  tail_.append(payload.data(), payload.size());
+  bytes_appended_ += kFrameHeaderBytes + payload.size();
+  return lsn;
+}
+
+Status SystemLog::Flush() {
+  std::unique_lock<std::mutex> guard(latch_);
+  const Lsn target = stable_size_ + flushing_bytes_ + tail_.size();
+  Status status;
+  while (stable_size_ < target) {
+    if (flush_in_progress_) {
+      // Another thread is writing a batch that (at least partly) covers
+      // us; piggyback on its fsync instead of issuing our own.
+      flush_cv_.wait(guard);
+      continue;
+    }
+    if (tail_.empty()) break;  // Batch that covered us already landed.
+    // Become the flusher: take the whole pending tail as one batch and do
+    // the I/O outside the latch so appenders keep running.
+    flush_in_progress_ = true;
+    std::string batch = std::move(tail_);
+    tail_.clear();
+    flushing_bytes_ = batch.size();
+    const uint64_t base = stable_size_;
+    guard.unlock();
+
+    Status io;
+    size_t done = 0;
+    while (done < batch.size()) {
+      ssize_t n = ::pwrite(fd_, batch.data() + done, batch.size() - done,
+                           static_cast<off_t>(base + done));
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        io = Status::IoError("pwrite " + path_ + ": " +
+                             std::strerror(errno));
+        break;
+      }
+      done += static_cast<size_t>(n);
+    }
+    if (io.ok() && ::fdatasync(fd_) != 0) {
+      io = Status::IoError("fdatasync " + path_ + ": " +
+                           std::strerror(errno));
+    }
+
+    guard.lock();
+    flush_in_progress_ = false;
+    flushing_bytes_ = 0;
+    if (io.ok()) {
+      stable_size_ = base + batch.size();
+      ++flush_count_;
+    } else {
+      // Put the batch back in front of whatever accumulated meanwhile so
+      // LSNs stay dense and a retry covers everything.
+      batch.append(tail_);
+      tail_ = std::move(batch);
+      status = io;
+    }
+    flush_cv_.notify_all();
+    if (!status.ok()) return status;
+  }
+  return status;
+}
+
+Lsn SystemLog::CurrentLsn() const {
+  std::lock_guard<std::mutex> guard(latch_);
+  return stable_size_ + flushing_bytes_ + tail_.size();
+}
+
+Lsn SystemLog::end_of_stable_log() const {
+  std::lock_guard<std::mutex> guard(latch_);
+  return stable_size_;
+}
+
+void SystemLog::DiscardTail() {
+  std::lock_guard<std::mutex> guard(latch_);
+  tail_.clear();
+}
+
+Result<std::unique_ptr<LogReader>> LogReader::Open(const std::string& path,
+                                                   Lsn start, Lsn limit) {
+  std::string contents;
+  CWDB_RETURN_IF_ERROR(ReadWholeFile(path, &contents));
+  return std::unique_ptr<LogReader>(
+      new LogReader(std::move(contents), start, limit));
+}
+
+bool LogReader::Next(LogRecord* record, Lsn* lsn) {
+  while (true) {
+    if (limit_ != kInvalidLsn && pos_ >= limit_) return false;
+    if (pos_ + kFrameHeaderBytes > contents_.size()) return false;
+    uint32_t len = DecodeFixed32(contents_.data() + pos_);
+    uint32_t crc = DecodeFixed32(contents_.data() + pos_ + 4);
+    if (pos_ + kFrameHeaderBytes + len > contents_.size()) return false;
+    const char* payload = contents_.data() + pos_ + kFrameHeaderBytes;
+    if (Crc32c(payload, len) != crc) return false;  // Torn/corrupt tail.
+    Lsn this_lsn = pos_;
+    pos_ += kFrameHeaderBytes + len;
+    if (!DecodeLogRecord(Slice(payload, len), record)) {
+      // Framed but undecodable: treat as end of log (defensive).
+      return false;
+    }
+    if (lsn != nullptr) *lsn = this_lsn;
+    return true;
+  }
+}
+
+}  // namespace cwdb

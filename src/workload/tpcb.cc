@@ -1,0 +1,261 @@
+#include "workload/tpcb.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace cwdb {
+
+namespace {
+
+uint64_t RoundUpToPage(uint64_t n, uint32_t page) {
+  return (n + page - 1) & ~(uint64_t{page} - 1);
+}
+
+uint64_t TableFootprint(uint64_t capacity, uint32_t record_size,
+                        uint32_t page) {
+  return RoundUpToPage(BitmapBytes(capacity), page) +
+         RoundUpToPage(capacity * record_size, page);
+}
+
+}  // namespace
+
+uint64_t TpcbConfig::MinArenaSize(uint32_t page_size) const {
+  uint64_t total = RoundUpToPage(kTableDirOff + kTableDirBytes, page_size);
+  total += TableFootprint(accounts, record_size, page_size);
+  total += TableFootprint(tellers, record_size, page_size);
+  total += TableFootprint(branches, record_size, page_size);
+  total += TableFootprint(history_capacity, record_size, page_size);
+  total += 8 * page_size;  // Layout slack.
+  return total;
+}
+
+Status TpcbWorkload::Setup() {
+  CWDB_ASSIGN_OR_RETURN(Transaction * txn, db_->Begin());
+  auto create_and_load = [&](const char* name, uint64_t count,
+                             uint64_t capacity,
+                             TableId* out) -> Status {
+    CWDB_ASSIGN_OR_RETURN(
+        *out, db_->CreateTable(txn, name, config_.record_size, capacity));
+    std::string record(config_.record_size, '\0');
+    for (uint64_t i = 0; i < count; ++i) {
+      std::memcpy(record.data() + TpcbLayout::kIdOff, &i, 8);
+      int64_t balance = 0;
+      std::memcpy(record.data() + TpcbLayout::kBalanceOff, &balance, 8);
+      CWDB_ASSIGN_OR_RETURN(RecordId rid, db_->Insert(txn, *out, record));
+      (void)rid;
+      // Commit periodically so local logs stay bounded during the load.
+      if ((i + 1) % 5000 == 0) {
+        CWDB_RETURN_IF_ERROR(db_->Commit(txn));
+        CWDB_ASSIGN_OR_RETURN(txn, db_->Begin());
+      }
+    }
+    return Status::OK();
+  };
+  CWDB_RETURN_IF_ERROR(create_and_load("branch", config_.branches,
+                                       config_.branches, &branches_));
+  CWDB_RETURN_IF_ERROR(
+      create_and_load("teller", config_.tellers, config_.tellers, &tellers_));
+  CWDB_RETURN_IF_ERROR(create_and_load("account", config_.accounts,
+                                       config_.accounts, &accounts_));
+  CWDB_ASSIGN_OR_RETURN(
+      history_, db_->CreateTable(txn, "history", config_.record_size,
+                                 config_.history_capacity));
+  return db_->Commit(txn);
+}
+
+Status TpcbWorkload::Attach() {
+  CWDB_ASSIGN_OR_RETURN(branches_, db_->FindTable("branch"));
+  CWDB_ASSIGN_OR_RETURN(tellers_, db_->FindTable("teller"));
+  CWDB_ASSIGN_OR_RETURN(accounts_, db_->FindTable("account"));
+  CWDB_ASSIGN_OR_RETURN(history_, db_->FindTable("history"));
+  return Status::OK();
+}
+
+Status TpcbWorkload::UpdateBalance(Transaction* txn, TableId table,
+                                   uint32_t slot, int64_t delta) {
+  int64_t balance;
+  CWDB_RETURN_IF_ERROR(db_->ReadField(txn, table, slot,
+                                      TpcbLayout::kBalanceOff, 8, &balance));
+  balance += delta;
+  return db_->Update(txn, table, slot, TpcbLayout::kBalanceOff,
+                     Slice(reinterpret_cast<const char*>(&balance), 8));
+}
+
+Status TpcbWorkload::DoOperation(Transaction* txn, Random* rng) {
+  // Deltas in [-999999, +999999] as in TPC-B.
+  int64_t delta =
+      static_cast<int64_t>(rng->Uniform(1999999)) - 999999;
+  uint64_t account = rng->Uniform(config_.accounts);
+  uint64_t teller = rng->Uniform(config_.tellers);
+  uint64_t branch = teller % config_.branches;
+
+  if (config_.read_fraction > 0.0 &&
+      rng->Uniform(1000000) <
+          static_cast<uint64_t>(config_.read_fraction * 1000000)) {
+    // Balance inquiry: a pure read.
+    int64_t balance;
+    return db_->ReadField(txn, accounts_, static_cast<uint32_t>(account),
+                          TpcbLayout::kBalanceOff, 8, &balance);
+  }
+
+  CWDB_RETURN_IF_ERROR(
+      UpdateBalance(txn, accounts_, static_cast<uint32_t>(account), delta));
+  CWDB_RETURN_IF_ERROR(
+      UpdateBalance(txn, tellers_, static_cast<uint32_t>(teller), delta));
+  CWDB_RETURN_IF_ERROR(
+      UpdateBalance(txn, branches_, static_cast<uint32_t>(branch), delta));
+
+  std::string hist(config_.record_size, '\0');
+  std::memcpy(hist.data() + TpcbLayout::kHistAccountOff, &account, 8);
+  std::memcpy(hist.data() + TpcbLayout::kHistTellerOff, &teller, 8);
+  std::memcpy(hist.data() + TpcbLayout::kHistBranchOff, &branch, 8);
+  std::memcpy(hist.data() + TpcbLayout::kHistDeltaOff, &delta, 8);
+  CWDB_ASSIGN_OR_RETURN(RecordId rid, db_->Insert(txn, history_, hist));
+  (void)rid;
+  return Status::OK();
+}
+
+Status TpcbWorkload::RunOps(uint64_t n) {
+  CWDB_CHECK(accounts_ != kMaxTables) << "Setup()/Attach() not called";
+  Transaction* txn = nullptr;
+  for (uint64_t i = 0; i < n; ++i) {
+    if (txn == nullptr) {
+      CWDB_ASSIGN_OR_RETURN(txn, db_->Begin());
+    }
+    Status s = DoOperation(txn, &rng_);
+    if (!s.ok()) {
+      db_->Abort(txn);
+      return s;
+    }
+    ++ops_done_;
+    if ((i + 1) % config_.ops_per_txn == 0) {
+      CWDB_RETURN_IF_ERROR(db_->Commit(txn));
+      txn = nullptr;
+    }
+  }
+  if (txn != nullptr) {
+    CWDB_RETURN_IF_ERROR(db_->Commit(txn));
+  }
+  return Status::OK();
+}
+
+Result<double> TpcbWorkload::RunConcurrent(int threads, uint64_t n) {
+  CWDB_CHECK(accounts_ != kMaxTables) << "Setup()/Attach() not called";
+  CWDB_CHECK(threads > 0);
+  std::atomic<uint64_t> remaining{n};
+  std::atomic<uint64_t> done{0};
+  std::vector<std::thread> workers;
+  std::mutex err_mu;
+  Status first_error;
+
+  auto start = std::chrono::steady_clock::now();
+  for (int w = 0; w < threads; ++w) {
+    workers.emplace_back([&, w] {
+      Random rng(config_.seed * 7919 + static_cast<uint64_t>(w) + 1);
+      while (true) {
+        // Claim a batch (one transaction's worth of operations).
+        uint64_t want = config_.ops_per_txn;
+        uint64_t old = remaining.load();
+        do {
+          if (old == 0) return;
+          want = std::min<uint64_t>(config_.ops_per_txn, old);
+        } while (!remaining.compare_exchange_weak(old, old - want));
+
+        // Run the batch; a deadlock victim retries the whole transaction
+        // (its effects rolled back, the batch re-claimed by this worker).
+        while (true) {
+          auto txn = db_->Begin();
+          if (!txn.ok()) {
+            std::lock_guard<std::mutex> guard(err_mu);
+            if (first_error.ok()) first_error = txn.status();
+            return;
+          }
+          Status s;
+          for (uint64_t i = 0; i < want && s.ok(); ++i) {
+            s = DoOperation(*txn, &rng);
+          }
+          if (s.ok()) s = db_->Commit(*txn);
+          if (s.ok()) {
+            done.fetch_add(want);
+            break;
+          }
+          (void)db_->Abort(*txn);
+          if (!s.IsDeadlock()) {
+            std::lock_guard<std::mutex> guard(err_mu);
+            if (first_error.ok()) first_error = s;
+            return;
+          }
+          // Deadlock: back off briefly and retry the transaction.
+          std::this_thread::yield();
+        }
+      }
+    });
+  }
+  for (auto& worker : workers) worker.join();
+  auto end = std::chrono::steady_clock::now();
+  if (!first_error.ok()) return first_error;
+  ops_done_ += done.load();
+  double seconds = std::chrono::duration<double>(end - start).count();
+  return static_cast<double>(done.load()) / seconds;
+}
+
+Result<double> TpcbWorkload::RunTimed(uint64_t n) {
+  auto start = std::chrono::steady_clock::now();
+  CWDB_RETURN_IF_ERROR(RunOps(n));
+  auto end = std::chrono::steady_clock::now();
+  double seconds = std::chrono::duration<double>(end - start).count();
+  return static_cast<double>(n) / seconds;
+}
+
+int64_t TpcbWorkload::SumBalances(TableId table, uint64_t n) const {
+  int64_t sum = 0;
+  const DbImage* image = db_->image();
+  for (uint64_t i = 0; i < n; ++i) {
+    int64_t balance;
+    std::memcpy(&balance,
+                image->At(image->RecordOff(table, static_cast<uint32_t>(i))) +
+                    TpcbLayout::kBalanceOff,
+                8);
+    sum += balance;
+  }
+  return sum;
+}
+
+Status TpcbWorkload::CheckConsistency() const {
+  const DbImage* image = db_->image();
+  int64_t account_sum = SumBalances(accounts_, config_.accounts);
+  int64_t teller_sum = SumBalances(tellers_, config_.tellers);
+  int64_t branch_sum = SumBalances(branches_, config_.branches);
+
+  int64_t history_sum = 0;
+  uint64_t history_rows = 0;
+  const TableMetaRaw* hm = image->table_meta(history_);
+  for (uint64_t i = 0; i < hm->capacity; ++i) {
+    if (!image->SlotAllocated(history_, static_cast<uint32_t>(i))) continue;
+    ++history_rows;
+    int64_t delta;
+    std::memcpy(&delta,
+                image->At(image->RecordOff(history_,
+                                           static_cast<uint32_t>(i))) +
+                    TpcbLayout::kHistDeltaOff,
+                8);
+    history_sum += delta;
+  }
+  if (account_sum != teller_sum || teller_sum != branch_sum ||
+      branch_sum != history_sum) {
+    return Status::Corruption("TPC-B balance invariant violated");
+  }
+  if (history_rows != table_ops::CountRecords(*image, history_)) {
+    return Status::Corruption("history row count mismatch");
+  }
+  return Status::OK();
+}
+
+}  // namespace cwdb

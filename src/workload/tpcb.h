@@ -1,0 +1,109 @@
+#ifndef CWDB_WORKLOAD_TPCB_H_
+#define CWDB_WORKLOAD_TPCB_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/random.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "core/database.h"
+
+namespace cwdb {
+
+/// TPC-B style workload (paper §5.2): four tables — Branch, Teller,
+/// Account, History — with 100 bytes per record; 100,000 accounts, 10,000
+/// tellers and 1,000 branches (the ratios are deliberately flattened from
+/// TPC-B to limit CPU-cache effects on the small tables). An *operation*
+/// updates the balance of one account, one teller and one branch and
+/// appends a History record; transactions commit every 500 operations so
+/// commit (log force) time does not dominate.
+struct TpcbConfig {
+  uint64_t accounts = 100000;
+  uint64_t tellers = 10000;
+  uint64_t branches = 1000;
+  uint32_t record_size = 100;
+  uint32_t ops_per_txn = 500;
+  uint64_t seed = 42;
+  /// Capacity of the History table (must cover all operations to be run).
+  uint64_t history_capacity = 120000;
+
+  /// Fraction of operations that are balance *inquiries* (read the account
+  /// balance, write nothing). The paper's Table 2 workload is pure update
+  /// (read_fraction = 0); the knob exposes the read/write asymmetry of the
+  /// schemes — prechecking taxes reads, codeword maintenance taxes writes.
+  double read_fraction = 0.0;
+
+  /// Minimum arena size that fits the four tables (plus slack for layout).
+  uint64_t MinArenaSize(uint32_t page_size) const;
+};
+
+/// Record layouts within the fixed 100 bytes.
+struct TpcbLayout {
+  static constexpr uint32_t kIdOff = 0;        // u64 key
+  static constexpr uint32_t kBalanceOff = 8;   // i64 balance (non-key)
+  // History record fields.
+  static constexpr uint32_t kHistAccountOff = 0;
+  static constexpr uint32_t kHistTellerOff = 8;
+  static constexpr uint32_t kHistBranchOff = 16;
+  static constexpr uint32_t kHistDeltaOff = 24;
+};
+
+class TpcbWorkload {
+ public:
+  TpcbWorkload(Database* db, const TpcbConfig& config)
+      : db_(db), config_(config), rng_(config.seed) {}
+
+  /// Creates the four tables and loads the initial records (balance 0).
+  Status Setup();
+
+  /// Binds to tables created by a previous Setup (e.g. after recovery).
+  Status Attach();
+
+  /// Runs `n` operations, committing every config.ops_per_txn. Any open
+  /// transaction is committed at the end.
+  Status RunOps(uint64_t n);
+
+  /// Runs `n` operations and returns operations per second.
+  Result<double> RunTimed(uint64_t n);
+
+  /// Runs ~`n` operations split across `threads` concurrent workers, each
+  /// committing every ops_per_txn operations. Deadlock victims retry their
+  /// transaction. Returns aggregate operations per second. (The paper ran
+  /// a single process — §5.2 footnote 3 — so this mode is an extension
+  /// used for concurrency stress, not for Table 2.)
+  Result<double> RunConcurrent(int threads, uint64_t n);
+
+  /// Verifies the TPC-B invariants: the sum of account balance deltas, the
+  /// sum of teller deltas, the sum of branch deltas and the sum of History
+  /// deltas are all equal, and the History row count matches.
+  Status CheckConsistency() const;
+
+  /// Total operations successfully executed so far.
+  uint64_t ops_done() const { return ops_done_; }
+
+  TableId accounts() const { return accounts_; }
+  TableId tellers() const { return tellers_; }
+  TableId branches() const { return branches_; }
+  TableId history() const { return history_; }
+
+ private:
+  /// One TPC-B operation inside `txn`, drawing randomness from `rng`.
+  Status DoOperation(Transaction* txn, Random* rng);
+  Status UpdateBalance(Transaction* txn, TableId table, uint32_t slot,
+                       int64_t delta);
+  int64_t SumBalances(TableId table, uint64_t n) const;
+
+  Database* db_;
+  TpcbConfig config_;
+  Random rng_;
+  TableId accounts_ = kMaxTables;
+  TableId tellers_ = kMaxTables;
+  TableId branches_ = kMaxTables;
+  TableId history_ = kMaxTables;
+  uint64_t ops_done_ = 0;
+};
+
+}  // namespace cwdb
+
+#endif  // CWDB_WORKLOAD_TPCB_H_

@@ -1,0 +1,257 @@
+// Checkpointer tests: ping-pong alternation, anchor atomicity, ATT
+// serialization round trips, update-consistency of checkpoints taken with
+// transactions in flight, and certification audits.
+
+#include <gtest/gtest.h>
+
+#include "ckpt/att_codec.h"
+#include "ckpt/checkpoint.h"
+#include "common/file_util.h"
+#include "core/database.h"
+#include "tests/test_util.h"
+
+namespace cwdb {
+namespace {
+
+class CkptTest : public ::testing::Test {
+ protected:
+  void Open(ProtectionScheme scheme = ProtectionScheme::kDataCodeword) {
+    auto db = Database::Open(SmallDbOptions(dir_.path(), scheme));
+    ASSERT_TRUE(db.ok());
+    db_ = std::move(db).value();
+  }
+  TempDir dir_;
+  std::unique_ptr<Database> db_;
+};
+
+TEST_F(CkptTest, FreshDatabaseAnchorsToA) {
+  Open();
+  auto anchor = db_->checkpointer()->ReadAnchor();
+  ASSERT_TRUE(anchor.ok());
+  EXPECT_EQ(*anchor, 0);
+  EXPECT_TRUE(FileExists(dir_.path() + "/ckpt_A.img"));
+  EXPECT_TRUE(FileExists(dir_.path() + "/ckpt_B.img"));
+}
+
+TEST_F(CkptTest, CheckpointsAlternate) {
+  Open();
+  ASSERT_OK(db_->Checkpoint());
+  auto anchor = db_->checkpointer()->ReadAnchor();
+  ASSERT_TRUE(anchor.ok());
+  EXPECT_EQ(*anchor, 1);  // A (initial) -> B.
+  ASSERT_OK(db_->Checkpoint());
+  anchor = db_->checkpointer()->ReadAnchor();
+  ASSERT_TRUE(anchor.ok());
+  EXPECT_EQ(*anchor, 0);  // -> A.
+  // Initial full checkpoint + the two explicit ones.
+  EXPECT_EQ(db_->checkpointer()->checkpoints_taken(), 3u);
+}
+
+TEST_F(CkptTest, DeltaCheckpointWritesOnlyDirtyPages) {
+  Open();
+  // First two checkpoints write everything (both images start all-dirty).
+  ASSERT_OK(db_->Checkpoint());
+  ASSERT_OK(db_->Checkpoint());
+  // No writes since: next checkpoint writes nothing.
+  ASSERT_OK(db_->Checkpoint());
+  EXPECT_EQ(db_->checkpointer()->pages_written_last(), 0u);
+
+  // One small committed update dirties a handful of pages.
+  auto txn = db_->Begin();
+  auto t = db_->CreateTable(*txn, "t", 64, 64);
+  ASSERT_TRUE(t.ok());
+  ASSERT_TRUE(db_->Insert(*txn, *t, std::string(64, 'd')).ok());
+  ASSERT_OK(db_->Commit(*txn));
+  ASSERT_OK(db_->Checkpoint());
+  uint64_t pages = db_->checkpointer()->pages_written_last();
+  EXPECT_GT(pages, 0u);
+  EXPECT_LT(pages, 16u);  // Far from the full ~1000-page arena.
+}
+
+TEST_F(CkptTest, PingPongCoversBothWindows) {
+  // A page dirtied once must eventually be written to BOTH images (it is
+  // dirty relative to each until that image absorbs it).
+  Open();
+  auto txn = db_->Begin();
+  auto t = db_->CreateTable(*txn, "t", 64, 64);
+  ASSERT_TRUE(t.ok());
+  ASSERT_TRUE(db_->Insert(*txn, *t, std::string(64, 'p')).ok());
+  ASSERT_OK(db_->Commit(*txn));
+
+  ASSERT_OK(db_->Checkpoint());  // Writes to B.
+  uint64_t to_b = db_->checkpointer()->pages_written_last();
+  ASSERT_OK(db_->Checkpoint());  // Must also write the same data to A.
+  uint64_t to_a = db_->checkpointer()->pages_written_last();
+  EXPECT_GT(to_b, 0u);
+  EXPECT_GT(to_a, 0u);
+
+  // Crash: recovery must find complete data whichever image is active.
+  ASSERT_OK(db_->CrashAndRecover());
+  EXPECT_EQ(db_->CountRecords(*db_->FindTable("t")), 1u);
+}
+
+TEST_F(CkptTest, CheckpointWithOpenTransactionIsUpdateConsistent) {
+  Open();
+  auto txn = db_->Begin();
+  auto t = db_->CreateTable(*txn, "t", 64, 64);
+  ASSERT_TRUE(t.ok());
+  auto rid = db_->Insert(*txn, *t, std::string(64, 'c'));
+  ASSERT_TRUE(rid.ok());
+  ASSERT_OK(db_->Commit(*txn));
+
+  // Open transaction updates the record, then a checkpoint runs, then the
+  // transaction never commits (crash). The checkpointed ATT's undo log
+  // must roll the update back.
+  txn = db_->Begin();
+  ASSERT_OK(db_->Update(*txn, *t, rid->slot, 0, "UNCOMMITTED"));
+  ASSERT_OK(db_->Checkpoint());
+  ASSERT_OK(db_->CrashAndRecover());
+
+  auto t2 = db_->FindTable("t");
+  ASSERT_TRUE(t2.ok());
+  auto txn2 = db_->Begin();
+  std::string got;
+  ASSERT_OK(db_->Read(*txn2, *t2, rid->slot, &got));
+  EXPECT_EQ(got, std::string(64, 'c'));
+  ASSERT_OK(db_->Commit(*txn2));
+  EXPECT_EQ(db_->last_recovery_report().rolled_back_txns.size(), 1u);
+}
+
+TEST_F(CkptTest, RecoveryUsesCheckpointNotFullLog) {
+  Open();
+  auto txn = db_->Begin();
+  auto t = db_->CreateTable(*txn, "t", 64, 512);
+  ASSERT_TRUE(t.ok());
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(db_->Insert(*txn, *t, std::string(64, 'x')).ok());
+  }
+  ASSERT_OK(db_->Commit(*txn));
+  ASSERT_OK(db_->Checkpoint());
+
+  ASSERT_OK(db_->CrashAndRecover());
+  // Everything was in the checkpoint; redo had (almost) nothing to apply.
+  EXPECT_EQ(db_->last_recovery_report().redo_records_applied, 0u);
+  EXPECT_EQ(db_->CountRecords(*db_->FindTable("t")), 100u);
+}
+
+TEST_F(CkptTest, AttCodecRoundTrip) {
+  Open();
+  auto txn = db_->Begin();
+  auto t = db_->CreateTable(*txn, "t", 64, 64);
+  ASSERT_TRUE(t.ok());
+  auto rid = db_->Insert(*txn, *t, std::string(64, 'a'));
+  ASSERT_TRUE(rid.ok());
+  ASSERT_OK(db_->Update(*txn, *t, rid->slot, 4, "zz"));
+  // txn still open: 3 logical undo entries (create, insert, update).
+  std::string blob = EncodeAtt(*db_->txns());
+
+  // Decode into a scratch manager and compare.
+  auto image = DbImage::Create(4 << 20, 4096);
+  ASSERT_TRUE(image.ok());
+  ProtectionOptions popts;
+  auto prot = ProtectionManager::Create(popts, image->get());
+  ASSERT_TRUE(prot.ok());
+  auto log = SystemLog::Open(dir_.path() + "/scratch.log");
+  ASSERT_TRUE(log.ok());
+  TxnManager scratch(image->get(), prot->get(), log->get());
+  ASSERT_OK(DecodeAttInto(blob, &scratch));
+  ASSERT_EQ(scratch.att().size(), 1u);
+  const auto& recovered = *scratch.att().begin()->second;
+  EXPECT_EQ(recovered.id(), (*txn)->id());
+  ASSERT_EQ(recovered.undo_log().size(), 3u);
+  EXPECT_EQ(recovered.undo_log()[0].undo.code, UndoCode::kDropTable);
+  EXPECT_EQ(recovered.undo_log()[1].undo.code, UndoCode::kDeleteSlot);
+  EXPECT_EQ(recovered.undo_log()[2].undo.code, UndoCode::kWriteField);
+  EXPECT_EQ(recovered.undo_log()[2].undo.payload.size(), 2u);
+  ASSERT_OK(db_->Abort(*txn));
+}
+
+TEST_F(CkptTest, AttCodecRejectsTruncation) {
+  Open();
+  auto txn = db_->Begin();
+  auto t = db_->CreateTable(*txn, "t", 64, 64);
+  ASSERT_TRUE(t.ok());
+  std::string blob = EncodeAtt(*db_->txns());
+  blob.resize(blob.size() / 2);
+  auto image = DbImage::Create(4 << 20, 4096);
+  ProtectionOptions popts;
+  auto prot = ProtectionManager::Create(popts, image->get());
+  auto log = SystemLog::Open(dir_.path() + "/scratch2.log");
+  TxnManager scratch(image->get(), prot->get(), log->get());
+  EXPECT_TRUE(DecodeAttInto(blob, &scratch).IsCorruption());
+  ASSERT_OK(db_->Abort(*txn));
+}
+
+TEST_F(CkptTest, MetaCrcDetectsTampering) {
+  Open();
+  ASSERT_OK(db_->Checkpoint());
+  auto anchor = db_->checkpointer()->ReadAnchor();
+  ASSERT_TRUE(anchor.ok());
+  std::string meta_path =
+      dir_.path() + (*anchor == 0 ? "/ckpt_A.meta" : "/ckpt_B.meta");
+  std::string contents;
+  ASSERT_OK(ReadFileToString(meta_path, &contents));
+  contents[10] ^= 0xFF;
+  ASSERT_OK(WriteFileAtomic(meta_path, contents));
+  // Next open must refuse the damaged meta.
+  db_.reset();
+  auto reopened =
+      Database::Open(SmallDbOptions(dir_.path(), ProtectionScheme::kDataCodeword));
+  EXPECT_FALSE(reopened.ok());
+  EXPECT_TRUE(reopened.status().IsCorruption());
+}
+
+TEST_F(CkptTest, CertificationAuditsUntouchedPagesToo) {
+  // §4.2: "Even if none of the dirty pages has direct physical corruption,
+  // it is possible that a 'clean' page has direct corruption, and a
+  // transaction has carried this corruption over to a page that was
+  // written out." Certification must therefore audit EVERY page, not just
+  // the checkpoint delta.
+  Open();
+  auto txn = db_->Begin();
+  auto t = db_->CreateTable(*txn, "t", 64, 512);
+  ASSERT_TRUE(t.ok());
+  auto stale = db_->Insert(*txn, *t, std::string(64, 's'));
+  ASSERT_TRUE(stale.ok());
+  ASSERT_OK(db_->Commit(*txn));
+  // Absorb everything into both ping-pong images: `stale` is now clean
+  // w.r.t. both, so it will not be in the next checkpoint's delta.
+  ASSERT_OK(db_->Checkpoint());
+  ASSERT_OK(db_->Checkpoint());
+
+  // Corrupt the untouched record, then dirty a DIFFERENT page.
+  db_->UnsafeRawBase()[db_->image()->RecordOff(*t, stale->slot)] ^= 0xFF;
+  txn = db_->Begin();
+  auto fresh = db_->Insert(*txn, *t, std::string(64, 'f'));
+  ASSERT_TRUE(fresh.ok());
+  ASSERT_OK(db_->Commit(*txn));
+
+  Status s = db_->Checkpoint();
+  EXPECT_TRUE(s.IsCorruption())
+      << "certification must audit pages outside the delta";
+}
+
+TEST_F(CkptTest, CertifiedCheckpointDoesNotToggleOnCorruption) {
+  Open();
+  auto txn = db_->Begin();
+  auto t = db_->CreateTable(*txn, "t", 64, 64);
+  ASSERT_TRUE(t.ok());
+  auto rid = db_->Insert(*txn, *t, std::string(64, 'k'));
+  ASSERT_TRUE(rid.ok());
+  ASSERT_OK(db_->Commit(*txn));
+  ASSERT_OK(db_->Checkpoint());
+  auto anchor_before = db_->checkpointer()->ReadAnchor();
+  ASSERT_TRUE(anchor_before.ok());
+
+  // Corrupt, then attempt a certified checkpoint: must fail and keep the
+  // anchor on the clean image.
+  db_->UnsafeRawBase()[db_->image()->RecordOff(*t, rid->slot)] ^= 0xFF;
+  Status s = db_->Checkpoint();
+  EXPECT_TRUE(s.IsCorruption());
+  auto anchor_after = db_->checkpointer()->ReadAnchor();
+  ASSERT_TRUE(anchor_after.ok());
+  EXPECT_EQ(*anchor_before, *anchor_after);
+}
+
+}  // namespace
+}  // namespace cwdb

@@ -1,0 +1,154 @@
+// Cross-scheme compatibility and option validation: a database written
+// under one protection scheme must recover correctly when reopened under
+// another (the log format is scheme-agnostic; read log records and
+// checksums are simply ignored where not needed), and bad options must be
+// rejected up front.
+
+#include <gtest/gtest.h>
+
+#include "core/database.h"
+#include "tests/test_util.h"
+
+namespace cwdb {
+namespace {
+
+class SchemeSwitchTest
+    : public ::testing::TestWithParam<
+          std::pair<ProtectionScheme, ProtectionScheme>> {};
+
+TEST_P(SchemeSwitchTest, ReopenUnderDifferentScheme) {
+  TempDir dir;
+  RecordId rid;
+  {
+    auto db = Database::Open(SmallDbOptions(dir.path(), GetParam().first));
+    ASSERT_TRUE(db.ok());
+    auto txn = (*db)->Begin();
+    auto t = (*db)->CreateTable(*txn, "t", 64, 32);
+    ASSERT_TRUE(t.ok());
+    auto r = (*db)->Insert(*txn, *t, std::string(64, 'm'));
+    ASSERT_TRUE(r.ok());
+    rid = *r;
+    std::string got;
+    ASSERT_OK((*db)->Read(*txn, *t, rid.slot, &got));  // May emit read log.
+    ASSERT_OK((*db)->Commit(*txn));
+    // Destroyed without clean shutdown: reopen must recover from the log.
+  }
+  auto db = Database::Open(SmallDbOptions(dir.path(), GetParam().second));
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  auto t = (*db)->FindTable("t");
+  ASSERT_TRUE(t.ok());
+  auto txn = (*db)->Begin();
+  std::string got;
+  ASSERT_OK((*db)->Read(*txn, *t, rid.slot, &got));
+  EXPECT_EQ(got, std::string(64, 'm'));
+  ASSERT_OK((*db)->Commit(*txn));
+  auto audit = (*db)->Audit();
+  ASSERT_TRUE(audit.ok());
+  EXPECT_TRUE(audit->clean);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Pairs, SchemeSwitchTest,
+    ::testing::Values(
+        std::make_pair(ProtectionScheme::kReadLog, ProtectionScheme::kNone),
+        std::make_pair(ProtectionScheme::kNone, ProtectionScheme::kReadLog),
+        std::make_pair(ProtectionScheme::kCodewordReadLog,
+                       ProtectionScheme::kDataCodeword),
+        std::make_pair(ProtectionScheme::kHardware,
+                       ProtectionScheme::kReadPrecheck),
+        std::make_pair(ProtectionScheme::kDataCodeword,
+                       ProtectionScheme::kHardware)),
+    [](const auto& info) {
+      auto name = [](ProtectionScheme s) {
+        switch (s) {
+          case ProtectionScheme::kNone: return "Baseline";
+          case ProtectionScheme::kDataCodeword: return "DataCW";
+          case ProtectionScheme::kReadPrecheck: return "Precheck";
+          case ProtectionScheme::kReadLog: return "ReadLog";
+          case ProtectionScheme::kCodewordReadLog: return "CWReadLog";
+          case ProtectionScheme::kHardware: return "Hardware";
+        }
+        return "?";
+      };
+      return std::string(name(info.param.first)) + "_to_" +
+             name(info.param.second);
+    });
+
+TEST(SchemeSwitch, RegionSizeChangeIsTransparent) {
+  // Codewords are volatile (rebuilt from the image at open), so the region
+  // size can change between runs.
+  TempDir dir;
+  {
+    auto db = Database::Open(
+        SmallDbOptions(dir.path(), ProtectionScheme::kDataCodeword, 64));
+    ASSERT_TRUE(db.ok());
+    auto txn = (*db)->Begin();
+    auto t = (*db)->CreateTable(*txn, "t", 64, 16);
+    ASSERT_TRUE(t.ok());
+    ASSERT_TRUE((*db)->Insert(*txn, *t, std::string(64, 'z')).ok());
+    ASSERT_OK((*db)->Commit(*txn));
+  }
+  auto db = Database::Open(
+      SmallDbOptions(dir.path(), ProtectionScheme::kDataCodeword, 8192));
+  ASSERT_TRUE(db.ok());
+  auto audit = (*db)->Audit();
+  ASSERT_TRUE(audit.ok());
+  EXPECT_TRUE(audit->clean);
+  EXPECT_EQ((*db)->CountRecords(*(*db)->FindTable("t")), 1u);
+}
+
+TEST(OptionsValidation, RejectsBadConfigurations) {
+  TempDir dir;
+  {
+    DatabaseOptions opts = SmallDbOptions(dir.path() + "/a",
+                                          ProtectionScheme::kDataCodeword);
+    opts.protection.region_size = 100;  // Not a power of two.
+    EXPECT_FALSE(Database::Open(opts).ok());
+  }
+  {
+    DatabaseOptions opts =
+        SmallDbOptions(dir.path() + "/b", ProtectionScheme::kNone);
+    opts.page_size = 100;  // Not a power of two.
+    EXPECT_FALSE(Database::Open(opts).ok());
+  }
+  {
+    DatabaseOptions opts =
+        SmallDbOptions(dir.path() + "/c", ProtectionScheme::kNone);
+    opts.page_size = 1024;  // Smaller than the OS page.
+    EXPECT_FALSE(Database::Open(opts).ok());
+  }
+  {
+    DatabaseOptions opts =
+        SmallDbOptions(dir.path() + "/d", ProtectionScheme::kNone);
+    opts.arena_size = opts.page_size;  // Too small for the directory.
+    EXPECT_FALSE(Database::Open(opts).ok());
+  }
+  {
+    DatabaseOptions opts;  // No path.
+    EXPECT_FALSE(Database::Open(opts).ok());
+  }
+  {
+    DatabaseOptions opts = SmallDbOptions(dir.path() + "/e",
+                                          ProtectionScheme::kDataCodeword);
+    opts.protection.region_size = 4;  // Below the 8-byte minimum.
+    EXPECT_FALSE(Database::Open(opts).ok());
+  }
+}
+
+TEST(OptionsValidation, GeometryMismatchOnReopenIsRefused) {
+  TempDir dir;
+  {
+    auto db =
+        Database::Open(SmallDbOptions(dir.path(), ProtectionScheme::kNone));
+    ASSERT_TRUE(db.ok());
+    ASSERT_OK((*db)->Checkpoint());
+  }
+  DatabaseOptions opts = SmallDbOptions(dir.path(), ProtectionScheme::kNone);
+  opts.arena_size *= 2;  // Different geometry than the checkpoint.
+  auto db = Database::Open(opts);
+  EXPECT_FALSE(db.ok());
+  EXPECT_TRUE(db.status().IsCorruption());
+}
+
+}  // namespace
+}  // namespace cwdb

@@ -1,0 +1,414 @@
+// Tests of the delete-transaction corruption recovery model (paper §4.1 /
+// §4.3): tracing indirect corruption through read log records, deleting the
+// affected transactions from history, conflict cascades, the
+// codeword-read-log extension (view-consistency; recovery on every
+// restart), and conflict-consistency of the resulting delete history.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <map>
+
+#include "core/database.h"
+#include "faultinject/fault_injector.h"
+#include "tests/test_util.h"
+
+namespace cwdb {
+namespace {
+
+// Record size == region size so each record occupies exactly one
+// protection region; corruption granularity then maps 1:1 to records and
+// the scenarios below stay surgical.
+constexpr uint32_t kRec = 128;
+
+class CorruptionRecoveryTest
+    : public ::testing::TestWithParam<ProtectionScheme> {
+ protected:
+  void Open() {
+    auto db = Database::Open(SmallDbOptions(dir_.path(), GetParam(), kRec));
+    ASSERT_TRUE(db.ok()) << db.status().ToString();
+    db_ = std::move(db).value();
+  }
+
+  // Creates a table of 8 records r0..r7, each filled with its index
+  // character, commits and checkpoints (certified clean).
+  void SetupRecords() {
+    auto txn = db_->Begin();
+    auto t = db_->CreateTable(*txn, "t", kRec, 64);
+    ASSERT_TRUE(t.ok());
+    table_ = *t;
+    for (int i = 0; i < 8; ++i) {
+      auto rid = db_->Insert(*txn, table_, std::string(kRec, '0' + i));
+      ASSERT_TRUE(rid.ok());
+      slots_[i] = rid->slot;
+    }
+    ASSERT_OK(db_->Commit(*txn));
+    ASSERT_OK(db_->Checkpoint());
+  }
+
+  std::string ReadRecordCommitted(int i) {
+    auto txn = db_->Begin();
+    std::string got;
+    Status s = db_->Read(*txn, table_, slots_[i], &got);
+    EXPECT_TRUE(s.ok()) << s.ToString();
+    EXPECT_TRUE(db_->Commit(*txn).ok());
+    return got;
+  }
+
+  // One transaction: read record `src`, then write the value read (or a
+  // constant) into the front of record `dst`. Returns its txn id.
+  TxnId ReadThenWrite(int src, int dst, const std::string& tag) {
+    auto txn = db_->Begin();
+    EXPECT_TRUE(txn.ok());
+    TxnId id = (*txn)->id();
+    std::string got;
+    EXPECT_OK(db_->Read(*txn, table_, slots_[src], &got));
+    // Derive the written value from the read (carrying corruption).
+    std::string out = tag + got.substr(0, 8);
+    EXPECT_OK(db_->Update(*txn, table_, slots_[dst], 0, out));
+    EXPECT_OK(db_->Commit(*txn));
+    return id;
+  }
+
+  void Corrupt(int i, const std::string& garbage) {
+    FaultInjector inject(db_.get(), 17);
+    DbPtr off = db_->image()->RecordOff(table_, slots_[i]);
+    auto outcome = inject.WildWriteAt(off, garbage);
+    ASSERT_FALSE(outcome.prevented);
+    ASSERT_TRUE(outcome.changed_bits);
+  }
+
+  // Audit (expected to fail), then crash + corruption recovery.
+  void DetectAndRecover() {
+    auto report = db_->Audit();
+    ASSERT_TRUE(report.ok());
+    ASSERT_FALSE(report->clean) << "audit should have caught the wild write";
+    ASSERT_OK(db_->CrashAndRecover());
+  }
+
+  bool WasDeleted(TxnId id) {
+    const auto& deleted = db_->last_recovery_report().deleted_txns;
+    return std::find(deleted.begin(), deleted.end(), id) != deleted.end();
+  }
+
+  TempDir dir_;
+  std::unique_ptr<Database> db_;
+  TableId table_ = 0;
+  uint32_t slots_[8] = {};
+};
+
+TEST_P(CorruptionRecoveryTest, ReaderOfCorruptDataIsDeleted) {
+  Open();
+  SetupRecords();
+
+  TxnId clean_before = ReadThenWrite(0, 4, "CB");  // Clean: runs pre-corruption.
+  Corrupt(1, "WILDWILDWILD");
+  TxnId carrier = ReadThenWrite(1, 5, "XX");   // Reads corrupt r1, writes r5.
+  TxnId clean_after = ReadThenWrite(0, 6, "CA");  // Touches neither.
+
+  DetectAndRecover();
+
+  EXPECT_FALSE(WasDeleted(clean_before));
+  EXPECT_TRUE(WasDeleted(carrier));
+  EXPECT_FALSE(WasDeleted(clean_after));
+
+  // r1: direct corruption is gone (image rebuilt from certified checkpoint
+  // + clean redo).
+  EXPECT_EQ(ReadRecordCommitted(1), std::string(kRec, '1'));
+  // r5: the carrier's write was removed from history.
+  EXPECT_EQ(ReadRecordCommitted(5), std::string(kRec, '5'));
+  // r4, r6: clean writes survive.
+  EXPECT_EQ(ReadRecordCommitted(4).substr(0, 2), "CB");
+  EXPECT_EQ(ReadRecordCommitted(6).substr(0, 2), "CA");
+  // Post-recovery database is clean.
+  auto audit = db_->Audit();
+  ASSERT_TRUE(audit.ok());
+  EXPECT_TRUE(audit->clean);
+}
+
+TEST_P(CorruptionRecoveryTest, IndirectCorruptionPropagatesTransitively) {
+  Open();
+  SetupRecords();
+
+  Corrupt(1, "GARBAGE");
+  TxnId t2 = ReadThenWrite(1, 2, "XX");  // Carries corruption r1 -> r2.
+  TxnId t3 = ReadThenWrite(2, 3, "YY");  // Carries r2 -> r3.
+  TxnId t4 = ReadThenWrite(0, 7, "ZZ");  // Clean.
+
+  DetectAndRecover();
+
+  EXPECT_TRUE(WasDeleted(t2));
+  EXPECT_TRUE(WasDeleted(t3));
+  EXPECT_FALSE(WasDeleted(t4));
+  EXPECT_EQ(ReadRecordCommitted(2), std::string(kRec, '2'));
+  EXPECT_EQ(ReadRecordCommitted(3), std::string(kRec, '3'));
+  EXPECT_EQ(ReadRecordCommitted(7).substr(0, 2), "ZZ");
+}
+
+TEST_P(CorruptionRecoveryTest, ConflictingOperationCascades) {
+  Open();
+  SetupRecords();
+
+  Corrupt(1, "BADBYTES");
+
+  // t_a writes r6 BEFORE reading corrupt r1: its undo log has a logical
+  // entry for r6 when it becomes corrupt.
+  auto txn = db_->Begin();
+  TxnId t_a = (*txn)->id();
+  ASSERT_OK(db_->Update(*txn, table_, slots_[6], 0, "AAAA"));
+  std::string got;
+  ASSERT_OK(db_->Read(*txn, table_, slots_[1], &got));  // Poison.
+  ASSERT_OK(db_->Update(*txn, table_, slots_[7], 0, "AFTER"));
+  ASSERT_OK(db_->Commit(*txn));
+
+  // t_b then operates on r6 — conflicting with t_a's undo. To roll t_a
+  // back, t_b must be deleted as well (§4.3 begin-op conflict rule).
+  TxnId t_b = ReadThenWrite(0, 6, "BB");
+
+  DetectAndRecover();
+
+  EXPECT_TRUE(WasDeleted(t_a));
+  EXPECT_TRUE(WasDeleted(t_b));
+  // r6 and r7 back to their pre-t_a values.
+  EXPECT_EQ(ReadRecordCommitted(6), std::string(kRec, '6'));
+  EXPECT_EQ(ReadRecordCommitted(7), std::string(kRec, '7'));
+}
+
+TEST_P(CorruptionRecoveryTest, DataWrittenBeforeCorruptReadIsAlsoRemoved) {
+  // A deleted transaction is deleted *entirely*: even writes that happened
+  // before it read corrupt data are rolled back (the delete-history
+  // removes all of its reads and writes).
+  Open();
+  SetupRecords();
+
+  Corrupt(1, "NASTY");
+  auto txn = db_->Begin();
+  TxnId id = (*txn)->id();
+  ASSERT_OK(db_->Update(*txn, table_, slots_[4], 0, "EARLY"));
+  std::string got;
+  ASSERT_OK(db_->Read(*txn, table_, slots_[1], &got));
+  ASSERT_OK(db_->Commit(*txn));
+
+  DetectAndRecover();
+  EXPECT_TRUE(WasDeleted(id));
+  EXPECT_EQ(ReadRecordCommitted(4), std::string(kRec, '4'));
+}
+
+TEST_P(CorruptionRecoveryTest, UncorruptedHistoryAllSurvives) {
+  // Corruption in a region nobody reads: no transaction is deleted.
+  Open();
+  SetupRecords();
+  TxnId t1 = ReadThenWrite(0, 4, "T1");
+  Corrupt(7, "LONELY");
+  TxnId t2 = ReadThenWrite(0, 5, "T2");
+
+  DetectAndRecover();
+  EXPECT_FALSE(WasDeleted(t1));
+  EXPECT_FALSE(WasDeleted(t2));
+  EXPECT_TRUE(db_->last_recovery_report().deleted_txns.empty());
+  EXPECT_EQ(ReadRecordCommitted(7), std::string(kRec, '7'));
+  EXPECT_EQ(ReadRecordCommitted(4).substr(0, 2), "T1");
+  EXPECT_EQ(ReadRecordCommitted(5).substr(0, 2), "T2");
+}
+
+TEST_P(CorruptionRecoveryTest, NoteSurvivesProcessDeathAndDrivesNextOpen) {
+  // The "cause the database to crash" path end-to-end across a real
+  // process boundary: the audit notes the corruption durably, the process
+  // dies without running recovery, and the *next open* runs the
+  // delete-transaction algorithm from the note.
+  Open();
+  SetupRecords();
+  Corrupt(1, "PERSIST");
+  TxnId carrier = ReadThenWrite(1, 5, "XX");
+
+  auto report = db_->Audit();
+  ASSERT_TRUE(report.ok());
+  ASSERT_FALSE(report->clean);
+  // Destroy without recovering — like a process kill after the note.
+  db_.reset();
+
+  auto reopened =
+      Database::Open(SmallDbOptions(dir_.path(), GetParam(), kRec));
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  db_ = std::move(reopened).value();
+  EXPECT_TRUE(WasDeleted(carrier));
+  EXPECT_EQ(ReadRecordCommitted(5), std::string(kRec, '5'));
+  auto audit = db_->Audit();
+  ASSERT_TRUE(audit.ok());
+  EXPECT_TRUE(audit->clean);
+}
+
+TEST_P(CorruptionRecoveryTest, RecoveryIsStable) {
+  // A second crash right after corruption recovery must not rediscover the
+  // corruption (the final checkpoint guarantees this, §4.3).
+  Open();
+  SetupRecords();
+  Corrupt(1, "ZOMBIE");
+  TxnId carrier = ReadThenWrite(1, 5, "XX");
+  DetectAndRecover();
+  ASSERT_TRUE(WasDeleted(carrier));
+
+  TxnId after = ReadThenWrite(0, 6, "OK");
+  ASSERT_OK(db_->CrashAndRecover());
+  EXPECT_FALSE(WasDeleted(after));
+  EXPECT_TRUE(db_->last_recovery_report().deleted_txns.empty());
+  EXPECT_EQ(ReadRecordCommitted(6).substr(0, 2), "OK");
+}
+
+INSTANTIATE_TEST_SUITE_P(Schemes, CorruptionRecoveryTest,
+                         ::testing::Values(ProtectionScheme::kReadLog,
+                                           ProtectionScheme::kCodewordReadLog),
+                         [](const auto& info) {
+                           return info.param == ProtectionScheme::kReadLog
+                                      ? std::string("ReadLog")
+                                      : std::string("CWReadLog");
+                         });
+
+// ---------- Codeword Read Logging extension specifics ----------
+
+class CwReadLogTest : public ::testing::Test {
+ protected:
+  void Open() {
+    auto db = Database::Open(SmallDbOptions(
+        dir_.path(), ProtectionScheme::kCodewordReadLog, kRec));
+    ASSERT_TRUE(db.ok());
+    db_ = std::move(db).value();
+  }
+  TempDir dir_;
+  std::unique_ptr<Database> db_;
+};
+
+TEST_F(CwReadLogTest, DetectsCorruptionOnPlainRestartWithoutAudit) {
+  // §4.3 Extension: with codewords in read log records, corruption that was
+  // never caught by an audit is still detected at the next restart, because
+  // the logged checksums disagree with the recovered image.
+  Open();
+  auto txn = db_->Begin();
+  auto t = db_->CreateTable(*txn, "t", kRec, 16);
+  ASSERT_TRUE(t.ok());
+  auto r1 = db_->Insert(*txn, *t, std::string(kRec, 'a'));
+  auto r2 = db_->Insert(*txn, *t, std::string(kRec, 'b'));
+  ASSERT_TRUE(r1.ok() && r2.ok());
+  ASSERT_OK(db_->Commit(*txn));
+  ASSERT_OK(db_->Checkpoint());
+
+  FaultInjector inject(db_.get(), 23);
+  inject.WildWriteAt(db_->image()->RecordOff(*t, r1->slot), "SILENT");
+
+  // A transaction reads the corrupted record and writes another — no audit
+  // runs, then the process dies.
+  txn = db_->Begin();
+  TxnId carrier = (*txn)->id();
+  std::string got;
+  ASSERT_OK(db_->Read(*txn, *t, r1->slot, &got));
+  ASSERT_OK(db_->Update(*txn, *t, r2->slot, 0, got.substr(0, 8)));
+  ASSERT_OK(db_->Commit(*txn));
+
+  ASSERT_OK(db_->CrashAndRecover());  // Plain crash, no corrupt.note.
+
+  const auto& deleted = db_->last_recovery_report().deleted_txns;
+  EXPECT_NE(std::find(deleted.begin(), deleted.end(), carrier),
+            deleted.end());
+  txn = db_->Begin();
+  ASSERT_OK(db_->Read(*txn, *t, r2->slot, &got));
+  EXPECT_EQ(got, std::string(kRec, 'b'));
+  ASSERT_OK(db_->Commit(*txn));
+}
+
+TEST_F(CwReadLogTest, ViewConsistencySparesHarmlessReaders) {
+  // A transaction is deleted; a later reader of data it wrote is spared if
+  // the deleted write had the same value the reader would see in the
+  // delete history (view-consistent recovery, §4.3).
+  Open();
+  auto txn = db_->Begin();
+  auto t = db_->CreateTable(*txn, "t", kRec, 16);
+  ASSERT_TRUE(t.ok());
+  auto bad = db_->Insert(*txn, *t, std::string(kRec, 'x'));
+  auto same = db_->Insert(*txn, *t, std::string(kRec, 's'));
+  auto out = db_->Insert(*txn, *t, std::string(kRec, 'o'));
+  ASSERT_TRUE(bad.ok() && same.ok() && out.ok());
+  ASSERT_OK(db_->Commit(*txn));
+  ASSERT_OK(db_->Checkpoint());
+
+  FaultInjector inject(db_.get(), 31);
+  inject.WildWriteAt(db_->image()->RecordOff(*t, bad->slot), "POOF");
+
+  // Carrier reads the corrupt record, then overwrites `same` with the
+  // value it ALREADY HAS ('ssss...'): deleted, but harmless.
+  txn = db_->Begin();
+  TxnId carrier = (*txn)->id();
+  std::string got;
+  ASSERT_OK(db_->Read(*txn, *t, bad->slot, &got));
+  ASSERT_OK(db_->Update(*txn, *t, same->slot, 0, std::string(8, 's')));
+  ASSERT_OK(db_->Commit(*txn));
+
+  // Reader reads `same` (value identical with or without the carrier) and
+  // writes `out`.
+  TxnId reader;
+  {
+    auto txn2 = db_->Begin();
+    reader = (*txn2)->id();
+    ASSERT_OK(db_->Read(*txn2, *t, same->slot, &got));
+    ASSERT_OK(db_->Update(*txn2, *t, out->slot, 0, got.substr(0, 4)));
+    ASSERT_OK(db_->Commit(*txn2));
+  }
+
+  ASSERT_OK(db_->CrashAndRecover());
+  const auto& deleted = db_->last_recovery_report().deleted_txns;
+  EXPECT_NE(std::find(deleted.begin(), deleted.end(), carrier),
+            deleted.end());
+  // View-consistency: the reader saw the same bytes either way — spared.
+  EXPECT_EQ(std::find(deleted.begin(), deleted.end(), reader), deleted.end());
+  txn = db_->Begin();
+  ASSERT_OK(db_->Read(*txn, *t, out->slot, &got));
+  EXPECT_EQ(got.substr(0, 4), "ssss");
+  ASSERT_OK(db_->Commit(*txn));
+}
+
+TEST_F(CwReadLogTest, PlainReadLogDeletesHarmlessReaderButCwSpares) {
+  // Differential companion to the view-consistency test: under plain
+  // ReadLog the CorruptDataTable is byte-range based, so the same scenario
+  // deletes the reader too (conflict-consistent, coarser).
+  TempDir dir2;
+  auto db = Database::Open(
+      SmallDbOptions(dir2.path(), ProtectionScheme::kReadLog, kRec));
+  ASSERT_TRUE(db.ok());
+  auto txn = (*db)->Begin();
+  auto t = (*db)->CreateTable(*txn, "t", kRec, 16);
+  ASSERT_TRUE(t.ok());
+  auto bad = (*db)->Insert(*txn, *t, std::string(kRec, 'x'));
+  auto same = (*db)->Insert(*txn, *t, std::string(kRec, 's'));
+  auto out = (*db)->Insert(*txn, *t, std::string(kRec, 'o'));
+  ASSERT_TRUE(bad.ok() && same.ok() && out.ok());
+  ASSERT_OK((*db)->Commit(*txn));
+  ASSERT_OK((*db)->Checkpoint());
+
+  FaultInjector inject(db->get(), 31);
+  inject.WildWriteAt((*db)->image()->RecordOff(*t, bad->slot), "POOF");
+
+  txn = (*db)->Begin();
+  std::string got;
+  ASSERT_OK((*db)->Read(*txn, *t, bad->slot, &got));
+  ASSERT_OK((*db)->Update(*txn, *t, same->slot, 0, std::string(8, 's')));
+  ASSERT_OK((*db)->Commit(*txn));
+
+  TxnId reader;
+  {
+    auto txn2 = (*db)->Begin();
+    reader = (*txn2)->id();
+    ASSERT_OK((*db)->Read(*txn2, *t, same->slot, &got));
+    ASSERT_OK((*db)->Update(*txn2, *t, out->slot, 0, got.substr(0, 4)));
+    ASSERT_OK((*db)->Commit(*txn2));
+  }
+
+  auto report = (*db)->Audit();
+  ASSERT_TRUE(report.ok());
+  ASSERT_FALSE(report->clean);
+  ASSERT_OK((*db)->CrashAndRecover());
+  const auto& deleted = (*db)->last_recovery_report().deleted_txns;
+  EXPECT_NE(std::find(deleted.begin(), deleted.end(), reader), deleted.end())
+      << "plain ReadLog is conflict-consistent: byte overlap deletes";
+}
+
+}  // namespace
+}  // namespace cwdb

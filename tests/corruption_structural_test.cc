@@ -1,0 +1,218 @@
+// Delete-transaction recovery over *structural* operations: corrupt
+// transactions whose history includes inserts and deletes (logical undo of
+// kDeleteSlot / kReinsertSlot), slot reuse after recovery, bitmap-word
+// cascades, and CreateTable in the corruption window.
+
+#include <gtest/gtest.h>
+
+#include "core/database.h"
+#include "faultinject/fault_injector.h"
+#include "tests/test_util.h"
+
+namespace cwdb {
+namespace {
+
+constexpr uint32_t kRec = 128;
+
+class StructuralCorruptionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto db = Database::Open(
+        SmallDbOptions(dir_.path(), ProtectionScheme::kReadLog, kRec));
+    ASSERT_TRUE(db.ok());
+    db_ = std::move(db).value();
+    auto txn = db_->Begin();
+    auto t = db_->CreateTable(*txn, "t", kRec, 64);
+    ASSERT_TRUE(t.ok());
+    table_ = *t;
+    for (int i = 0; i < 8; ++i) {
+      auto rid = db_->Insert(*txn, table_, std::string(kRec, '0' + i));
+      ASSERT_TRUE(rid.ok());
+      slots_[i] = rid->slot;
+    }
+    ASSERT_OK(db_->Commit(*txn));
+    ASSERT_OK(db_->Checkpoint());
+  }
+
+  void Corrupt(int i) {
+    FaultInjector inject(db_.get(), 42);
+    inject.WildWriteAt(db_->image()->RecordOff(table_, slots_[i]),
+                       "STRUCTURAL");
+  }
+
+  void DetectAndRecover() {
+    auto report = db_->Audit();
+    ASSERT_TRUE(report.ok());
+    ASSERT_FALSE(report->clean);
+    ASSERT_OK(db_->CrashAndRecover());
+  }
+
+  bool WasDeleted(TxnId id) {
+    const auto& d = db_->last_recovery_report().deleted_txns;
+    return std::find(d.begin(), d.end(), id) != d.end();
+  }
+
+  TempDir dir_;
+  std::unique_ptr<Database> db_;
+  TableId table_ = 0;
+  uint32_t slots_[8] = {};
+};
+
+TEST_F(StructuralCorruptionTest, CorruptTxnInsertIsRemoved) {
+  Corrupt(1);
+  // Reads corrupt slot 1, then inserts a brand-new record.
+  auto txn = db_->Begin();
+  TxnId carrier = (*txn)->id();
+  std::string got;
+  ASSERT_OK(db_->Read(*txn, table_, slots_[1], &got));
+  auto rid = db_->Insert(*txn, table_, got);
+  ASSERT_TRUE(rid.ok());
+  ASSERT_OK(db_->Commit(*txn));
+  uint32_t new_slot = rid->slot;
+
+  DetectAndRecover();
+  EXPECT_TRUE(WasDeleted(carrier));
+  // The inserted record is gone: its bitmap write was suppressed.
+  EXPECT_FALSE(db_->image()->SlotAllocated(table_, new_slot));
+  EXPECT_EQ(db_->CountRecords(table_), 8u);
+}
+
+TEST_F(StructuralCorruptionTest, CorruptTxnDeleteIsUndone) {
+  Corrupt(1);
+  // Reads corrupt slot 1, then deletes record 5.
+  auto txn = db_->Begin();
+  TxnId carrier = (*txn)->id();
+  std::string got;
+  ASSERT_OK(db_->Read(*txn, table_, slots_[1], &got));
+  ASSERT_OK(db_->Delete(*txn, table_, slots_[5]));
+  ASSERT_OK(db_->Commit(*txn));
+
+  DetectAndRecover();
+  EXPECT_TRUE(WasDeleted(carrier));
+  // Record 5 still exists with its original bytes (the delete's bitmap
+  // write was suppressed during replay).
+  EXPECT_TRUE(db_->image()->SlotAllocated(table_, slots_[5]));
+  txn = db_->Begin();
+  ASSERT_OK(db_->Read(*txn, table_, slots_[5], &got));
+  EXPECT_EQ(got, std::string(kRec, '5'));
+  ASSERT_OK(db_->Commit(*txn));
+}
+
+TEST_F(StructuralCorruptionTest, PreCorruptionInsertRolledBackViaPrefixUndo) {
+  Corrupt(1);
+  // Inserts FIRST (clean), then reads corrupt data: the insert was applied
+  // during replay and must be rolled back by the prefix undo.
+  auto txn = db_->Begin();
+  TxnId carrier = (*txn)->id();
+  auto rid = db_->Insert(*txn, table_, std::string(kRec, 'P'));
+  ASSERT_TRUE(rid.ok());
+  std::string got;
+  ASSERT_OK(db_->Read(*txn, table_, slots_[1], &got));
+  ASSERT_OK(db_->Commit(*txn));
+
+  DetectAndRecover();
+  EXPECT_TRUE(WasDeleted(carrier));
+  EXPECT_FALSE(db_->image()->SlotAllocated(table_, rid->slot));
+  EXPECT_EQ(db_->CountRecords(table_), 8u);
+}
+
+TEST_F(StructuralCorruptionTest, BitmapWordCascadeDeletesLaterInserters) {
+  // A suppressed insert poisons its allocation-bitmap word; later
+  // inserters write the same word and are conservatively deleted (the
+  // physical-granularity over-approximation the paper accepts: "the data
+  // logged as read may overestimate").
+  Corrupt(1);
+  auto txn = db_->Begin();
+  TxnId carrier = (*txn)->id();
+  std::string got;
+  ASSERT_OK(db_->Read(*txn, table_, slots_[1], &got));
+  ASSERT_TRUE(db_->Insert(*txn, table_, std::string(kRec, 'X')).ok());
+  ASSERT_OK(db_->Commit(*txn));
+
+  txn = db_->Begin();
+  TxnId later_inserter = (*txn)->id();
+  ASSERT_TRUE(db_->Insert(*txn, table_, std::string(kRec, 'Y')).ok());
+  ASSERT_OK(db_->Commit(*txn));
+
+  DetectAndRecover();
+  EXPECT_TRUE(WasDeleted(carrier));
+  EXPECT_TRUE(WasDeleted(later_inserter));  // Same bitmap word.
+  EXPECT_EQ(db_->CountRecords(table_), 8u);
+}
+
+TEST_F(StructuralCorruptionTest, SlotsReusableAfterRecovery) {
+  Corrupt(1);
+  auto txn = db_->Begin();
+  std::string got;
+  ASSERT_OK(db_->Read(*txn, table_, slots_[1], &got));
+  auto rid = db_->Insert(*txn, table_, got);
+  ASSERT_TRUE(rid.ok());
+  ASSERT_OK(db_->Commit(*txn));
+  DetectAndRecover();
+
+  // The freed slot can be re-allocated and everything stays consistent.
+  txn = db_->Begin();
+  auto rid2 = db_->Insert(*txn, table_, std::string(kRec, 'R'));
+  ASSERT_TRUE(rid2.ok());
+  ASSERT_OK(db_->Commit(*txn));
+  EXPECT_EQ(db_->CountRecords(table_), 9u);
+  auto audit = db_->Audit();
+  ASSERT_TRUE(audit.ok());
+  EXPECT_TRUE(audit->clean);
+  ASSERT_OK(db_->CrashAndRecover());
+  EXPECT_EQ(db_->CountRecords(table_), 9u);
+}
+
+TEST_F(StructuralCorruptionTest, CreateTableByCorruptTxnDisappears) {
+  Corrupt(1);
+  auto txn = db_->Begin();
+  TxnId carrier = (*txn)->id();
+  std::string got;
+  ASSERT_OK(db_->Read(*txn, table_, slots_[1], &got));
+  auto t2 = db_->CreateTable(*txn, "tainted_table", 64, 16);
+  ASSERT_TRUE(t2.ok());
+  ASSERT_OK(db_->Commit(*txn));
+
+  DetectAndRecover();
+  EXPECT_TRUE(WasDeleted(carrier));
+  EXPECT_TRUE(db_->FindTable("tainted_table").status().IsNotFound());
+  // The surviving table is unaffected.
+  EXPECT_EQ(db_->CountRecords(table_), 8u);
+}
+
+TEST_F(StructuralCorruptionTest, MultipleIndependentCorruptions) {
+  Corrupt(1);
+  Corrupt(6);
+  auto txn = db_->Begin();
+  TxnId r1 = (*txn)->id();
+  std::string got;
+  ASSERT_OK(db_->Read(*txn, table_, slots_[1], &got));
+  ASSERT_OK(db_->Update(*txn, table_, slots_[2], 0, got.substr(0, 8)));
+  ASSERT_OK(db_->Commit(*txn));
+
+  txn = db_->Begin();
+  TxnId r2 = (*txn)->id();
+  ASSERT_OK(db_->Read(*txn, table_, slots_[6], &got));
+  ASSERT_OK(db_->Update(*txn, table_, slots_[3], 0, got.substr(0, 8)));
+  ASSERT_OK(db_->Commit(*txn));
+
+  txn = db_->Begin();
+  TxnId clean = (*txn)->id();
+  ASSERT_OK(db_->Read(*txn, table_, slots_[0], &got));
+  ASSERT_OK(db_->Update(*txn, table_, slots_[4], 0, got.substr(0, 8)));
+  ASSERT_OK(db_->Commit(*txn));
+
+  DetectAndRecover();
+  EXPECT_TRUE(WasDeleted(r1));
+  EXPECT_TRUE(WasDeleted(r2));
+  EXPECT_FALSE(WasDeleted(clean));
+  txn = db_->Begin();
+  ASSERT_OK(db_->Read(*txn, table_, slots_[2], &got));
+  EXPECT_EQ(got, std::string(kRec, '2'));
+  ASSERT_OK(db_->Read(*txn, table_, slots_[3], &got));
+  EXPECT_EQ(got, std::string(kRec, '3'));
+  ASSERT_OK(db_->Commit(*txn));
+}
+
+}  // namespace
+}  // namespace cwdb

@@ -1,0 +1,308 @@
+// Tests of the transactional hash index: CRUD, collision chains, atomic
+// rollback with the data it indexes, crash recovery, concurrent use, and —
+// the paper-specific property — corruption tracing *through index
+// traversals* under read logging.
+
+#include "index/hash_index.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <thread>
+
+#include "common/random.h"
+#include "faultinject/fault_injector.h"
+#include "tests/test_util.h"
+
+namespace cwdb {
+namespace {
+
+class HashIndexTest : public ::testing::Test {
+ protected:
+  void Open(ProtectionScheme scheme = ProtectionScheme::kDataCodeword) {
+    auto db = Database::Open(SmallDbOptions(dir_.path(), scheme, 128));
+    ASSERT_TRUE(db.ok());
+    db_ = std::move(db).value();
+  }
+
+  // Creates a data table + index with few buckets (forcing collisions).
+  void CreateIndexed(uint64_t buckets = 4) {
+    auto txn = db_->Begin();
+    auto t = db_->CreateTable(*txn, "data", 64, 256);
+    ASSERT_TRUE(t.ok());
+    data_ = *t;
+    auto idx = HashIndex::Create(db_.get(), *txn, "by_key", buckets, 256);
+    ASSERT_TRUE(idx.ok()) << idx.status().ToString();
+    index_ = std::make_unique<HashIndex>(std::move(idx).value());
+    ASSERT_OK(db_->Commit(*txn));
+  }
+
+  // Inserts a record keyed by `key` and indexes it; returns the data slot.
+  uint32_t Put(Transaction* txn, uint64_t key, const std::string& value) {
+    std::string record(64, '\0');
+    std::memcpy(record.data(), &key, 8);
+    std::memcpy(record.data() + 8, value.data(),
+                std::min<size_t>(value.size(), 48));
+    auto rid = db_->Insert(txn, data_, record);
+    EXPECT_TRUE(rid.ok());
+    EXPECT_OK(index_->Insert(txn, key, rid->slot));
+    return rid->slot;
+  }
+
+  TempDir dir_;
+  std::unique_ptr<Database> db_;
+  TableId data_ = 0;
+  std::unique_ptr<HashIndex> index_;
+};
+
+TEST_F(HashIndexTest, InsertLookupEraseRoundTrip) {
+  Open();
+  CreateIndexed();
+  auto txn = db_->Begin();
+  uint32_t s1 = Put(*txn, 1001, "alpha");
+  uint32_t s2 = Put(*txn, 1002, "beta");
+  ASSERT_OK(db_->Commit(*txn));
+
+  txn = db_->Begin();
+  auto f1 = index_->Lookup(*txn, 1001);
+  auto f2 = index_->Lookup(*txn, 1002);
+  ASSERT_TRUE(f1.ok() && f2.ok());
+  EXPECT_EQ(*f1, s1);
+  EXPECT_EQ(*f2, s2);
+  EXPECT_TRUE(index_->Lookup(*txn, 9999).status().IsNotFound());
+
+  ASSERT_OK(index_->Erase(*txn, 1001));
+  EXPECT_TRUE(index_->Lookup(*txn, 1001).status().IsNotFound());
+  ASSERT_TRUE(index_->Lookup(*txn, 1002).ok());  // Chain intact.
+  ASSERT_OK(db_->Commit(*txn));
+  EXPECT_EQ(index_->EntryCount(), 1u);
+}
+
+TEST_F(HashIndexTest, DuplicateKeyRefused) {
+  Open();
+  CreateIndexed();
+  auto txn = db_->Begin();
+  Put(*txn, 7, "first");
+  EXPECT_EQ(index_->Insert(*txn, 7, 42).code(),
+            Status::Code::kAlreadyExists);
+  ASSERT_OK(db_->Commit(*txn));
+}
+
+TEST_F(HashIndexTest, CollisionChainsWithSingleBucket) {
+  Open();
+  CreateIndexed(/*buckets=*/1);  // Everything collides.
+  auto txn = db_->Begin();
+  std::map<uint64_t, uint32_t> expected;
+  for (uint64_t k = 0; k < 40; ++k) {
+    expected[k] = Put(*txn, k, "v" + std::to_string(k));
+  }
+  ASSERT_OK(db_->Commit(*txn));
+
+  // Erase every third key, then verify all survivors resolve.
+  txn = db_->Begin();
+  for (uint64_t k = 0; k < 40; k += 3) {
+    ASSERT_OK(index_->Erase(*txn, k));
+    expected.erase(k);
+  }
+  for (uint64_t k = 0; k < 40; ++k) {
+    auto found = index_->Lookup(*txn, k);
+    if (expected.count(k)) {
+      ASSERT_TRUE(found.ok()) << "key " << k;
+      EXPECT_EQ(*found, expected[k]);
+    } else {
+      EXPECT_TRUE(found.status().IsNotFound()) << "key " << k;
+    }
+  }
+  ASSERT_OK(db_->Commit(*txn));
+  EXPECT_EQ(index_->EntryCount(), expected.size());
+}
+
+TEST_F(HashIndexTest, AbortRollsBackIndexAndDataTogether) {
+  Open();
+  CreateIndexed();
+  auto txn = db_->Begin();
+  Put(*txn, 5, "keep");
+  ASSERT_OK(db_->Commit(*txn));
+
+  txn = db_->Begin();
+  Put(*txn, 6, "discard");
+  ASSERT_OK(index_->Erase(*txn, 5));
+  ASSERT_OK(db_->Abort(*txn));
+
+  txn = db_->Begin();
+  EXPECT_TRUE(index_->Lookup(*txn, 5).ok());  // Erase undone.
+  EXPECT_TRUE(index_->Lookup(*txn, 6).status().IsNotFound());  // Insert undone.
+  ASSERT_OK(db_->Commit(*txn));
+  EXPECT_EQ(index_->EntryCount(), 1u);
+  EXPECT_EQ(db_->CountRecords(data_), 1u);
+}
+
+TEST_F(HashIndexTest, SurvivesCrashRecovery) {
+  Open();
+  CreateIndexed(8);
+  auto txn = db_->Begin();
+  for (uint64_t k = 100; k < 130; ++k) Put(*txn, k, "x");
+  ASSERT_OK(db_->Commit(*txn));
+  ASSERT_OK(db_->Checkpoint());
+  txn = db_->Begin();
+  for (uint64_t k = 130; k < 140; ++k) Put(*txn, k, "y");
+  ASSERT_OK(index_->Erase(*txn, 105));
+  ASSERT_OK(db_->Commit(*txn));
+
+  ASSERT_OK(db_->CrashAndRecover());
+  auto idx = HashIndex::Open(db_.get(), "by_key");
+  ASSERT_TRUE(idx.ok());
+  txn = db_->Begin();
+  EXPECT_TRUE(idx->Lookup(*txn, 105).status().IsNotFound());
+  for (uint64_t k = 100; k < 140; ++k) {
+    if (k == 105) continue;
+    EXPECT_TRUE(idx->Lookup(*txn, k).ok()) << "key " << k;
+  }
+  ASSERT_OK(db_->Commit(*txn));
+  EXPECT_EQ(idx->EntryCount(), 39u);
+}
+
+TEST_F(HashIndexTest, UpdateRepointsKey) {
+  Open();
+  CreateIndexed();
+  auto txn = db_->Begin();
+  Put(*txn, 11, "old");
+  ASSERT_OK(index_->Update(*txn, 11, 77));
+  auto found = index_->Lookup(*txn, 11);
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(*found, 77u);
+  EXPECT_TRUE(index_->Update(*txn, 404, 1).IsNotFound());
+  ASSERT_OK(db_->Commit(*txn));
+}
+
+TEST_F(HashIndexTest, CorruptionTracedThroughIndexTraversal) {
+  // The headline property: a transaction that only *looked up a key* —
+  // never touching the corrupted entry's data record — read the corrupt
+  // entry bytes during its chain traversal, so delete-transaction recovery
+  // deletes it. Index reads are first-class reads.
+  Open(ProtectionScheme::kReadLog);
+  CreateIndexed(/*buckets=*/1);  // One chain: traversals read every entry.
+  auto txn = db_->Begin();
+  Put(*txn, 1, "one");
+  Put(*txn, 2, "two");
+  uint32_t s3 = Put(*txn, 3, "three");
+  (void)s3;
+  ASSERT_OK(db_->Commit(*txn));
+  ASSERT_OK(db_->Checkpoint());
+
+  // Wild write into the entries table (an index entry, not user data).
+  FaultInjector inject(db_.get(), 21);
+  DbPtr entry_off = db_->image()->RecordOff(index_->entries_table(), 1);
+  inject.WildWriteAt(entry_off + 8, "\x99\x99\x99\x99");
+
+  // This transaction looks up key 1 (traversing the corrupt entry) and
+  // writes a data record based on the result.
+  txn = db_->Begin();
+  TxnId traverser = (*txn)->id();
+  auto found = index_->Lookup(*txn, 1);
+  ASSERT_TRUE(found.ok());
+  ASSERT_OK(db_->Update(*txn, data_, *found, 8, "derived!"));
+  ASSERT_OK(db_->Commit(*txn));
+
+  auto report = db_->Audit();
+  ASSERT_TRUE(report.ok());
+  ASSERT_FALSE(report->clean);
+  ASSERT_OK(db_->CrashAndRecover());
+  const auto& deleted = db_->last_recovery_report().deleted_txns;
+  EXPECT_NE(std::find(deleted.begin(), deleted.end(), traverser),
+            deleted.end())
+      << "index traversal of corrupt bytes must mark the reader";
+  // The index itself recovered cleanly.
+  auto idx = HashIndex::Open(db_.get(), "by_key");
+  ASSERT_TRUE(idx.ok());
+  txn = db_->Begin();
+  for (uint64_t k = 1; k <= 3; ++k) {
+    EXPECT_TRUE(idx->Lookup(*txn, k).ok()) << "key " << k;
+  }
+  ASSERT_OK(db_->Commit(*txn));
+}
+
+TEST_F(HashIndexTest, ConcurrentInsertersOnDisjointKeys) {
+  Open();
+  CreateIndexed(16);
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 30;
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&, i] {
+      for (int j = 0; j < kPerThread; ++j) {
+        auto txn = db_->Begin();
+        if (!txn.ok()) {
+          ++failures;
+          return;
+        }
+        uint64_t key = static_cast<uint64_t>(i) * 1000 + j;
+        std::string record(64, '\0');
+        std::memcpy(record.data(), &key, 8);
+        auto rid = db_->Insert(*txn, data_, record);
+        Status s = rid.ok() ? index_->Insert(*txn, key, rid->slot)
+                            : rid.status();
+        if (s.ok()) s = db_->Commit(*txn);
+        if (s.IsDeadlock()) {
+          (void)db_->Abort(*txn);
+          --j;  // Retry this key.
+          continue;
+        }
+        if (!s.ok()) ++failures;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(index_->EntryCount(),
+            static_cast<uint64_t>(kThreads * kPerThread));
+  auto txn = db_->Begin();
+  for (int i = 0; i < kThreads; ++i) {
+    for (int j = 0; j < kPerThread; ++j) {
+      EXPECT_TRUE(
+          index_->Lookup(*txn, static_cast<uint64_t>(i) * 1000 + j).ok());
+    }
+  }
+  ASSERT_OK(db_->Commit(*txn));
+  auto audit = db_->Audit();
+  ASSERT_TRUE(audit.ok());
+  EXPECT_TRUE(audit->clean);
+}
+
+TEST_F(HashIndexTest, RandomizedAgainstMapOracle) {
+  Open();
+  CreateIndexed(8);
+  Random rng(4242);
+  std::map<uint64_t, uint32_t> oracle;
+  auto txn = db_->Begin();
+  for (int i = 0; i < 400; ++i) {
+    uint64_t key = rng.Uniform(60);
+    int op = static_cast<int>(rng.Uniform(3));
+    if (op == 0 && !oracle.count(key) && oracle.size() < 200) {
+      uint32_t slot = Put(*txn, key, "r");
+      oracle[key] = slot;
+    } else if (op == 1 && oracle.count(key)) {
+      ASSERT_OK(index_->Erase(*txn, key));
+      ASSERT_OK(db_->Delete(*txn, data_, oracle[key]));
+      oracle.erase(key);
+    } else {
+      auto found = index_->Lookup(*txn, key);
+      if (oracle.count(key)) {
+        ASSERT_TRUE(found.ok()) << "key " << key;
+        EXPECT_EQ(*found, oracle[key]);
+      } else {
+        EXPECT_TRUE(found.status().IsNotFound()) << "key " << key;
+      }
+    }
+    if (i % 100 == 99) {
+      ASSERT_OK(db_->Commit(*txn));
+      txn = db_->Begin();
+    }
+  }
+  ASSERT_OK(db_->Commit(*txn));
+  EXPECT_EQ(index_->EntryCount(), oracle.size());
+}
+
+}  // namespace
+}  // namespace cwdb

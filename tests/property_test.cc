@@ -1,0 +1,284 @@
+// Property-based (model-checking style) tests:
+//
+//  1. Crash-recovery equivalence: for random operation schedules with
+//     random crash/abort/checkpoint points, the database after restart
+//     recovery equals a shadow model that applies exactly the committed
+//     transactions.
+//
+//  2. Delete-history conflict consistency (paper §4.1): after corruption
+//     + delete-transaction recovery, (a) every surviving transaction's
+//     reads came from surviving writers, and (b) each record's final value
+//     is the last surviving committed write (or its initial value).
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "core/database.h"
+#include "faultinject/fault_injector.h"
+#include "tests/test_util.h"
+
+namespace cwdb {
+namespace {
+
+// ---------- 1. Crash-recovery equivalence ----------
+
+struct OracleParam {
+  ProtectionScheme scheme;
+  uint64_t seed;
+};
+
+class CrashOracleTest : public ::testing::TestWithParam<OracleParam> {};
+
+TEST_P(CrashOracleTest, RecoveredStateMatchesCommittedShadow) {
+  constexpr uint32_t kRecSize = 96;
+  constexpr uint32_t kSlots = 48;
+  TempDir dir;
+  auto db = Database::Open(
+      SmallDbOptions(dir.path(), GetParam().scheme, /*region=*/128));
+  ASSERT_TRUE(db.ok());
+  auto txn0 = (*db)->Begin();
+  auto table = (*db)->CreateTable(*txn0, "t", kRecSize, kSlots);
+  ASSERT_TRUE(table.ok());
+  ASSERT_OK((*db)->Commit(*txn0));
+
+  Random rng(GetParam().seed);
+  // Shadow: slot -> record bytes for allocated slots (committed state).
+  std::map<uint32_t, std::string> shadow;
+
+  auto verify = [&]() {
+    for (uint32_t s = 0; s < kSlots; ++s) {
+      bool allocated = (*db)->image()->SlotAllocated(*table, s);
+      auto it = shadow.find(s);
+      ASSERT_EQ(allocated, it != shadow.end()) << "slot " << s;
+      if (allocated) {
+        std::string got(
+            reinterpret_cast<const char*>(
+                (*db)->image()->At((*db)->image()->RecordOff(*table, s))),
+            kRecSize);
+        ASSERT_EQ(got, it->second) << "slot " << s;
+      }
+    }
+    ASSERT_EQ((*db)->CountRecords(*table), shadow.size());
+  };
+
+  auto random_record = [&](char tag) {
+    std::string r(kRecSize, '\0');
+    for (auto& c : r) c = static_cast<char>('a' + rng.Uniform(26));
+    r[0] = tag;
+    return r;
+  };
+
+  for (int round = 0; round < 30; ++round) {
+    auto txn = (*db)->Begin();
+    ASSERT_TRUE(txn.ok());
+    // Pending changes this transaction would commit.
+    std::map<uint32_t, std::string> pending = shadow;
+    int ops = 1 + static_cast<int>(rng.Uniform(5));
+    bool txn_alive = true;
+    for (int i = 0; i < ops && txn_alive; ++i) {
+      int pick = static_cast<int>(rng.Uniform(4));
+      if (pick == 0 && pending.size() < kSlots) {  // Insert.
+        std::string rec = random_record('I');
+        auto rid = (*db)->Insert(*txn, *table, rec);
+        ASSERT_TRUE(rid.ok());
+        pending[rid->slot] = rec;
+      } else if (pick == 1 && !pending.empty()) {  // Delete.
+        auto it = pending.begin();
+        std::advance(it, rng.Uniform(pending.size()));
+        ASSERT_OK((*db)->Delete(*txn, *table, it->first));
+        pending.erase(it);
+      } else if (pick == 2 && !pending.empty()) {  // Update a field.
+        auto it = pending.begin();
+        std::advance(it, rng.Uniform(pending.size()));
+        uint32_t off = static_cast<uint32_t>(rng.Uniform(kRecSize - 8));
+        std::string val = random_record('U').substr(0, 8);
+        ASSERT_OK((*db)->Update(*txn, *table, it->first, off, val));
+        it->second.replace(off, 8, val);
+      } else if (!pending.empty()) {  // Read (exercises precheck/readlog).
+        auto it = pending.begin();
+        std::advance(it, rng.Uniform(pending.size()));
+        std::string got;
+        ASSERT_OK((*db)->Read(*txn, *table, it->first, &got));
+        ASSERT_EQ(got, it->second);
+      }
+    }
+    // Random outcome: commit / abort / crash-with-txn-open.
+    int outcome = static_cast<int>(rng.Uniform(10));
+    if (outcome < 6) {
+      ASSERT_OK((*db)->Commit(*txn));
+      shadow = std::move(pending);
+    } else if (outcome < 8) {
+      ASSERT_OK((*db)->Abort(*txn));
+    } else {
+      ASSERT_OK((*db)->CrashAndRecover());  // Open txn dies uncommitted.
+    }
+    if (rng.OneIn(5)) ASSERT_OK((*db)->Checkpoint());
+    if (rng.OneIn(7)) ASSERT_OK((*db)->CrashAndRecover());
+    verify();
+  }
+  // Final paranoia: full audit clean under codeword schemes.
+  auto audit = (*db)->Audit();
+  ASSERT_TRUE(audit.ok());
+  EXPECT_TRUE(audit->clean);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Schedules, CrashOracleTest,
+    ::testing::Values(OracleParam{ProtectionScheme::kNone, 101},
+                      OracleParam{ProtectionScheme::kNone, 202},
+                      OracleParam{ProtectionScheme::kDataCodeword, 303},
+                      OracleParam{ProtectionScheme::kReadPrecheck, 404},
+                      OracleParam{ProtectionScheme::kReadLog, 505},
+                      OracleParam{ProtectionScheme::kReadLog, 606},
+                      OracleParam{ProtectionScheme::kCodewordReadLog, 707},
+                      OracleParam{ProtectionScheme::kHardware, 808}),
+    [](const ::testing::TestParamInfo<OracleParam>& info) {
+      return "seed" + std::to_string(info.param.seed);
+    });
+
+// ---------- 2. Delete-history conflict consistency ----------
+
+class DeleteHistoryTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DeleteHistoryTest, ConflictConsistentDeleteHistory) {
+  constexpr uint32_t kRecSize = 128;  // == region size: record == region.
+  constexpr uint32_t kSlots = 24;
+  TempDir dir;
+  auto db = Database::Open(
+      SmallDbOptions(dir.path(), ProtectionScheme::kReadLog, kRecSize));
+  ASSERT_TRUE(db.ok());
+
+  auto txn0 = (*db)->Begin();
+  auto table = (*db)->CreateTable(*txn0, "t", kRecSize, kSlots);
+  ASSERT_TRUE(table.ok());
+  std::vector<std::string> initial(kSlots);
+  for (uint32_t s = 0; s < kSlots; ++s) {
+    initial[s] = std::string(kRecSize, static_cast<char>('A' + s));
+    ASSERT_TRUE((*db)->Insert(*txn0, *table, initial[s]).ok());
+  }
+  ASSERT_OK((*db)->Commit(*txn0));
+  ASSERT_OK((*db)->Checkpoint());  // Certified clean; sets Audit_SN.
+
+  Random rng(GetParam());
+
+  // Recorded original history Ho (committed transactions only).
+  struct HistTxn {
+    TxnId id;
+    // Reads: slot -> id of the last writer whose value was seen (0 =
+    // initial load).
+    std::vector<std::pair<uint32_t, TxnId>> reads;
+    std::vector<uint32_t> writes;  // Whole-record overwrites.
+  };
+  std::vector<HistTxn> history;
+  std::map<uint32_t, TxnId> last_writer;       // In committed order.
+  std::map<uint32_t, std::string> live_value;  // Current committed bytes.
+  for (uint32_t s = 0; s < kSlots; ++s) live_value[s] = initial[s];
+
+  uint32_t corrupt_slot = kSlots;  // Not yet corrupted.
+  const int kTxns = 40;
+  const int corrupt_at = 10 + static_cast<int>(rng.Uniform(15));
+
+  for (int n = 0; n < kTxns; ++n) {
+    if (n == corrupt_at) {
+      corrupt_slot = static_cast<uint32_t>(rng.Uniform(kSlots));
+      FaultInjector inject(db->get(), GetParam() ^ 0xF00D);
+      DbPtr off = (*db)->image()->RecordOff(*table, corrupt_slot);
+      std::string garbage(16, '\0');
+      for (auto& c : garbage) c = static_cast<char>(rng.Next32() | 1);
+      inject.WildWriteAt(off + rng.Uniform(kRecSize - 16), garbage);
+    }
+    auto txn = (*db)->Begin();
+    ASSERT_TRUE(txn.ok());
+    HistTxn h;
+    h.id = (*txn)->id();
+    int ops = 1 + static_cast<int>(rng.Uniform(3));
+    for (int i = 0; i < ops; ++i) {
+      uint32_t src = static_cast<uint32_t>(rng.Uniform(kSlots));
+      uint32_t dst = static_cast<uint32_t>(rng.Uniform(kSlots));
+      std::string got;
+      ASSERT_OK((*db)->Read(*txn, *table, src, &got));
+      h.reads.push_back({src, last_writer.count(src) ? last_writer[src] : 0});
+      // Whole-record overwrite derived from the read (carries corruption).
+      std::string out(kRecSize, static_cast<char>('a' + n % 26));
+      out.replace(0, 16, got.substr(0, 16));
+      ASSERT_OK((*db)->Update(*txn, *table, dst, 0, out));
+      h.writes.push_back(dst);
+      live_value[dst] = out;
+      last_writer[dst] = h.id;
+    }
+    ASSERT_OK((*db)->Commit(*txn));
+    history.push_back(std::move(h));
+  }
+
+  // Detect and recover.
+  auto report = (*db)->Audit();
+  ASSERT_TRUE(report.ok());
+  if (report->clean) {
+    // The wild write may have been overwritten by later legitimate updates
+    // before the audit ran — then there is nothing to recover; skip.
+    GTEST_SKIP() << "corruption legitimately overwritten before audit";
+  }
+  ASSERT_OK((*db)->CrashAndRecover());
+  const auto& deleted_vec = (*db)->last_recovery_report().deleted_txns;
+  std::set<TxnId> deleted(deleted_vec.begin(), deleted_vec.end());
+
+  // (a) No surviving transaction read from a deleted writer, and every
+  // post-corruption-window reader of the corrupt slot was deleted.
+  for (const HistTxn& h : history) {
+    if (deleted.count(h.id)) continue;
+    for (const auto& [slot, writer] : h.reads) {
+      EXPECT_FALSE(writer != 0 && deleted.count(writer))
+          << "surviving txn " << h.id << " read slot " << slot
+          << " from deleted txn " << writer;
+      EXPECT_NE(slot, corrupt_slot)
+          << "surviving txn " << h.id << " read the corrupted slot";
+    }
+  }
+
+  // (b) Final bytes of every record = last surviving committed write (or
+  // the initial value). Replay the recorded history minus deleted txns.
+  std::map<uint32_t, std::string> expected;
+  for (uint32_t s = 0; s < kSlots; ++s) expected[s] = initial[s];
+  {
+    std::map<uint32_t, std::string> value = expected;
+    for (const HistTxn& h : history) {
+      if (deleted.count(h.id)) continue;
+      // Recompute this transaction's writes in the delete history: reads
+      // see `value`, writes derive from them exactly as in the original
+      // execution (16 bytes of the read + a round tag).
+      size_t widx = 0;
+      int n = static_cast<int>(&h - history.data());
+      for (const auto& [src, writer] : h.reads) {
+        (void)writer;
+        std::string out(kRecSize, static_cast<char>('a' + n % 26));
+        out.replace(0, 16, value[src].substr(0, 16));
+        value[h.writes[widx++]] = out;
+      }
+    }
+    expected = std::move(value);
+  }
+  for (uint32_t s = 0; s < kSlots; ++s) {
+    std::string got(
+        reinterpret_cast<const char*>(
+            (*db)->image()->At((*db)->image()->RecordOff(*table, s))),
+        kRecSize);
+    EXPECT_EQ(got, expected[s]) << "slot " << s;
+  }
+
+  auto audit2 = (*db)->Audit();
+  ASSERT_TRUE(audit2.ok());
+  EXPECT_TRUE(audit2->clean);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DeleteHistoryTest,
+                         ::testing::Values(11, 22, 33, 44, 55, 66, 77, 88),
+                         [](const auto& info) {
+                           return "seed" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace cwdb

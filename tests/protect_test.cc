@@ -1,0 +1,438 @@
+// Tests of the protection schemes themselves (paper §3): codeword
+// maintenance invariants under the prescribed interface, detection of
+// injected direct physical corruption by audits, prevention of reads of
+// corrupt data by Read Prechecking, prevention of wild writes by Hardware
+// Protection, and the documented probabilistic limits of XOR codewords.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "core/database.h"
+#include "faultinject/fault_injector.h"
+#include "protect/codeword_protection.h"
+#include "protect/codeword_table.h"
+#include "tests/test_util.h"
+
+namespace cwdb {
+namespace {
+
+// ---------- CodewordTable unit tests ----------
+
+TEST(CodewordTable, RegionMath) {
+  CodewordTable t(4096, 64);
+  EXPECT_EQ(t.region_count(), 64u);
+  EXPECT_EQ(t.RegionOf(0), 0u);
+  EXPECT_EQ(t.RegionOf(63), 0u);
+  EXPECT_EQ(t.RegionOf(64), 1u);
+  EXPECT_EQ(t.RegionStart(3), 192u);
+  EXPECT_EQ(t.space_overhead_bytes(), 64u * sizeof(codeword_t));
+}
+
+TEST(CodewordTable, ApplyDeltaSpanningRegions) {
+  std::vector<uint8_t> arena(1024, 0);
+  CodewordTable t(1024, 64);
+  t.RebuildAll(arena.data());
+
+  // An update spanning the region-0/region-1 boundary.
+  std::vector<uint8_t> before(arena.begin() + 48, arena.begin() + 48 + 32);
+  std::vector<uint8_t> after(32, 0x5A);
+  std::memcpy(arena.data() + 48, after.data(), 32);
+  t.ApplyDelta(48, before.data(), after.data(), 32);
+
+  EXPECT_TRUE(t.Verify(arena.data(), 0));
+  EXPECT_TRUE(t.Verify(arena.data(), 1));
+  for (uint64_t r = 2; r < t.region_count(); ++r) {
+    EXPECT_TRUE(t.Verify(arena.data(), r));
+  }
+}
+
+TEST(CodewordTable, VerifyFailsAfterOutOfBandWrite) {
+  std::vector<uint8_t> arena(1024, 0);
+  CodewordTable t(1024, 64);
+  t.RebuildAll(arena.data());
+  arena[100] = 0xFF;  // Wild write, no ApplyDelta.
+  EXPECT_FALSE(t.Verify(arena.data(), t.RegionOf(100)));
+  EXPECT_TRUE(t.Verify(arena.data(), 0));
+}
+
+// ---------- Scheme behaviour over a real database ----------
+
+struct SchemeCase {
+  ProtectionScheme scheme;
+  uint32_t region_size;
+};
+
+class CodewordSchemeTest : public ::testing::TestWithParam<SchemeCase> {
+ protected:
+  void Open() {
+    auto db = Database::Open(
+        SmallDbOptions(dir_.path(), GetParam().scheme, GetParam().region_size));
+    ASSERT_TRUE(db.ok()) << db.status().ToString();
+    db_ = std::move(db).value();
+  }
+
+  // Creates a table with one committed record and returns its image offset.
+  DbPtr SetupOneRecord(TableId* table, uint32_t* slot) {
+    auto txn = db_->Begin();
+    auto t = db_->CreateTable(*txn, "t", 128, 64);
+    EXPECT_TRUE(t.ok());
+    auto rid = db_->Insert(*txn, *t, std::string(128, 'v'));
+    EXPECT_TRUE(rid.ok());
+    EXPECT_TRUE(db_->Commit(*txn).ok());
+    *table = *t;
+    *slot = rid->slot;
+    return db_->image()->RecordOff(*t, rid->slot);
+  }
+
+  TempDir dir_;
+  std::unique_ptr<Database> db_;
+};
+
+TEST_P(CodewordSchemeTest, CleanDatabasePassesAudit) {
+  Open();
+  TableId table;
+  uint32_t slot;
+  SetupOneRecord(&table, &slot);
+  auto report = db_->Audit();
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->clean);
+  EXPECT_EQ(report->ranges.size(), 0u);
+}
+
+TEST_P(CodewordSchemeTest, AuditStaysCleanUnderChurn) {
+  Open();
+  auto txn = db_->Begin();
+  auto t = db_->CreateTable(*txn, "churn", 64, 256);
+  ASSERT_TRUE(t.ok());
+  Random rng(5);
+  std::vector<uint32_t> live;
+  for (int i = 0; i < 400; ++i) {
+    if (live.empty() || rng.OneIn(3)) {
+      auto rid = db_->Insert(*txn, *t, std::string(64, 'a' + i % 26));
+      if (rid.ok()) live.push_back(rid->slot);
+    } else if (rng.OneIn(2)) {
+      uint32_t s = live[rng.Uniform(live.size())];
+      ASSERT_OK(db_->Update(*txn, *t, s, rng.Uniform(56), "1234"));
+    } else {
+      size_t idx = rng.Uniform(live.size());
+      ASSERT_OK(db_->Delete(*txn, *t, live[idx]));
+      live.erase(live.begin() + idx);
+    }
+    if (i % 100 == 99) {
+      ASSERT_OK(db_->Commit(*txn));
+      txn = db_->Begin();
+    }
+  }
+  ASSERT_OK(db_->Commit(*txn));
+  auto report = db_->Audit();
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->clean);
+}
+
+TEST_P(CodewordSchemeTest, AuditStaysCleanAfterAborts) {
+  Open();
+  TableId table;
+  uint32_t slot;
+  SetupOneRecord(&table, &slot);
+  auto txn = db_->Begin();
+  ASSERT_OK(db_->Update(*txn, table, slot, 0, "garbage!"));
+  ASSERT_TRUE(db_->Insert(*txn, table, std::string(128, 'x')).ok());
+  ASSERT_OK(db_->Abort(*txn));
+  auto report = db_->Audit();
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->clean);
+}
+
+TEST_P(CodewordSchemeTest, WildWriteDetectedByAudit) {
+  Open();
+  TableId table;
+  uint32_t slot;
+  DbPtr off = SetupOneRecord(&table, &slot);
+
+  FaultInjector inject(db_.get(), 99);
+  auto outcome = inject.WildWriteAt(off + 10, "CORRUPTED");
+  ASSERT_FALSE(outcome.prevented);
+  ASSERT_TRUE(outcome.changed_bits);
+
+  auto report = db_->Audit();
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report->clean);
+  ASSERT_GE(report->ranges.size(), 1u);
+  // The failing region covers the corrupted bytes.
+  bool covered = false;
+  for (const auto& r : report->ranges) {
+    if (r.off <= off + 10 && off + 10 < r.off + r.len) covered = true;
+  }
+  EXPECT_TRUE(covered);
+}
+
+TEST_P(CodewordSchemeTest, SingleBitFlipDetected) {
+  Open();
+  TableId table;
+  uint32_t slot;
+  DbPtr off = SetupOneRecord(&table, &slot);
+  uint8_t byte = db_->UnsafeRawBase()[off];
+  byte ^= 0x40;
+  FaultInjector inject(db_.get(), 1);
+  inject.WildWriteAt(off, Slice(reinterpret_cast<const char*>(&byte), 1));
+  auto report = db_->Audit();
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report->clean);
+}
+
+TEST_P(CodewordSchemeTest, CheckpointCertificationCatchesCorruption) {
+  Open();
+  TableId table;
+  uint32_t slot;
+  DbPtr off = SetupOneRecord(&table, &slot);
+  FaultInjector inject(db_.get(), 7);
+  inject.WildWriteAt(off, "BAD");
+  Status s = db_->Checkpoint();
+  EXPECT_TRUE(s.IsCorruption()) << s.ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Regions, CodewordSchemeTest,
+    ::testing::Values(SchemeCase{ProtectionScheme::kDataCodeword, 64},
+                      SchemeCase{ProtectionScheme::kDataCodeword, 512},
+                      SchemeCase{ProtectionScheme::kDataCodeword, 8192},
+                      SchemeCase{ProtectionScheme::kReadPrecheck, 64},
+                      SchemeCase{ProtectionScheme::kReadPrecheck, 512},
+                      SchemeCase{ProtectionScheme::kReadLog, 512},
+                      SchemeCase{ProtectionScheme::kCodewordReadLog, 512}),
+    [](const ::testing::TestParamInfo<SchemeCase>& info) {
+      return std::string(info.param.scheme == ProtectionScheme::kDataCodeword
+                             ? "DataCW"
+                         : info.param.scheme == ProtectionScheme::kReadPrecheck
+                             ? "Precheck"
+                         : info.param.scheme == ProtectionScheme::kReadLog
+                             ? "ReadLog"
+                             : "CWReadLog") +
+             "_" + std::to_string(info.param.region_size);
+    });
+
+// ---------- Read Prechecking specifics ----------
+
+TEST(ReadPrecheck, CorruptReadIsRefused) {
+  TempDir dir;
+  auto db = Database::Open(
+      SmallDbOptions(dir.path(), ProtectionScheme::kReadPrecheck, 128));
+  ASSERT_TRUE(db.ok());
+  auto txn = (*db)->Begin();
+  auto t = (*db)->CreateTable(*txn, "t", 128, 16);
+  ASSERT_TRUE(t.ok());
+  auto rid = (*db)->Insert(*txn, *t, std::string(128, 'g'));
+  ASSERT_TRUE(rid.ok());
+  ASSERT_OK((*db)->Commit(*txn));
+
+  DbPtr off = (*db)->image()->RecordOff(*t, rid->slot);
+  FaultInjector inject(db->get(), 3);
+  inject.WildWriteAt(off + 4, "XX");
+
+  txn = (*db)->Begin();
+  std::string got;
+  Status s = (*db)->Read(*txn, *t, rid->slot, &got);
+  EXPECT_TRUE(s.IsCorruption()) << s.ToString();
+  ASSERT_OK((*db)->Abort(*txn));
+
+  // Reads of *other* records (different regions) still succeed.
+  txn = (*db)->Begin();
+  auto rid2 = (*db)->Insert(*txn, *t, std::string(128, 'h'));
+  ASSERT_TRUE(rid2.ok());
+  ASSERT_OK((*db)->Read(*txn, *t, rid2->slot, &got));
+  ASSERT_OK((*db)->Commit(*txn));
+}
+
+TEST(ReadPrecheck, CacheRecoveryRepairsRegionInPlace) {
+  TempDir dir;
+  auto db = Database::Open(
+      SmallDbOptions(dir.path(), ProtectionScheme::kReadPrecheck, 128));
+  ASSERT_TRUE(db.ok());
+  auto txn = (*db)->Begin();
+  auto t = (*db)->CreateTable(*txn, "t", 128, 16);
+  ASSERT_TRUE(t.ok());
+  auto rid = (*db)->Insert(*txn, *t, std::string(128, 'o'));
+  ASSERT_TRUE(rid.ok());
+  ASSERT_OK((*db)->Commit(*txn));
+  ASSERT_OK((*db)->Checkpoint());
+
+  // Post-checkpoint committed update, then corruption.
+  txn = (*db)->Begin();
+  ASSERT_OK((*db)->Update(*txn, *t, rid->slot, 0, "NEWVAL"));
+  ASSERT_OK((*db)->Commit(*txn));
+
+  DbPtr off = (*db)->image()->RecordOff(*t, rid->slot);
+  FaultInjector inject(db->get(), 4);
+  inject.WildWriteAt(off + 2, "??");
+
+  txn = (*db)->Begin();
+  std::string got;
+  Status s = (*db)->Read(*txn, *t, rid->slot, &got);
+  ASSERT_TRUE(s.IsCorruption());
+  ASSERT_OK((*db)->Abort(*txn));
+
+  // Repair the region from checkpoint + redo log (cache-recovery model).
+  auto report = (*db)->Audit();
+  ASSERT_TRUE(report.ok());
+  ASSERT_FALSE(report->clean);
+  ASSERT_OK((*db)->CacheRecover(report->ranges));
+
+  // The read now succeeds and sees the *post-checkpoint committed* value.
+  txn = (*db)->Begin();
+  ASSERT_OK((*db)->Read(*txn, *t, rid->slot, &got));
+  EXPECT_EQ(got.substr(0, 6), "NEWVAL");
+  ASSERT_OK((*db)->Commit(*txn));
+  auto report2 = (*db)->Audit();
+  ASSERT_TRUE(report2.ok());
+  EXPECT_TRUE(report2->clean);
+}
+
+// ---------- Hardware Protection specifics ----------
+
+TEST(HardwareProtection, WildWriteIsPrevented) {
+  TempDir dir;
+  auto db =
+      Database::Open(SmallDbOptions(dir.path(), ProtectionScheme::kHardware));
+  ASSERT_TRUE(db.ok());
+  auto txn = (*db)->Begin();
+  auto t = (*db)->CreateTable(*txn, "t", 64, 16);
+  ASSERT_TRUE(t.ok());
+  auto rid = (*db)->Insert(*txn, *t, std::string(64, 'p'));
+  ASSERT_TRUE(rid.ok());
+  ASSERT_OK((*db)->Commit(*txn));
+
+  DbPtr off = (*db)->image()->RecordOff(*t, rid->slot);
+  FaultInjector inject(db->get(), 5);
+  auto outcome = inject.WildWriteAt(off, "EVIL");
+  EXPECT_TRUE(outcome.prevented);
+  EXPECT_FALSE(outcome.changed_bits);
+
+  // Data unharmed.
+  txn = (*db)->Begin();
+  std::string got;
+  ASSERT_OK((*db)->Read(*txn, *t, rid->slot, &got));
+  EXPECT_EQ(got, std::string(64, 'p'));
+  ASSERT_OK((*db)->Commit(*txn));
+}
+
+TEST(HardwareProtection, PrescribedUpdatesStillWork) {
+  TempDir dir;
+  auto db =
+      Database::Open(SmallDbOptions(dir.path(), ProtectionScheme::kHardware));
+  ASSERT_TRUE(db.ok());
+  auto txn = (*db)->Begin();
+  auto t = (*db)->CreateTable(*txn, "t", 64, 16);
+  ASSERT_TRUE(t.ok());
+  auto rid = (*db)->Insert(*txn, *t, std::string(64, '1'));
+  ASSERT_TRUE(rid.ok());
+  ASSERT_OK((*db)->Update(*txn, *t, rid->slot, 0, "updated."));
+  ASSERT_OK((*db)->Commit(*txn));
+  EXPECT_GT((*db)->GetStats().protection.mprotect_calls, 0u);
+}
+
+TEST(HardwareProtection, ExposureWindowAllowsWildWrite) {
+  // The known weakness of the expose-page model (§4, Ng & Chen): while a
+  // page is exposed for a legitimate update, a wild write to the *same
+  // page* is NOT prevented.
+  TempDir dir;
+  auto db =
+      Database::Open(SmallDbOptions(dir.path(), ProtectionScheme::kHardware));
+  ASSERT_TRUE(db.ok());
+  auto txn = (*db)->Begin();
+  auto t = (*db)->CreateTable(*txn, "t", 64, 16);
+  ASSERT_TRUE(t.ok());
+  auto rid = (*db)->Insert(*txn, *t, std::string(64, 'w'));
+  ASSERT_TRUE(rid.ok());
+  ASSERT_OK((*db)->Commit(*txn));
+
+  DbPtr off = (*db)->image()->RecordOff(*t, rid->slot);
+  txn = (*db)->Begin();
+  // Open a raw update window on the record's page...
+  ASSERT_OK((*db)->txns()->BeginOp(*txn, OpCode::kUpdate, kMaxTables,
+                                   kInvalidSlot, std::nullopt, off, 8));
+  auto ptr = (*txn)->BeginUpdate(off, 8);
+  ASSERT_TRUE(ptr.ok());
+  // ...and wild-write within the exposed page from "another component".
+  FaultInjector inject(db->get(), 6);
+  auto outcome = inject.WildWriteAt(off + 32, "OOPS");
+  EXPECT_FALSE(outcome.prevented);
+  EXPECT_TRUE(outcome.changed_bits);
+  std::memcpy(*ptr, "LEGIT!!!", 8);
+  ASSERT_OK((*txn)->EndUpdate());
+  LogicalUndo undo;
+  undo.code = UndoCode::kWriteRaw;
+  undo.raw_off = off;
+  undo.payload = std::string(8, 'w');
+  ASSERT_OK((*db)->txns()->CommitOp(*txn, undo));
+  ASSERT_OK((*db)->Commit(*txn));
+}
+
+// ---------- Documented limitation: XOR cancellation ----------
+
+TEST(CodewordLimits, CancellingWildWritesEscapeDetection) {
+  // Two wild writes that flip the same bits in two different words of the
+  // same region cancel in the XOR parity — the paper's "with high
+  // probability" caveat. This documents (and pins) the limitation.
+  TempDir dir;
+  auto db = Database::Open(
+      SmallDbOptions(dir.path(), ProtectionScheme::kDataCodeword, 512));
+  ASSERT_TRUE(db.ok());
+  auto txn = (*db)->Begin();
+  auto t = (*db)->CreateTable(*txn, "t", 128, 8);
+  ASSERT_TRUE(t.ok());
+  auto rid = (*db)->Insert(*txn, *t, std::string(128, 'c'));
+  ASSERT_TRUE(rid.ok());
+  ASSERT_OK((*db)->Commit(*txn));
+
+  DbPtr off = (*db)->image()->RecordOff(*t, rid->slot);
+  // Same 4-byte garbage XORed into two word-aligned spots of one region.
+  FaultInjector inject(db->get(), 8);
+  uint8_t a[4], b[4];
+  std::memcpy(a, (*db)->UnsafeRawBase() + off, 4);
+  std::memcpy(b, (*db)->UnsafeRawBase() + off + 8, 4);
+  for (int i = 0; i < 4; ++i) {
+    a[i] ^= 0x55;
+    b[i] ^= 0x55;
+  }
+  inject.WildWriteAt(off, Slice(reinterpret_cast<const char*>(a), 4));
+  inject.WildWriteAt(off + 8, Slice(reinterpret_cast<const char*>(b), 4));
+
+  auto report = (*db)->Audit();
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->clean) << "XOR parity cancels identical paired flips";
+}
+
+// ---------- Stats and space overhead ----------
+
+TEST(ProtectionStats, SpaceOverheadMatchesRegionSize) {
+  TempDir dir;
+  for (uint32_t region : {64u, 512u, 8192u}) {
+    auto db = Database::Open(SmallDbOptions(
+        dir.path() + "/r" + std::to_string(region),
+        ProtectionScheme::kDataCodeword, region));
+    ASSERT_TRUE(db.ok());
+    uint64_t expected = (4ull << 20) / region * sizeof(codeword_t);
+    EXPECT_EQ((*db)->GetStats().protection_space_overhead_bytes, expected);
+  }
+}
+
+TEST(ProtectionStats, PrecheckCountsReads) {
+  TempDir dir;
+  auto db = Database::Open(
+      SmallDbOptions(dir.path(), ProtectionScheme::kReadPrecheck, 512));
+  ASSERT_TRUE(db.ok());
+  auto txn = (*db)->Begin();
+  auto t = (*db)->CreateTable(*txn, "t", 64, 16);
+  ASSERT_TRUE(t.ok());
+  auto rid = (*db)->Insert(*txn, *t, std::string(64, 's'));
+  ASSERT_TRUE(rid.ok());
+  uint64_t before = (*db)->GetStats().protection.prechecks;
+  std::string got;
+  ASSERT_OK((*db)->Read(*txn, *t, rid->slot, &got));
+  EXPECT_GT((*db)->GetStats().protection.prechecks, before);
+  ASSERT_OK((*db)->Commit(*txn));
+}
+
+}  // namespace
+}  // namespace cwdb

@@ -1,0 +1,164 @@
+// Savepoint (partial rollback) tests: scoping, nesting, interaction with
+// inserts/deletes/updates and indexes, invalidation rules, crash
+// interaction, and codeword consistency through partial rollbacks.
+
+#include <gtest/gtest.h>
+
+#include "index/hash_index.h"
+#include "tests/test_util.h"
+
+namespace cwdb {
+namespace {
+
+class SavepointTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto db = Database::Open(
+        SmallDbOptions(dir_.path(), ProtectionScheme::kDataCodeword));
+    ASSERT_TRUE(db.ok());
+    db_ = std::move(db).value();
+    auto txn = db_->Begin();
+    auto t = db_->CreateTable(*txn, "t", 64, 64);
+    ASSERT_TRUE(t.ok());
+    table_ = *t;
+    auto rid = db_->Insert(*txn, table_, std::string(64, 'a'));
+    ASSERT_TRUE(rid.ok());
+    slot_ = rid->slot;
+    ASSERT_OK(db_->Commit(*txn));
+  }
+
+  TempDir dir_;
+  std::unique_ptr<Database> db_;
+  TableId table_ = 0;
+  uint32_t slot_ = 0;
+};
+
+TEST_F(SavepointTest, PartialRollbackKeepsEarlierWork) {
+  auto txn = db_->Begin();
+  ASSERT_OK(db_->Update(*txn, table_, slot_, 0, "KEEP"));
+  auto sp = db_->CreateSavepoint(*txn);
+  ASSERT_TRUE(sp.ok());
+  ASSERT_OK(db_->Update(*txn, table_, slot_, 8, "DROP"));
+  auto extra = db_->Insert(*txn, table_, std::string(64, 'x'));
+  ASSERT_TRUE(extra.ok());
+  ASSERT_OK(db_->RollbackToSavepoint(*txn, *sp));
+
+  // Post-savepoint work gone, pre-savepoint work intact, txn usable.
+  std::string got;
+  ASSERT_OK(db_->Read(*txn, table_, slot_, &got));
+  EXPECT_EQ(got.substr(0, 4), "KEEP");
+  EXPECT_EQ(got.substr(8, 4), "aaaa");
+  EXPECT_TRUE(db_->Read(*txn, table_, extra->slot, &got).IsNotFound());
+  ASSERT_OK(db_->Update(*txn, table_, slot_, 16, "MORE"));
+  ASSERT_OK(db_->Commit(*txn));
+
+  txn = db_->Begin();
+  ASSERT_OK(db_->Read(*txn, table_, slot_, &got));
+  EXPECT_EQ(got.substr(0, 4), "KEEP");
+  EXPECT_EQ(got.substr(16, 4), "MORE");
+  ASSERT_OK(db_->Commit(*txn));
+  auto audit = db_->Audit();
+  ASSERT_TRUE(audit.ok());
+  EXPECT_TRUE(audit->clean);
+}
+
+TEST_F(SavepointTest, NestedSavepoints) {
+  auto txn = db_->Begin();
+  auto sp1 = db_->CreateSavepoint(*txn);
+  ASSERT_TRUE(sp1.ok());
+  ASSERT_OK(db_->Update(*txn, table_, slot_, 0, "ONE!"));
+  auto sp2 = db_->CreateSavepoint(*txn);
+  ASSERT_TRUE(sp2.ok());
+  ASSERT_OK(db_->Update(*txn, table_, slot_, 8, "TWO!"));
+
+  ASSERT_OK(db_->RollbackToSavepoint(*txn, *sp2));
+  std::string got;
+  ASSERT_OK(db_->Read(*txn, table_, slot_, &got));
+  EXPECT_EQ(got.substr(0, 4), "ONE!");
+  EXPECT_EQ(got.substr(8, 4), "aaaa");
+
+  ASSERT_OK(db_->RollbackToSavepoint(*txn, *sp1));
+  ASSERT_OK(db_->Read(*txn, table_, slot_, &got));
+  EXPECT_EQ(got, std::string(64, 'a'));
+
+  // sp2 is now past the end of the undo log: invalid.
+  EXPECT_FALSE(db_->RollbackToSavepoint(*txn, *sp2).ok());
+  ASSERT_OK(db_->Commit(*txn));
+}
+
+TEST_F(SavepointTest, RepeatedRollbackToSameSavepoint) {
+  auto txn = db_->Begin();
+  auto sp = db_->CreateSavepoint(*txn);
+  ASSERT_TRUE(sp.ok());
+  for (int round = 0; round < 3; ++round) {
+    ASSERT_OK(db_->Update(*txn, table_, slot_, 0,
+                          "try" + std::to_string(round)));
+    ASSERT_OK(db_->RollbackToSavepoint(*txn, *sp));
+  }
+  std::string got;
+  ASSERT_OK(db_->Read(*txn, table_, slot_, &got));
+  EXPECT_EQ(got, std::string(64, 'a'));
+  ASSERT_OK(db_->Commit(*txn));
+}
+
+TEST_F(SavepointTest, FullAbortAfterPartialRollback) {
+  auto txn = db_->Begin();
+  ASSERT_OK(db_->Update(*txn, table_, slot_, 0, "PRE!"));
+  auto sp = db_->CreateSavepoint(*txn);
+  ASSERT_TRUE(sp.ok());
+  ASSERT_OK(db_->Update(*txn, table_, slot_, 8, "POST"));
+  ASSERT_OK(db_->RollbackToSavepoint(*txn, *sp));
+  ASSERT_OK(db_->Abort(*txn));
+
+  txn = db_->Begin();
+  std::string got;
+  ASSERT_OK(db_->Read(*txn, table_, slot_, &got));
+  EXPECT_EQ(got, std::string(64, 'a'));  // Everything undone.
+  ASSERT_OK(db_->Commit(*txn));
+}
+
+TEST_F(SavepointTest, CrashAfterPartialRollbackRecoversCommittedState) {
+  auto txn = db_->Begin();
+  ASSERT_OK(db_->Update(*txn, table_, slot_, 0, "KEEP"));
+  auto sp = db_->CreateSavepoint(*txn);
+  ASSERT_TRUE(sp.ok());
+  ASSERT_OK(db_->Update(*txn, table_, slot_, 8, "DROP"));
+  ASSERT_OK(db_->RollbackToSavepoint(*txn, *sp));
+  ASSERT_OK(db_->Commit(*txn));
+
+  ASSERT_OK(db_->CrashAndRecover());
+  auto txn2 = db_->Begin();
+  std::string got;
+  ASSERT_OK(db_->Read(*txn2, table_, slot_, &got));
+  EXPECT_EQ(got.substr(0, 4), "KEEP");
+  EXPECT_EQ(got.substr(8, 4), "aaaa");
+  ASSERT_OK(db_->Commit(*txn2));
+}
+
+TEST_F(SavepointTest, IndexChangesRollBackToo) {
+  auto txn = db_->Begin();
+  auto idx = HashIndex::Create(db_.get(), *txn, "sp_idx", 8, 64);
+  ASSERT_TRUE(idx.ok());
+  ASSERT_OK(idx->Insert(*txn, 1, 10));
+  auto sp = db_->CreateSavepoint(*txn);
+  ASSERT_TRUE(sp.ok());
+  ASSERT_OK(idx->Insert(*txn, 2, 20));
+  ASSERT_OK(idx->Erase(*txn, 1));
+  ASSERT_OK(db_->RollbackToSavepoint(*txn, *sp));
+  EXPECT_TRUE(idx->Lookup(*txn, 1).ok());
+  EXPECT_TRUE(idx->Lookup(*txn, 2).status().IsNotFound());
+  ASSERT_OK(db_->Commit(*txn));
+}
+
+TEST_F(SavepointTest, SavepointRefusedMidOperation) {
+  auto txn = db_->Begin();
+  DbPtr off = db_->image()->RecordOff(table_, slot_);
+  ASSERT_OK(db_->txns()->BeginOp(*txn, OpCode::kUpdate, kMaxTables,
+                                 kInvalidSlot, std::nullopt, off, 4));
+  EXPECT_FALSE(db_->CreateSavepoint(*txn).ok());
+  ASSERT_OK(db_->txns()->AbortOp(*txn));
+  ASSERT_OK(db_->Abort(*txn));
+}
+
+}  // namespace
+}  // namespace cwdb

@@ -1,0 +1,210 @@
+// Unit tests for the storage layer: arena mapping & protection, image
+// layout/formatting, bitmap slot allocation, address math, and dirty-page
+// tracking for the ping-pong checkpointer.
+
+#include <gtest/gtest.h>
+
+#include <csetjmp>
+#include <csignal>
+#include <cstring>
+
+#include "storage/arena.h"
+#include "storage/db_image.h"
+#include "tests/test_util.h"
+
+namespace cwdb {
+namespace {
+
+TEST(Arena, CreateZeroFilled) {
+  auto arena = Arena::Create(1 << 20);
+  ASSERT_TRUE(arena.ok());
+  EXPECT_GE((*arena)->size(), 1u << 20);
+  for (size_t i = 0; i < 4096; i += 512) {
+    EXPECT_EQ((*arena)->base()[i], 0);
+  }
+}
+
+TEST(Arena, RejectsZeroSize) { EXPECT_FALSE(Arena::Create(0).ok()); }
+
+TEST(Arena, RoundsToOsPage) {
+  auto arena = Arena::Create(100);
+  ASSERT_TRUE(arena.ok());
+  EXPECT_EQ((*arena)->size() % Arena::OsPageSize(), 0u);
+}
+
+namespace trap {
+sigjmp_buf jmp;
+void Handler(int) { siglongjmp(jmp, 1); }
+}  // namespace trap
+
+TEST(Arena, ProtectMakesPagesReadOnly) {
+  auto arena = Arena::Create(1 << 16);
+  ASSERT_TRUE(arena.ok());
+  (*arena)->base()[0] = 1;  // Writable initially.
+  ASSERT_OK((*arena)->Protect(0, (*arena)->size(), false));
+
+  struct sigaction sa, old;
+  std::memset(&sa, 0, sizeof(sa));
+  sa.sa_handler = trap::Handler;
+  sigemptyset(&sa.sa_mask);
+  ::sigaction(SIGSEGV, &sa, &old);
+  static volatile bool trapped;  // volatile: survives siglongjmp.
+  trapped = false;
+  if (sigsetjmp(trap::jmp, 1) == 0) {
+    (*arena)->base()[0] = 2;
+  } else {
+    trapped = true;
+  }
+  ::sigaction(SIGSEGV, &old, nullptr);
+  EXPECT_TRUE(trapped);
+  EXPECT_EQ((*arena)->base()[0], 1);
+
+  ASSERT_OK((*arena)->Protect(0, (*arena)->size(), true));
+  (*arena)->base()[0] = 3;  // Writable again.
+  EXPECT_EQ((*arena)->base()[0], 3);
+}
+
+TEST(DbImage, CreateFormatsHeader) {
+  auto image = DbImage::Create(1 << 20, 4096);
+  ASSERT_TRUE(image.ok());
+  const DbHeaderRaw* h = (*image)->header();
+  EXPECT_EQ(h->magic, kDbMagic);
+  EXPECT_EQ(h->version, kDbVersion);
+  EXPECT_EQ(h->page_size, 4096u);
+  EXPECT_EQ(h->arena_size, 1u << 20);
+  EXPECT_EQ(h->alloc_cursor % 4096, 0u);
+  EXPECT_GE(h->alloc_cursor, kTableDirOff + kTableDirBytes);
+  ASSERT_OK((*image)->ValidateHeader());
+}
+
+TEST(DbImage, RejectsBadGeometry) {
+  EXPECT_FALSE(DbImage::Create(1 << 20, 1000).ok());   // Not a power of 2.
+  EXPECT_FALSE(DbImage::Create(1 << 20, 1024).ok());   // < OS page.
+  EXPECT_FALSE(DbImage::Create(4096 * 3 + 1, 4096).ok());  // Unaligned.
+  EXPECT_FALSE(DbImage::Create(8192, 4096).ok());      // Too small.
+}
+
+TEST(DbImage, ValidateHeaderDetectsDamage) {
+  auto image = DbImage::Create(1 << 20, 4096);
+  ASSERT_TRUE(image.ok());
+  std::memset((*image)->At(0), 0xFF, 8);
+  EXPECT_TRUE((*image)->ValidateHeader().IsCorruption());
+}
+
+TEST(DbImage, InBounds) {
+  auto image = DbImage::Create(1 << 20, 4096);
+  ASSERT_TRUE(image.ok());
+  EXPECT_TRUE((*image)->InBounds(0, 1));
+  EXPECT_TRUE((*image)->InBounds((1 << 20) - 1, 1));
+  EXPECT_FALSE((*image)->InBounds(1 << 20, 1));
+  EXPECT_FALSE((*image)->InBounds((1 << 20) - 1, 2));
+  // Overflow-safe.
+  EXPECT_FALSE((*image)->InBounds(~0ull, 16));
+}
+
+TEST(DbImage, FindTableOnFreshImage) {
+  auto image = DbImage::Create(1 << 20, 4096);
+  ASSERT_TRUE(image.ok());
+  EXPECT_EQ((*image)->FindTable("anything"), kMaxTables);
+}
+
+class BitmapTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto image = DbImage::Create(1 << 20, 4096);
+    ASSERT_TRUE(image.ok());
+    image_ = std::move(image).value();
+    // Hand-craft a table meta (tests bypass the transactional path).
+    TableMetaRaw m{};
+    m.in_use = 1;
+    m.record_size = 100;
+    m.capacity = 200;
+    m.bitmap_off = image_->header()->alloc_cursor;
+    m.data_off = m.bitmap_off + 4096;
+    std::strncpy(m.name, "bt", sizeof(m.name) - 1);
+    std::memcpy(image_->At(TableMetaOff(0)), &m, sizeof(m));
+  }
+
+  void SetBit(uint32_t slot, bool on) {
+    const TableMetaRaw* m = image_->table_meta(0);
+    uint64_t word;
+    std::memcpy(&word, image_->At(BitmapWordOff(m->bitmap_off, slot)), 8);
+    if (on) {
+      word |= BitmapBitMask(slot);
+    } else {
+      word &= ~BitmapBitMask(slot);
+    }
+    std::memcpy(image_->At(BitmapWordOff(m->bitmap_off, slot)), &word, 8);
+  }
+
+  std::unique_ptr<DbImage> image_;
+};
+
+TEST_F(BitmapTest, SlotAllocatedTracksBits) {
+  EXPECT_FALSE(image_->SlotAllocated(0, 5));
+  SetBit(5, true);
+  EXPECT_TRUE(image_->SlotAllocated(0, 5));
+  SetBit(5, false);
+  EXPECT_FALSE(image_->SlotAllocated(0, 5));
+}
+
+TEST_F(BitmapTest, FindFreeSlotSkipsAllocated) {
+  SetBit(0, true);
+  SetBit(1, true);
+  EXPECT_EQ(image_->FindFreeSlot(0, 0), 2u);
+}
+
+TEST_F(BitmapTest, FindFreeSlotWrapsFromHint) {
+  SetBit(150, true);
+  EXPECT_EQ(image_->FindFreeSlot(0, 150), 151u);
+  // Hint beyond capacity wraps to 0.
+  EXPECT_EQ(image_->FindFreeSlot(0, 5000), 0u);
+}
+
+TEST_F(BitmapTest, FindFreeSlotFullTable) {
+  for (uint32_t s = 0; s < 200; ++s) SetBit(s, true);
+  EXPECT_EQ(image_->FindFreeSlot(0, 0), kInvalidSlot);
+  // Bits beyond capacity in the last word must not be offered.
+  SetBit(199, false);
+  EXPECT_EQ(image_->FindFreeSlot(0, 0), 199u);
+}
+
+TEST(DirtyTracking, MarkAndClearPerImage) {
+  auto image = DbImage::Create(1 << 20, 4096);
+  ASSERT_TRUE(image.ok());
+  (*image)->ClearDirty(0);
+  (*image)->ClearDirty(1);
+  (*image)->MarkDirty(4096 * 3 + 10, 4096);  // Spans pages 3 and 4.
+  EXPECT_EQ((*image)->DirtyPages(0), (std::vector<uint64_t>{3, 4}));
+  EXPECT_EQ((*image)->DirtyPages(1), (std::vector<uint64_t>{3, 4}));
+  (*image)->ClearDirty(0);
+  EXPECT_TRUE((*image)->DirtyPages(0).empty());
+  EXPECT_EQ((*image)->DirtyPages(1).size(), 2u);  // Independent sets.
+}
+
+TEST(DirtyTracking, RecordOffMath) {
+  auto image = DbImage::Create(1 << 20, 4096);
+  ASSERT_TRUE(image.ok());
+  TableMetaRaw m{};
+  m.in_use = 1;
+  m.record_size = 100;
+  m.capacity = 10;
+  m.data_off = 0x10000;
+  std::memcpy((*image)->At(TableMetaOff(2)), &m, sizeof(m));
+  EXPECT_EQ((*image)->RecordOff(2, 0), 0x10000u);
+  EXPECT_EQ((*image)->RecordOff(2, 7), 0x10000u + 700);
+}
+
+TEST(Layout, BitmapMath) {
+  EXPECT_EQ(BitmapBytes(1), 8u);
+  EXPECT_EQ(BitmapBytes(64), 8u);
+  EXPECT_EQ(BitmapBytes(65), 16u);
+  EXPECT_EQ(BitmapWordOff(1000, 0), 1000u);
+  EXPECT_EQ(BitmapWordOff(1000, 63), 1000u);
+  EXPECT_EQ(BitmapWordOff(1000, 64), 1008u);
+  EXPECT_EQ(BitmapBitMask(0), 1ull);
+  EXPECT_EQ(BitmapBitMask(65), 2ull);
+}
+
+}  // namespace
+}  // namespace cwdb

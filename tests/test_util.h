@@ -1,0 +1,60 @@
+#ifndef CWDB_TESTS_TEST_UTIL_H_
+#define CWDB_TESTS_TEST_UTIL_H_
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <string>
+
+#include "core/database.h"
+
+namespace cwdb {
+
+#define ASSERT_OK(expr)                                      \
+  do {                                                       \
+    ::cwdb::Status _s = (expr);                              \
+    ASSERT_TRUE(_s.ok()) << "status: " << _s.ToString();     \
+  } while (0)
+
+#define EXPECT_OK(expr)                                      \
+  do {                                                       \
+    ::cwdb::Status _s = (expr);                              \
+    EXPECT_TRUE(_s.ok()) << "status: " << _s.ToString();     \
+  } while (0)
+
+/// Creates (and removes on destruction) a unique temp directory per test.
+class TempDir {
+ public:
+  TempDir() {
+    char tmpl[] = "/dev/shm/cwdb_test_XXXXXX";
+    char* p = ::mkdtemp(tmpl);
+    EXPECT_NE(p, nullptr);
+    path_ = p;
+  }
+  ~TempDir() {
+    std::string cmd = "rm -rf '" + path_ + "'";
+    [[maybe_unused]] int rc = ::system(cmd.c_str());
+  }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+/// Small options for fast tests: 4 MiB arena, 4 KiB pages.
+inline DatabaseOptions SmallDbOptions(const std::string& path,
+                                      ProtectionScheme scheme,
+                                      uint32_t region_size = 512) {
+  DatabaseOptions opts;
+  opts.path = path;
+  opts.arena_size = 4ull << 20;
+  opts.page_size = 4096;
+  opts.protection.scheme = scheme;
+  opts.protection.region_size = region_size;
+  return opts;
+}
+
+}  // namespace cwdb
+
+#endif  // CWDB_TESTS_TEST_UTIL_H_

@@ -1,0 +1,25 @@
+#!/bin/sh
+# Smoke test for cwdb_ctl: build a small database with the quickstart
+# example, then exercise every read-only subcommand plus recover.
+set -e
+
+QUICKSTART="$1"
+CTL="$2"
+DIR=$(mktemp -d /dev/shm/cwdb_tool_smoke_XXXXXX)
+trap 'rm -rf "$DIR"' EXIT
+
+"$QUICKSTART" "$DIR/db" > /dev/null
+
+"$CTL" info "$DIR/db" | grep -q "active checkpoint"
+"$CTL" tables "$DIR/db" | grep -q "users"
+"$CTL" check "$DIR/db" | grep -q "image layout     : ok"
+"$CTL" logdump "$DIR/db" | grep -q "COMMIT_TXN"
+"$CTL" logdump "$DIR/db" | grep -q "end of valid log"
+"$CTL" recover "$DIR/db" readlog | grep -q "recovery complete"
+
+# Unknown command fails with usage.
+if "$CTL" bogus "$DIR/db" 2> /dev/null; then
+  echo "bogus subcommand should fail" >&2
+  exit 1
+fi
+echo "tool smoke OK"

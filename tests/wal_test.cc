@@ -1,0 +1,259 @@
+// Unit tests for the write-ahead log: record encode/decode round trips,
+// system log framing, flush/durability accounting, torn-tail handling, and
+// the log reader.
+
+#include <gtest/gtest.h>
+
+#include "common/file_util.h"
+#include "tests/test_util.h"
+#include "wal/log_record.h"
+#include "wal/system_log.h"
+
+namespace cwdb {
+namespace {
+
+TEST(LogRecord, TxnRecordsRoundTrip) {
+  for (auto encode : {EncodeBeginTxn, EncodeCommitTxn, EncodeAbortTxn}) {
+    std::string buf;
+    encode(&buf, 42);
+    LogRecord rec;
+    ASSERT_TRUE(DecodeLogRecord(buf, &rec));
+    EXPECT_EQ(rec.txn, 42u);
+  }
+  std::string buf;
+  EncodeBeginTxn(&buf, 7);
+  LogRecord rec;
+  ASSERT_TRUE(DecodeLogRecord(buf, &rec));
+  EXPECT_EQ(rec.type, LogRecordType::kBeginTxn);
+}
+
+TEST(LogRecord, PhysRedoRoundTrip) {
+  std::string buf;
+  EncodePhysRedo(&buf, 9, 0x1234, Slice("afterbytes"), nullptr);
+  LogRecord rec;
+  ASSERT_TRUE(DecodeLogRecord(buf, &rec));
+  EXPECT_EQ(rec.type, LogRecordType::kPhysRedo);
+  EXPECT_EQ(rec.txn, 9u);
+  EXPECT_EQ(rec.off, 0x1234u);
+  EXPECT_EQ(rec.len, 10u);
+  EXPECT_FALSE(rec.has_cksum);
+  EXPECT_EQ(rec.after, "afterbytes");
+}
+
+TEST(LogRecord, PhysRedoWithChecksumRoundTrip) {
+  codeword_t cksum = 0xABCD1234;
+  std::string buf;
+  EncodePhysRedo(&buf, 9, 8, Slice("xy"), &cksum);
+  LogRecord rec;
+  ASSERT_TRUE(DecodeLogRecord(buf, &rec));
+  EXPECT_TRUE(rec.has_cksum);
+  EXPECT_EQ(rec.cksum, 0xABCD1234u);
+  EXPECT_EQ(rec.after, "xy");
+}
+
+TEST(LogRecord, ReadLogRoundTrip) {
+  std::string buf;
+  EncodeReadLog(&buf, 3, 512, 100, nullptr);
+  LogRecord rec;
+  ASSERT_TRUE(DecodeLogRecord(buf, &rec));
+  EXPECT_EQ(rec.type, LogRecordType::kReadLog);
+  EXPECT_EQ(rec.off, 512u);
+  EXPECT_EQ(rec.len, 100u);
+  EXPECT_FALSE(rec.has_cksum);
+
+  codeword_t cksum = 55;
+  buf.clear();
+  EncodeReadLog(&buf, 3, 512, 100, &cksum);
+  ASSERT_TRUE(DecodeLogRecord(buf, &rec));
+  EXPECT_TRUE(rec.has_cksum);
+  EXPECT_EQ(rec.cksum, 55u);
+}
+
+TEST(LogRecord, BeginOpRoundTrip) {
+  std::string buf;
+  EncodeBeginOp(&buf, 5, 77, 1, OpCode::kInsert, 3, 12, 0x9000, 24);
+  LogRecord rec;
+  ASSERT_TRUE(DecodeLogRecord(buf, &rec));
+  EXPECT_EQ(rec.type, LogRecordType::kBeginOp);
+  EXPECT_EQ(rec.op_id, 77u);
+  EXPECT_EQ(rec.level, 1);
+  EXPECT_EQ(rec.opcode, OpCode::kInsert);
+  EXPECT_EQ(rec.table, 3);
+  EXPECT_EQ(rec.slot, 12u);
+  EXPECT_EQ(rec.off, 0x9000u);
+  EXPECT_EQ(rec.len, 24u);
+}
+
+TEST(LogRecord, CommitOpRoundTrip) {
+  LogicalUndo undo;
+  undo.code = UndoCode::kReinsertSlot;
+  undo.table = 2;
+  undo.slot = 9;
+  undo.field_off = 4;
+  undo.raw_off = 0xBEEF;
+  undo.payload = "oldrecordbytes";
+  std::string buf;
+  EncodeCommitOp(&buf, 5, 77, 1, undo);
+  LogRecord rec;
+  ASSERT_TRUE(DecodeLogRecord(buf, &rec));
+  EXPECT_EQ(rec.type, LogRecordType::kCommitOp);
+  EXPECT_EQ(rec.undo.code, UndoCode::kReinsertSlot);
+  EXPECT_EQ(rec.undo.table, 2);
+  EXPECT_EQ(rec.undo.slot, 9u);
+  EXPECT_EQ(rec.undo.field_off, 4u);
+  EXPECT_EQ(rec.undo.raw_off, 0xBEEFu);
+  EXPECT_EQ(rec.undo.payload, "oldrecordbytes");
+}
+
+TEST(LogRecord, RejectsGarbage) {
+  LogRecord rec;
+  EXPECT_FALSE(DecodeLogRecord(Slice("\xFFgarbage", 8), &rec));
+  EXPECT_FALSE(DecodeLogRecord(Slice("", 0), &rec));
+  // Truncated phys redo (claims 100 bytes of after-image, has none).
+  std::string buf;
+  EncodePhysRedo(&buf, 1, 0, Slice("0123456789"), nullptr);
+  EXPECT_FALSE(DecodeLogRecord(Slice(buf.data(), buf.size() - 5), &rec));
+}
+
+class SystemLogTest : public ::testing::Test {
+ protected:
+  std::string LogPath() { return dir_.path() + "/test.log"; }
+  TempDir dir_;
+};
+
+TEST_F(SystemLogTest, AppendAssignsMonotonicLsns) {
+  auto log = SystemLog::Open(LogPath());
+  ASSERT_TRUE(log.ok());
+  Lsn a = (*log)->Append("one");
+  Lsn b = (*log)->Append("two");
+  EXPECT_LT(a, b);
+  EXPECT_EQ((*log)->end_of_stable_log(), 0u);
+  EXPECT_GT((*log)->CurrentLsn(), b);
+}
+
+TEST_F(SystemLogTest, FlushMakesRecordsDurable) {
+  {
+    auto log = SystemLog::Open(LogPath());
+    ASSERT_TRUE(log.ok());
+    (*log)->Append("alpha");
+    (*log)->Append("beta");
+    ASSERT_OK((*log)->Flush());
+    EXPECT_EQ((*log)->end_of_stable_log(), (*log)->CurrentLsn());
+  }
+  auto reader = LogReader::Open(LogPath(), 0, kInvalidLsn);
+  ASSERT_TRUE(reader.ok());
+  // Payloads are not LogRecords here; use raw framing via a fresh reader...
+  // Instead verify via SystemLog reopen: stable size preserved.
+  auto log2 = SystemLog::Open(LogPath());
+  ASSERT_TRUE(log2.ok());
+  EXPECT_GT((*log2)->end_of_stable_log(), 0u);
+}
+
+TEST_F(SystemLogTest, DiscardTailLosesUnflushed) {
+  auto log = SystemLog::Open(LogPath());
+  ASSERT_TRUE(log.ok());
+  (*log)->Append("kept");
+  ASSERT_OK((*log)->Flush());
+  Lsn stable = (*log)->end_of_stable_log();
+  (*log)->Append("lost");
+  (*log)->DiscardTail();
+  EXPECT_EQ((*log)->CurrentLsn(), stable);
+}
+
+TEST_F(SystemLogTest, TornTailIsTruncatedOnOpen) {
+  {
+    auto log = SystemLog::Open(LogPath());
+    ASSERT_TRUE(log.ok());
+    std::string payload;
+    EncodeBeginTxn(&payload, 1);
+    (*log)->Append(payload);
+    ASSERT_OK((*log)->Flush());
+  }
+  // Append garbage simulating a torn write.
+  std::string contents;
+  ASSERT_OK(ReadFileToString(LogPath(), &contents));
+  size_t good = contents.size();
+  contents += "\x10\x00\x00\x00TORN";
+  ASSERT_OK(WriteFileAtomic(LogPath(), contents));
+
+  auto log = SystemLog::Open(LogPath());
+  ASSERT_TRUE(log.ok());
+  EXPECT_EQ((*log)->end_of_stable_log(), good);
+
+  // The reader also stops at the valid prefix.
+  auto reader = LogReader::Open(LogPath(), 0, kInvalidLsn);
+  ASSERT_TRUE(reader.ok());
+  LogRecord rec;
+  Lsn lsn;
+  int n = 0;
+  while ((*reader)->Next(&rec, &lsn)) ++n;
+  EXPECT_EQ(n, 1);
+  EXPECT_EQ((*reader)->position(), good);
+}
+
+TEST_F(SystemLogTest, CorruptMiddleFrameEndsLogThere) {
+  {
+    auto log = SystemLog::Open(LogPath());
+    ASSERT_TRUE(log.ok());
+    std::string p1, p2;
+    EncodeBeginTxn(&p1, 1);
+    EncodeCommitTxn(&p2, 1);
+    (*log)->Append(p1);
+    (*log)->Append(p2);
+    ASSERT_OK((*log)->Flush());
+  }
+  std::string contents;
+  ASSERT_OK(ReadFileToString(LogPath(), &contents));
+  contents[contents.size() / 2] ^= 0x01;  // Flip a bit mid-log.
+  ASSERT_OK(WriteFileAtomic(LogPath(), contents));
+
+  auto reader = LogReader::Open(LogPath(), 0, kInvalidLsn);
+  ASSERT_TRUE(reader.ok());
+  LogRecord rec;
+  int n = 0;
+  while ((*reader)->Next(&rec, nullptr)) ++n;
+  EXPECT_LT(n, 2);  // CRC stops the scan at the corrupt frame.
+}
+
+TEST_F(SystemLogTest, ReaderHonorsStartAndLimit) {
+  Lsn second;
+  {
+    auto log = SystemLog::Open(LogPath());
+    ASSERT_TRUE(log.ok());
+    std::string p;
+    EncodeBeginTxn(&p, 1);
+    (*log)->Append(p);
+    p.clear();
+    EncodeBeginTxn(&p, 2);
+    second = (*log)->Append(p);
+    p.clear();
+    EncodeBeginTxn(&p, 3);
+    (*log)->Append(p);
+    ASSERT_OK((*log)->Flush());
+  }
+  auto reader = LogReader::Open(LogPath(), second, kInvalidLsn);
+  ASSERT_TRUE(reader.ok());
+  LogRecord rec;
+  ASSERT_TRUE((*reader)->Next(&rec, nullptr));
+  EXPECT_EQ(rec.txn, 2u);
+  ASSERT_TRUE((*reader)->Next(&rec, nullptr));
+  EXPECT_EQ(rec.txn, 3u);
+  EXPECT_FALSE((*reader)->Next(&rec, nullptr));
+
+  auto limited = LogReader::Open(LogPath(), 0, second);
+  ASSERT_TRUE(limited.ok());
+  int n = 0;
+  while ((*limited)->Next(&rec, nullptr)) ++n;
+  EXPECT_EQ(n, 1);
+}
+
+TEST_F(SystemLogTest, BytesAppendedAccounting) {
+  auto log = SystemLog::Open(LogPath());
+  ASSERT_TRUE(log.ok());
+  EXPECT_EQ((*log)->bytes_appended(), 0u);
+  (*log)->Append("12345");
+  EXPECT_EQ((*log)->bytes_appended(), 8u + 5u);  // Frame header + payload.
+}
+
+}  // namespace
+}  // namespace cwdb
