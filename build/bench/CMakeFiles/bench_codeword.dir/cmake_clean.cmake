@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_codeword.dir/bench_codeword.cc.o"
+  "CMakeFiles/bench_codeword.dir/bench_codeword.cc.o.d"
+  "bench_codeword"
+  "bench_codeword.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_codeword.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

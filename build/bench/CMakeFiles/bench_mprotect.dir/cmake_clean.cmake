@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mprotect.dir/bench_mprotect.cc.o"
+  "CMakeFiles/bench_mprotect.dir/bench_mprotect.cc.o.d"
+  "bench_mprotect"
+  "bench_mprotect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mprotect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

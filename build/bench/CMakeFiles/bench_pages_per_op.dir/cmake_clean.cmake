@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pages_per_op.dir/bench_pages_per_op.cc.o"
+  "CMakeFiles/bench_pages_per_op.dir/bench_pages_per_op.cc.o.d"
+  "bench_pages_per_op"
+  "bench_pages_per_op.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pages_per_op.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_read_mix.dir/bench_read_mix.cc.o"
+  "CMakeFiles/bench_read_mix.dir/bench_read_mix.cc.o.d"
+  "bench_read_mix"
+  "bench_read_mix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_read_mix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_readlog.dir/bench_readlog.cc.o"
+  "CMakeFiles/bench_readlog.dir/bench_readlog.cc.o.d"
+  "bench_readlog"
+  "bench_readlog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_readlog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

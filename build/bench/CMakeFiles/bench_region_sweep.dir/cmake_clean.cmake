@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_region_sweep.dir/bench_region_sweep.cc.o"
+  "CMakeFiles/bench_region_sweep.dir/bench_region_sweep.cc.o.d"
+  "bench_region_sweep"
+  "bench_region_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_region_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

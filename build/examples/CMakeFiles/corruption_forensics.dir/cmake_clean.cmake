@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/corruption_forensics.dir/corruption_forensics.cpp.o"
+  "CMakeFiles/corruption_forensics.dir/corruption_forensics.cpp.o.d"
+  "corruption_forensics"
+  "corruption_forensics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/corruption_forensics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/logical_corruption.dir/logical_corruption.cpp.o"
+  "CMakeFiles/logical_corruption.dir/logical_corruption.cpp.o.d"
+  "logical_corruption"
+  "logical_corruption.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/logical_corruption.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scheme_tour.dir/scheme_tour.cpp.o"
+  "CMakeFiles/scheme_tour.dir/scheme_tour.cpp.o.d"
+  "scheme_tour"
+  "scheme_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scheme_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

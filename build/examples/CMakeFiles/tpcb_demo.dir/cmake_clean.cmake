@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpcb_demo.dir/tpcb_demo.cpp.o"
+  "CMakeFiles/tpcb_demo.dir/tpcb_demo.cpp.o.d"
+  "tpcb_demo"
+  "tpcb_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpcb_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

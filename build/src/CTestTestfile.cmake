@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("storage")
+subdirs("wal")
+subdirs("protect")
+subdirs("txn")
+subdirs("ckpt")
+subdirs("recovery")
+subdirs("blob")
+subdirs("core")
+subdirs("faultinject")
+subdirs("index")
+subdirs("workload")

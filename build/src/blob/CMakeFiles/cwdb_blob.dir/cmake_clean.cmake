@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cwdb_blob.dir/blob_store.cc.o"
+  "CMakeFiles/cwdb_blob.dir/blob_store.cc.o.d"
+  "libcwdb_blob.a"
+  "libcwdb_blob.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cwdb_blob.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

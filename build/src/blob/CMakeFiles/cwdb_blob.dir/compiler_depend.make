@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for cwdb_blob.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ckpt/archive.cc" "src/ckpt/CMakeFiles/cwdb_ckpt.dir/archive.cc.o" "gcc" "src/ckpt/CMakeFiles/cwdb_ckpt.dir/archive.cc.o.d"
+  "/root/repo/src/ckpt/att_codec.cc" "src/ckpt/CMakeFiles/cwdb_ckpt.dir/att_codec.cc.o" "gcc" "src/ckpt/CMakeFiles/cwdb_ckpt.dir/att_codec.cc.o.d"
+  "/root/repo/src/ckpt/checkpoint.cc" "src/ckpt/CMakeFiles/cwdb_ckpt.dir/checkpoint.cc.o" "gcc" "src/ckpt/CMakeFiles/cwdb_ckpt.dir/checkpoint.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/txn/CMakeFiles/cwdb_txn.dir/DependInfo.cmake"
+  "/root/repo/build/src/wal/CMakeFiles/cwdb_wal.dir/DependInfo.cmake"
+  "/root/repo/build/src/protect/CMakeFiles/cwdb_protect.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/cwdb_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cwdb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

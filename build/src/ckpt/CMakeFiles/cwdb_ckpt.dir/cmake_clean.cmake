@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cwdb_ckpt.dir/archive.cc.o"
+  "CMakeFiles/cwdb_ckpt.dir/archive.cc.o.d"
+  "CMakeFiles/cwdb_ckpt.dir/att_codec.cc.o"
+  "CMakeFiles/cwdb_ckpt.dir/att_codec.cc.o.d"
+  "CMakeFiles/cwdb_ckpt.dir/checkpoint.cc.o"
+  "CMakeFiles/cwdb_ckpt.dir/checkpoint.cc.o.d"
+  "libcwdb_ckpt.a"
+  "libcwdb_ckpt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cwdb_ckpt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

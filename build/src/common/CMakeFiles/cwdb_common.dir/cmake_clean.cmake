@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cwdb_common.dir/codeword.cc.o"
+  "CMakeFiles/cwdb_common.dir/codeword.cc.o.d"
+  "CMakeFiles/cwdb_common.dir/crc32.cc.o"
+  "CMakeFiles/cwdb_common.dir/crc32.cc.o.d"
+  "CMakeFiles/cwdb_common.dir/file_util.cc.o"
+  "CMakeFiles/cwdb_common.dir/file_util.cc.o.d"
+  "CMakeFiles/cwdb_common.dir/status.cc.o"
+  "CMakeFiles/cwdb_common.dir/status.cc.o.d"
+  "libcwdb_common.a"
+  "libcwdb_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cwdb_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

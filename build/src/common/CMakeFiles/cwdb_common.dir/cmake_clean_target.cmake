@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcwdb_common.a"
+)

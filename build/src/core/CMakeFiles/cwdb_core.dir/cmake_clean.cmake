@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cwdb_core.dir/auditor.cc.o"
+  "CMakeFiles/cwdb_core.dir/auditor.cc.o.d"
+  "CMakeFiles/cwdb_core.dir/database.cc.o"
+  "CMakeFiles/cwdb_core.dir/database.cc.o.d"
+  "CMakeFiles/cwdb_core.dir/lineage.cc.o"
+  "CMakeFiles/cwdb_core.dir/lineage.cc.o.d"
+  "libcwdb_core.a"
+  "libcwdb_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cwdb_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cwdb_faultinject.dir/fault_injector.cc.o"
+  "CMakeFiles/cwdb_faultinject.dir/fault_injector.cc.o.d"
+  "libcwdb_faultinject.a"
+  "libcwdb_faultinject.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cwdb_faultinject.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

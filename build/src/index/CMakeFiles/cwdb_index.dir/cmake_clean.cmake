@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cwdb_index.dir/hash_index.cc.o"
+  "CMakeFiles/cwdb_index.dir/hash_index.cc.o.d"
+  "CMakeFiles/cwdb_index.dir/ordered_index.cc.o"
+  "CMakeFiles/cwdb_index.dir/ordered_index.cc.o.d"
+  "libcwdb_index.a"
+  "libcwdb_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cwdb_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

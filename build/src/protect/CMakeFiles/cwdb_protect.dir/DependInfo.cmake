@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/protect/codeword_protection.cc" "src/protect/CMakeFiles/cwdb_protect.dir/codeword_protection.cc.o" "gcc" "src/protect/CMakeFiles/cwdb_protect.dir/codeword_protection.cc.o.d"
+  "/root/repo/src/protect/codeword_table.cc" "src/protect/CMakeFiles/cwdb_protect.dir/codeword_table.cc.o" "gcc" "src/protect/CMakeFiles/cwdb_protect.dir/codeword_table.cc.o.d"
+  "/root/repo/src/protect/hardware_protection.cc" "src/protect/CMakeFiles/cwdb_protect.dir/hardware_protection.cc.o" "gcc" "src/protect/CMakeFiles/cwdb_protect.dir/hardware_protection.cc.o.d"
+  "/root/repo/src/protect/protection.cc" "src/protect/CMakeFiles/cwdb_protect.dir/protection.cc.o" "gcc" "src/protect/CMakeFiles/cwdb_protect.dir/protection.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cwdb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/cwdb_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

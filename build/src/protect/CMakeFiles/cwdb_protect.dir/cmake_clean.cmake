@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cwdb_protect.dir/codeword_protection.cc.o"
+  "CMakeFiles/cwdb_protect.dir/codeword_protection.cc.o.d"
+  "CMakeFiles/cwdb_protect.dir/codeword_table.cc.o"
+  "CMakeFiles/cwdb_protect.dir/codeword_table.cc.o.d"
+  "CMakeFiles/cwdb_protect.dir/hardware_protection.cc.o"
+  "CMakeFiles/cwdb_protect.dir/hardware_protection.cc.o.d"
+  "CMakeFiles/cwdb_protect.dir/protection.cc.o"
+  "CMakeFiles/cwdb_protect.dir/protection.cc.o.d"
+  "libcwdb_protect.a"
+  "libcwdb_protect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cwdb_protect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for cwdb_protect.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cwdb_recovery.dir/corrupt_note.cc.o"
+  "CMakeFiles/cwdb_recovery.dir/corrupt_note.cc.o.d"
+  "CMakeFiles/cwdb_recovery.dir/recovery.cc.o"
+  "CMakeFiles/cwdb_recovery.dir/recovery.cc.o.d"
+  "libcwdb_recovery.a"
+  "libcwdb_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cwdb_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

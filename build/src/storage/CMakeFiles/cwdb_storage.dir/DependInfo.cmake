@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/arena.cc" "src/storage/CMakeFiles/cwdb_storage.dir/arena.cc.o" "gcc" "src/storage/CMakeFiles/cwdb_storage.dir/arena.cc.o.d"
+  "/root/repo/src/storage/db_image.cc" "src/storage/CMakeFiles/cwdb_storage.dir/db_image.cc.o" "gcc" "src/storage/CMakeFiles/cwdb_storage.dir/db_image.cc.o.d"
+  "/root/repo/src/storage/integrity.cc" "src/storage/CMakeFiles/cwdb_storage.dir/integrity.cc.o" "gcc" "src/storage/CMakeFiles/cwdb_storage.dir/integrity.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cwdb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cwdb_storage.dir/arena.cc.o"
+  "CMakeFiles/cwdb_storage.dir/arena.cc.o.d"
+  "CMakeFiles/cwdb_storage.dir/db_image.cc.o"
+  "CMakeFiles/cwdb_storage.dir/db_image.cc.o.d"
+  "CMakeFiles/cwdb_storage.dir/integrity.cc.o"
+  "CMakeFiles/cwdb_storage.dir/integrity.cc.o.d"
+  "libcwdb_storage.a"
+  "libcwdb_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cwdb_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

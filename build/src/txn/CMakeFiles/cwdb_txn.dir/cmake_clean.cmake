@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cwdb_txn.dir/lock_manager.cc.o"
+  "CMakeFiles/cwdb_txn.dir/lock_manager.cc.o.d"
+  "CMakeFiles/cwdb_txn.dir/table_ops.cc.o"
+  "CMakeFiles/cwdb_txn.dir/table_ops.cc.o.d"
+  "CMakeFiles/cwdb_txn.dir/transaction.cc.o"
+  "CMakeFiles/cwdb_txn.dir/transaction.cc.o.d"
+  "CMakeFiles/cwdb_txn.dir/txn_manager.cc.o"
+  "CMakeFiles/cwdb_txn.dir/txn_manager.cc.o.d"
+  "libcwdb_txn.a"
+  "libcwdb_txn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cwdb_txn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/wal/log_record.cc" "src/wal/CMakeFiles/cwdb_wal.dir/log_record.cc.o" "gcc" "src/wal/CMakeFiles/cwdb_wal.dir/log_record.cc.o.d"
+  "/root/repo/src/wal/system_log.cc" "src/wal/CMakeFiles/cwdb_wal.dir/system_log.cc.o" "gcc" "src/wal/CMakeFiles/cwdb_wal.dir/system_log.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cwdb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/cwdb_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

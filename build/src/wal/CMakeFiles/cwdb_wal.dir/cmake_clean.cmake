@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cwdb_wal.dir/log_record.cc.o"
+  "CMakeFiles/cwdb_wal.dir/log_record.cc.o.d"
+  "CMakeFiles/cwdb_wal.dir/system_log.cc.o"
+  "CMakeFiles/cwdb_wal.dir/system_log.cc.o.d"
+  "libcwdb_wal.a"
+  "libcwdb_wal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cwdb_wal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

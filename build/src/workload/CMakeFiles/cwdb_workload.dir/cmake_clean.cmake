@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cwdb_workload.dir/tpcb.cc.o"
+  "CMakeFiles/cwdb_workload.dir/tpcb.cc.o.d"
+  "libcwdb_workload.a"
+  "libcwdb_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cwdb_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

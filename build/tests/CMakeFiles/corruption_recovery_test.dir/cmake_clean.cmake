@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/corruption_recovery_test.dir/corruption_recovery_test.cc.o"
+  "CMakeFiles/corruption_recovery_test.dir/corruption_recovery_test.cc.o.d"
+  "corruption_recovery_test"
+  "corruption_recovery_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/corruption_recovery_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/corruption_structural_test.cc" "tests/CMakeFiles/corruption_structural_test.dir/corruption_structural_test.cc.o" "gcc" "tests/CMakeFiles/corruption_structural_test.dir/corruption_structural_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/blob/CMakeFiles/cwdb_blob.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/cwdb_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/cwdb_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/faultinject/CMakeFiles/cwdb_faultinject.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/cwdb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/recovery/CMakeFiles/cwdb_recovery.dir/DependInfo.cmake"
+  "/root/repo/build/src/ckpt/CMakeFiles/cwdb_ckpt.dir/DependInfo.cmake"
+  "/root/repo/build/src/txn/CMakeFiles/cwdb_txn.dir/DependInfo.cmake"
+  "/root/repo/build/src/protect/CMakeFiles/cwdb_protect.dir/DependInfo.cmake"
+  "/root/repo/build/src/wal/CMakeFiles/cwdb_wal.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/cwdb_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cwdb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/corruption_structural_test.dir/corruption_structural_test.cc.o"
+  "CMakeFiles/corruption_structural_test.dir/corruption_structural_test.cc.o.d"
+  "corruption_structural_test"
+  "corruption_structural_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/corruption_structural_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prior_state_test.dir/prior_state_test.cc.o"
+  "CMakeFiles/prior_state_test.dir/prior_state_test.cc.o.d"
+  "prior_state_test"
+  "prior_state_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prior_state_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protect_test.dir/protect_test.cc.o"
+  "CMakeFiles/protect_test.dir/protect_test.cc.o.d"
+  "protect_test"
+  "protect_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protect_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

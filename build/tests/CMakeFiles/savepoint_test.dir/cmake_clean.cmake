@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/savepoint_test.dir/savepoint_test.cc.o"
+  "CMakeFiles/savepoint_test.dir/savepoint_test.cc.o.d"
+  "savepoint_test"
+  "savepoint_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/savepoint_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

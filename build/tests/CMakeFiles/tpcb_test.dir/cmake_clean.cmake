@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpcb_test.dir/tpcb_test.cc.o"
+  "CMakeFiles/tpcb_test.dir/tpcb_test.cc.o.d"
+  "tpcb_test"
+  "tpcb_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpcb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cwdb_ctl.dir/cwdb_ctl.cc.o"
+  "CMakeFiles/cwdb_ctl.dir/cwdb_ctl.cc.o.d"
+  "cwdb_ctl"
+  "cwdb_ctl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cwdb_ctl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
