@@ -1,19 +1,39 @@
 // Ablation A3: audit throughput (google-benchmark). The Data Codeword
 // scheme's detection latency is bounded by how fast the auditor can sweep
 // the database (§3.2), and checkpoint certification (§4.2) pays one full
-// sweep per checkpoint. Measures full-database audits across region sizes.
+// sweep per checkpoint. Measures full-database audits across region sizes
+// and sweep-lane counts (ProtectionOptions::sweep_threads), plus the
+// post-checkpoint full rebuild (ResetFromImage) that parallelizes the same
+// way.
+//
+// `--json` switches to a machine-readable mode that sweeps a large image
+// (default 256 MiB; override with CWDB_BENCH_AUDIT_MB) and prints one
+//   {"name": ..., "bytes_per_sec": ..., "threads": ...}
+// line per (operation, threads) point for BENCH_*.json trajectory tracking.
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
+#include <thread>
+#include <vector>
 
+#include "common/codeword_kernel.h"
+#include "common/parallel.h"
+#include "common/random.h"
 #include "core/database.h"
+#include "protect/codeword_protection.h"
+#include "storage/db_image.h"
 
 namespace cwdb {
 namespace {
 
 void BM_AuditAll(benchmark::State& state) {
   const uint32_t region_size = static_cast<uint32_t>(state.range(0));
+  const size_t sweep_threads = static_cast<size_t>(state.range(1));
   const uint64_t arena = 32ull << 20;
 
   char tmpl[] = "/dev/shm/cwdb_bench_audit_XXXXXX";
@@ -25,6 +45,7 @@ void BM_AuditAll(benchmark::State& state) {
   opts.page_size = 8192;
   opts.protection.scheme = ProtectionScheme::kDataCodeword;
   opts.protection.region_size = region_size;
+  opts.protection.sweep_threads = sweep_threads;
   auto db = Database::Open(opts);
   if (!db.ok()) {
     state.SkipWithError(db.status().ToString().c_str());
@@ -48,12 +69,162 @@ void BM_AuditAll(benchmark::State& state) {
   state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
                           static_cast<int64_t>(arena));
   state.counters["regions"] = static_cast<double>(arena / region_size);
+  state.counters["threads"] =
+      static_cast<double>(EffectiveConcurrency(sweep_threads));
 
   db->reset();
   std::string cleanup = std::string("rm -rf '") + dir + "'";
   [[maybe_unused]] int rc = ::system(cleanup.c_str());
 }
-BENCHMARK(BM_AuditAll)->Arg(64)->Arg(512)->Arg(8192)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_AuditAll)
+    ->Args({64, 1})
+    ->Args({512, 1})
+    ->Args({512, 0})  // 0 = one sweep lane per hardware thread.
+    ->Args({8192, 1})
+    ->Args({8192, 0})
+    ->Unit(benchmark::kMillisecond);
+
+// The full codeword rebuild paid at checkpoint load and after recovery.
+void BM_RebuildAll(benchmark::State& state) {
+  const uint32_t region_size = static_cast<uint32_t>(state.range(0));
+  const size_t sweep_threads = static_cast<size_t>(state.range(1));
+  const uint64_t arena = 32ull << 20;
+
+  auto image = DbImage::Create(arena, 8192);
+  if (!image.ok()) {
+    state.SkipWithError(image.status().ToString().c_str());
+    return;
+  }
+  Random rng(1);
+  uint8_t* base = (*image)->base();
+  for (uint64_t i = 0; i < arena; i += 4) {
+    uint32_t w = rng.Next32();
+    std::memcpy(base + i, &w, 4);
+  }
+  ProtectionOptions popts;
+  popts.scheme = ProtectionScheme::kDataCodeword;
+  popts.region_size = region_size;
+  popts.sweep_threads = sweep_threads;
+  auto prot = CodewordProtection::Create(popts, image->get());
+  if (!prot.ok()) {
+    state.SkipWithError(prot.status().ToString().c_str());
+    return;
+  }
+  for (auto _ : state) {
+    Status s = (*prot)->ResetFromImage();
+    if (!s.ok()) {
+      state.SkipWithError("rebuild failed");
+      return;
+    }
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(arena));
+  state.counters["threads"] =
+      static_cast<double>(EffectiveConcurrency(sweep_threads));
+}
+BENCHMARK(BM_RebuildAll)
+    ->Args({512, 1})
+    ->Args({512, 0})
+    ->Args({8192, 1})
+    ->Args({8192, 0})
+    ->Unit(benchmark::kMillisecond);
+
+// ---------------------------------------------------------------------------
+// --json mode: sweep wall time over a large image, across thread counts.
+// ---------------------------------------------------------------------------
+
+void PrintJsonLine(const std::string& name, double bytes_per_sec,
+                   unsigned threads) {
+  std::printf("{\"name\": \"%s\", \"bytes_per_sec\": %.0f, \"threads\": %u}\n",
+              name.c_str(), bytes_per_sec, threads);
+}
+
+int RunJsonMode() {
+  uint64_t mb = 256;
+  if (const char* env = std::getenv("CWDB_BENCH_AUDIT_MB")) {
+    mb = std::strtoull(env, nullptr, 10);
+    if (mb == 0) mb = 256;
+  }
+  const uint64_t arena = mb << 20;
+  const uint32_t region_size = 8192;
+
+  auto image = DbImage::Create(arena, 8192);
+  if (!image.ok()) {
+    std::fprintf(stderr, "image create failed: %s\n",
+                 image.status().ToString().c_str());
+    return 1;
+  }
+  Random rng(1);
+  uint8_t* base = (*image)->base();
+  for (uint64_t i = 0; i < arena; i += 4) {
+    uint32_t w = rng.Next32();
+    std::memcpy(base + i, &w, 4);
+  }
+
+  size_t hw = EffectiveConcurrency(0);
+  std::vector<size_t> thread_counts = {1};
+  for (size_t t : {size_t{2}, size_t{4}, hw}) {
+    if (t > 1 && t <= hw && t != thread_counts.back()) {
+      thread_counts.push_back(t);
+    }
+  }
+
+  for (size_t threads : thread_counts) {
+    ProtectionOptions popts;
+    popts.scheme = ProtectionScheme::kDataCodeword;
+    popts.region_size = region_size;
+    popts.sweep_threads = threads;
+    auto prot = CodewordProtection::Create(popts, image->get());
+    if (!prot.ok()) {
+      std::fprintf(stderr, "protection create failed: %s\n",
+                   prot.status().ToString().c_str());
+      return 1;
+    }
+
+    using clock = std::chrono::steady_clock;
+    // AuditAll, best of 3 (sweeps are long; iteration counts stay small).
+    double best_audit = 0;
+    for (int rep = 0; rep < 3; ++rep) {
+      auto start = clock::now();
+      Status s = (*prot)->AuditAll(nullptr);
+      double secs =
+          std::chrono::duration<double>(clock::now() - start).count();
+      if (!s.ok()) {
+        std::fprintf(stderr, "audit failed: %s\n", s.ToString().c_str());
+        return 1;
+      }
+      best_audit = std::max(best_audit, static_cast<double>(arena) / secs);
+    }
+    PrintJsonLine("audit_all/" + std::to_string(mb) + "mb", best_audit,
+                  static_cast<unsigned>(threads));
+
+    double best_rebuild = 0;
+    for (int rep = 0; rep < 3; ++rep) {
+      auto start = clock::now();
+      Status s = (*prot)->ResetFromImage();
+      double secs =
+          std::chrono::duration<double>(clock::now() - start).count();
+      if (!s.ok()) {
+        std::fprintf(stderr, "rebuild failed: %s\n", s.ToString().c_str());
+        return 1;
+      }
+      best_rebuild = std::max(best_rebuild, static_cast<double>(arena) / secs);
+    }
+    PrintJsonLine("rebuild_all/" + std::to_string(mb) + "mb", best_rebuild,
+                  static_cast<unsigned>(threads));
+  }
+  return 0;
+}
 
 }  // namespace
 }  // namespace cwdb
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) return cwdb::RunJsonMode();
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

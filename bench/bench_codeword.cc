@@ -2,14 +2,25 @@
 // Measures the primitives behind every scheme in Table 2: computing a
 // region codeword from scratch, the incremental XOR fold used at
 // endUpdate, and a read precheck of one region — across the paper's
-// region sizes (64 / 512 / 8192) and typical update widths.
+// region sizes (64 / 512 / 8192) and typical update widths. Also reports
+// per-kernel-tier GB/s (scalar reference vs wide64 vs SSE2 vs AVX2) so the
+// runtime-dispatch speedup lands in the bench trajectory.
+//
+// `--json` switches to a machine-readable mode that prints one
+//   {"name": ..., "bytes_per_sec": ..., "threads": ...}
+// line per measurement (for BENCH_*.json trajectory tracking) instead of
+// running google-benchmark.
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
 #include <cstring>
+#include <string>
 #include <vector>
 
 #include "common/codeword.h"
+#include "common/codeword_kernel.h"
 #include "common/crc32.h"
 #include "common/random.h"
 
@@ -23,6 +34,16 @@ std::vector<uint8_t> RandomBuffer(size_t n, uint64_t seed) {
   return buf;
 }
 
+std::vector<CodewordKernelTier> SupportedTiers() {
+  std::vector<CodewordKernelTier> tiers;
+  for (CodewordKernelTier t :
+       {CodewordKernelTier::kScalar, CodewordKernelTier::kWide64,
+        CodewordKernelTier::kSSE2, CodewordKernelTier::kAVX2}) {
+    if (CodewordKernelSupported(t)) tiers.push_back(t);
+  }
+  return tiers;
+}
+
 void BM_CodewordCompute(benchmark::State& state) {
   const size_t size = static_cast<size_t>(state.range(0));
   auto buf = RandomBuffer(size, 1);
@@ -30,8 +51,19 @@ void BM_CodewordCompute(benchmark::State& state) {
     benchmark::DoNotOptimize(CodewordCompute(buf.data(), size));
   }
   state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * size);
+  state.SetLabel(CodewordKernelTierName(CodewordKernelActiveTier()));
 }
 BENCHMARK(BM_CodewordCompute)->Arg(64)->Arg(512)->Arg(8192)->Arg(65536);
+
+// One fixed kernel tier, bypassing dispatch: the per-tier GB/s ladder.
+void BM_KernelCompute(benchmark::State& state, CodewordKernelTier tier,
+                      size_t size) {
+  auto buf = RandomBuffer(size, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CodewordComputeTier(tier, buf.data(), size));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * size);
+}
 
 // The endUpdate path: fold(before) ^ fold(after) for an update of the
 // given width — this is what every update pays regardless of region size.
@@ -89,5 +121,109 @@ void BM_Crc32cRegion(benchmark::State& state) {
 }
 BENCHMARK(BM_Crc32cRegion)->Arg(64)->Arg(512)->Arg(8192);
 
+void RegisterKernelBenchmarks() {
+  for (CodewordKernelTier tier : SupportedTiers()) {
+    for (size_t size : {64u, 512u, 8192u, 65536u}) {
+      std::string name = std::string("BM_KernelCompute/") +
+                         CodewordKernelTierName(tier) + "/" +
+                         std::to_string(size);
+      benchmark::RegisterBenchmark(name.c_str(), &BM_KernelCompute, tier,
+                                   size);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// --json mode: self-timed measurements, one JSON object per line.
+// ---------------------------------------------------------------------------
+
+/// Calls fn(iters) in growing batches until ~200ms of wall time has
+/// accumulated, then returns processed bytes per second.
+template <typename Fn>
+double MeasureBytesPerSec(uint64_t bytes_per_iter, Fn fn) {
+  using clock = std::chrono::steady_clock;
+  // Warm-up (page in the buffer, settle dispatch).
+  fn(64);
+  uint64_t iters = 256;
+  double elapsed = 0;
+  uint64_t total_iters = 0;
+  auto start = clock::now();
+  while (elapsed < 0.2) {
+    fn(iters);
+    total_iters += iters;
+    elapsed = std::chrono::duration<double>(clock::now() - start).count();
+    if (iters < (1ull << 30)) iters *= 2;
+  }
+  return static_cast<double>(total_iters) *
+         static_cast<double>(bytes_per_iter) / elapsed;
+}
+
+void PrintJsonLine(const std::string& name, double bytes_per_sec,
+                   unsigned threads) {
+  std::printf("{\"name\": \"%s\", \"bytes_per_sec\": %.0f, \"threads\": %u}\n",
+              name.c_str(), bytes_per_sec, threads);
+}
+
+int RunJsonMode() {
+  for (CodewordKernelTier tier : SupportedTiers()) {
+    for (size_t size : {64u, 512u, 8192u, 65536u}) {
+      auto buf = RandomBuffer(size, 1);
+      double bps = MeasureBytesPerSec(size, [&](uint64_t iters) {
+        codeword_t cw = 0;
+        for (uint64_t i = 0; i < iters; ++i) {
+          cw ^= CodewordComputeTier(tier, buf.data(), size);
+        }
+        benchmark::DoNotOptimize(cw);
+      });
+      PrintJsonLine(std::string("codeword_compute/") +
+                        CodewordKernelTierName(tier) + "/" +
+                        std::to_string(size),
+                    bps, 1);
+    }
+    // The fold path with a misaligned lane start, as EndUpdate sees it.
+    for (size_t len : {100u, 4096u}) {
+      auto buf = RandomBuffer(len + 4, 2);
+      double bps = MeasureBytesPerSec(len, [&](uint64_t iters) {
+        codeword_t cw = 0;
+        for (uint64_t i = 0; i < iters; ++i) {
+          cw ^= CodewordFoldTier(tier, 1, buf.data() + 1, len);
+        }
+        benchmark::DoNotOptimize(cw);
+      });
+      PrintJsonLine(std::string("codeword_fold/") +
+                        CodewordKernelTierName(tier) + "/" +
+                        std::to_string(len),
+                    bps, 1);
+    }
+  }
+  // The dispatched entry point (what production callers get).
+  for (size_t size : {512u, 8192u}) {
+    auto buf = RandomBuffer(size, 3);
+    double bps = MeasureBytesPerSec(size, [&](uint64_t iters) {
+      codeword_t cw = 0;
+      for (uint64_t i = 0; i < iters; ++i) {
+        cw ^= CodewordCompute(buf.data(), size);
+      }
+      benchmark::DoNotOptimize(cw);
+    });
+    PrintJsonLine(std::string("codeword_compute/dispatch-") +
+                      CodewordKernelTierName(CodewordKernelActiveTier()) +
+                      "/" + std::to_string(size),
+                  bps, 1);
+  }
+  return 0;
+}
+
 }  // namespace
 }  // namespace cwdb
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) return cwdb::RunJsonMode();
+  }
+  benchmark::Initialize(&argc, argv);
+  cwdb::RegisterKernelBenchmarks();
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -25,6 +25,11 @@ namespace cwdb {
 ///
 /// A region whose length is not a multiple of 4 is treated as if it were
 /// zero-padded to the next word boundary.
+///
+/// These entry points dispatch at runtime to the fastest codeword kernel
+/// the machine supports (scalar reference, portable 64-bit wide, SSE2,
+/// AVX2); see common/codeword_kernel.h to pin a tier for verification or
+/// benchmarking. All tiers are bit-identical for every input.
 using codeword_t = uint32_t;
 
 /// Codeword of a whole region starting at `data` (lane 0), `len` bytes.

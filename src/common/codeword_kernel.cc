@@ -1,0 +1,374 @@
+#include "common/codeword_kernel.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/logging.h"
+
+#if defined(__SSE2__)
+#include <emmintrin.h>
+#endif
+#if (defined(__x86_64__) || defined(__i386__)) && \
+    (defined(__GNUC__) || defined(__clang__))
+#define CWDB_HAVE_AVX2_KERNEL 1
+#include <immintrin.h>
+#endif
+
+#if defined(__BYTE_ORDER__) && __BYTE_ORDER__ == __ORDER_LITTLE_ENDIAN__
+#define CWDB_LITTLE_ENDIAN 1
+#else
+#define CWDB_LITTLE_ENDIAN 0
+#endif
+
+namespace cwdb {
+
+namespace {
+
+/// Folds the word-aligned-phase suffix [i, len) after a wide kernel has
+/// consumed [0, i): whole 32-bit words first, then the zero-padded tail.
+/// `i` must be a multiple of 4 so the lane phase is 0.
+codeword_t FinishTail(const uint8_t* p, size_t i, size_t len, codeword_t cw) {
+  while (i + 4 <= len) {
+    uint32_t w;
+    std::memcpy(&w, p + i, 4);
+    cw ^= w;
+    i += 4;
+  }
+  size_t tail = len - i;
+  if (tail != 0) {
+    uint32_t w = 0;
+    std::memcpy(&w, p + i, tail);
+    cw ^= w;
+  }
+  return cw;
+}
+
+// ---------------------------------------------------------------------------
+// Tier kScalar — the reference loop (4 bytes per iteration). Every other
+// tier must match it bit for bit; codeword_kernel_test enforces this.
+// ---------------------------------------------------------------------------
+
+codeword_t ComputeScalar(const void* data, size_t len) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  codeword_t cw = 0;
+  // memcpy keeps the loads alignment-safe and compiles to plain loads.
+  size_t words = len / 4;
+  for (size_t i = 0; i < words; ++i) {
+    uint32_t w;
+    std::memcpy(&w, p + 4 * i, 4);
+    cw ^= w;
+  }
+  // Tail bytes occupy the low lanes of a final zero-padded word.
+  size_t tail = len & 3;
+  if (tail != 0) {
+    uint32_t w = 0;
+    std::memcpy(&w, p + 4 * words, tail);
+    cw ^= w;
+  }
+  return cw;
+}
+
+// ---------------------------------------------------------------------------
+// Tier kWide64 — two 32-bit lanes ride in each 64-bit accumulator; four
+// independent accumulators hide load latency. Little-endian only: a 64-bit
+// load of bytes b0..b7 is word(b0..b3) | word(b4..b7) << 32, so XOR-folding
+// the high half into the low half at the end lands every byte in its lane.
+// ---------------------------------------------------------------------------
+
+codeword_t ComputeWide64(const void* data, size_t len) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  uint64_t acc0 = 0, acc1 = 0, acc2 = 0, acc3 = 0;
+  size_t i = 0;
+  for (; i + 32 <= len; i += 32) {
+    uint64_t a, b, c, d;
+    std::memcpy(&a, p + i, 8);
+    std::memcpy(&b, p + i + 8, 8);
+    std::memcpy(&c, p + i + 16, 8);
+    std::memcpy(&d, p + i + 24, 8);
+    acc0 ^= a;
+    acc1 ^= b;
+    acc2 ^= c;
+    acc3 ^= d;
+  }
+  uint64_t acc = (acc0 ^ acc1) ^ (acc2 ^ acc3);
+  for (; i + 8 <= len; i += 8) {
+    uint64_t w;
+    std::memcpy(&w, p + i, 8);
+    acc ^= w;
+  }
+  codeword_t cw =
+      static_cast<codeword_t>(acc) ^ static_cast<codeword_t>(acc >> 32);
+  return FinishTail(p, i, len, cw);
+}
+
+// ---------------------------------------------------------------------------
+// Tier kSSE2 — 16-byte unaligned vector loads, two accumulators (x86-64
+// baseline, so no runtime feature check is needed where it compiles).
+// ---------------------------------------------------------------------------
+
+#if defined(__SSE2__) && CWDB_LITTLE_ENDIAN
+codeword_t ComputeSse2(const void* data, size_t len) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  __m128i acc0 = _mm_setzero_si128();
+  __m128i acc1 = _mm_setzero_si128();
+  size_t i = 0;
+  for (; i + 64 <= len; i += 64) {
+    acc0 = _mm_xor_si128(
+        acc0, _mm_loadu_si128(reinterpret_cast<const __m128i*>(p + i)));
+    acc1 = _mm_xor_si128(
+        acc1, _mm_loadu_si128(reinterpret_cast<const __m128i*>(p + i + 16)));
+    acc0 = _mm_xor_si128(
+        acc0, _mm_loadu_si128(reinterpret_cast<const __m128i*>(p + i + 32)));
+    acc1 = _mm_xor_si128(
+        acc1, _mm_loadu_si128(reinterpret_cast<const __m128i*>(p + i + 48)));
+  }
+  for (; i + 16 <= len; i += 16) {
+    acc0 = _mm_xor_si128(
+        acc0, _mm_loadu_si128(reinterpret_cast<const __m128i*>(p + i)));
+  }
+  uint64_t lanes[2];
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(lanes),
+                   _mm_xor_si128(acc0, acc1));
+  uint64_t acc = lanes[0] ^ lanes[1];
+  codeword_t cw =
+      static_cast<codeword_t>(acc) ^ static_cast<codeword_t>(acc >> 32);
+  return FinishTail(p, i, len, cw);
+}
+#define CWDB_HAVE_SSE2_KERNEL 1
+#endif
+
+// ---------------------------------------------------------------------------
+// Tier kAVX2 — 32-byte vector loads behind a function-level target
+// attribute, so the translation unit builds without -mavx2 and the binary
+// still runs on pre-AVX2 parts (the tier is only selected after CPUID says
+// yes). The compiler inserts vzeroupper on return.
+// ---------------------------------------------------------------------------
+
+#if defined(CWDB_HAVE_AVX2_KERNEL) && CWDB_LITTLE_ENDIAN
+__attribute__((target("avx2"))) codeword_t ComputeAvx2(const void* data,
+                                                       size_t len) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  __m256i acc0 = _mm256_setzero_si256();
+  __m256i acc1 = _mm256_setzero_si256();
+  size_t i = 0;
+  for (; i + 128 <= len; i += 128) {
+    acc0 = _mm256_xor_si256(
+        acc0, _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p + i)));
+    acc1 = _mm256_xor_si256(
+        acc1,
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p + i + 32)));
+    acc0 = _mm256_xor_si256(
+        acc0,
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p + i + 64)));
+    acc1 = _mm256_xor_si256(
+        acc1,
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p + i + 96)));
+  }
+  for (; i + 32 <= len; i += 32) {
+    acc0 = _mm256_xor_si256(
+        acc0, _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p + i)));
+  }
+  __m256i acc = _mm256_xor_si256(acc0, acc1);
+  __m128i v = _mm_xor_si128(_mm256_castsi256_si128(acc),
+                            _mm256_extracti128_si256(acc, 1));
+  uint64_t lanes[2];
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(lanes), v);
+  uint64_t a = lanes[0] ^ lanes[1];
+  codeword_t cw = static_cast<codeword_t>(a) ^ static_cast<codeword_t>(a >> 32);
+  return FinishTail(p, i, len, cw);
+}
+#else
+#undef CWDB_HAVE_AVX2_KERNEL
+#endif
+
+// ---------------------------------------------------------------------------
+// Positioned folds: every tier shares the scalar head (align the lane phase
+// to 0) and tail (bytes land in the low lanes of the next word); the
+// word-phase middle is the tier's compute kernel. This is what makes the
+// unaligned-lane cases cheap to keep correct across tiers.
+// ---------------------------------------------------------------------------
+
+using ComputeFn = codeword_t (*)(const void*, size_t);
+
+template <ComputeFn kMiddle>
+codeword_t FoldWith(size_t lane_offset, const void* data, size_t len) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  codeword_t cw = 0;
+  size_t i = 0;
+  // Leading bytes until the lane phase (offset mod 4) reaches 0.
+  size_t lane = lane_offset & 3;
+  while (lane != 0 && i < len) {
+    cw ^= static_cast<codeword_t>(p[i]) << (8 * lane);
+    lane = (lane + 1) & 3;
+    ++i;
+  }
+  // Whole words at phase 0 — the wide middle.
+  size_t mid = (len - i) & ~static_cast<size_t>(3);
+  if (mid != 0) {
+    cw ^= kMiddle(p + i, mid);
+    i += mid;
+  }
+  // Trailing bytes land in the low lanes of the next word.
+  lane = 0;
+  while (i < len) {
+    cw ^= static_cast<codeword_t>(p[i]) << (8 * lane);
+    ++lane;
+    ++i;
+  }
+  return cw;
+}
+
+struct Kernel {
+  CodewordKernelTier tier;
+  const char* name;
+  ComputeFn compute;
+  codeword_t (*fold)(size_t, const void*, size_t);
+};
+
+constexpr Kernel kScalarKernel = {CodewordKernelTier::kScalar, "scalar",
+                                  &ComputeScalar, &FoldWith<&ComputeScalar>};
+#if CWDB_LITTLE_ENDIAN
+constexpr Kernel kWide64Kernel = {CodewordKernelTier::kWide64, "wide64",
+                                  &ComputeWide64, &FoldWith<&ComputeWide64>};
+#endif
+#if defined(CWDB_HAVE_SSE2_KERNEL)
+constexpr Kernel kSse2Kernel = {CodewordKernelTier::kSSE2, "sse2",
+                                &ComputeSse2, &FoldWith<&ComputeSse2>};
+#endif
+#if defined(CWDB_HAVE_AVX2_KERNEL)
+constexpr Kernel kAvx2Kernel = {CodewordKernelTier::kAVX2, "avx2",
+                                &ComputeAvx2, &FoldWith<&ComputeAvx2>};
+#endif
+
+const Kernel* KernelFor(CodewordKernelTier tier) {
+  switch (tier) {
+    case CodewordKernelTier::kScalar:
+      return &kScalarKernel;
+    case CodewordKernelTier::kWide64:
+#if CWDB_LITTLE_ENDIAN
+      return &kWide64Kernel;
+#else
+      return nullptr;
+#endif
+    case CodewordKernelTier::kSSE2:
+#if defined(CWDB_HAVE_SSE2_KERNEL)
+      return &kSse2Kernel;
+#else
+      return nullptr;
+#endif
+    case CodewordKernelTier::kAVX2:
+#if defined(CWDB_HAVE_AVX2_KERNEL)
+      // Compiled in, but only runnable where CPUID reports AVX2.
+      return __builtin_cpu_supports("avx2") ? &kAvx2Kernel : nullptr;
+#else
+      return nullptr;
+#endif
+  }
+  return nullptr;
+}
+
+CodewordKernelTier DetectBestTier() {
+  if (const char* env = std::getenv("CWDB_CODEWORD_KERNEL")) {
+    for (CodewordKernelTier t :
+         {CodewordKernelTier::kScalar, CodewordKernelTier::kWide64,
+          CodewordKernelTier::kSSE2, CodewordKernelTier::kAVX2}) {
+      if (std::strcmp(env, CodewordKernelTierName(t)) == 0 &&
+          KernelFor(t) != nullptr) {
+        return t;
+      }
+    }
+    // Unknown or unsupported override: fall through to auto-detection.
+  }
+  for (CodewordKernelTier t :
+       {CodewordKernelTier::kAVX2, CodewordKernelTier::kSSE2,
+        CodewordKernelTier::kWide64}) {
+    if (KernelFor(t) != nullptr) return t;
+  }
+  return CodewordKernelTier::kScalar;
+}
+
+/// The active kernel pointer. Initialized lazily; a racing first use is
+/// benign (both initializers store the same detected pointer, and every
+/// kernel computes identical values anyway).
+std::atomic<const Kernel*> g_active{nullptr};
+
+const Kernel* ActiveKernel() {
+  const Kernel* k = g_active.load(std::memory_order_acquire);
+  if (k == nullptr) {
+    k = KernelFor(DetectBestTier());
+    g_active.store(k, std::memory_order_release);
+  }
+  return k;
+}
+
+}  // namespace
+
+const char* CodewordKernelTierName(CodewordKernelTier tier) {
+  switch (tier) {
+    case CodewordKernelTier::kScalar:
+      return "scalar";
+    case CodewordKernelTier::kWide64:
+      return "wide64";
+    case CodewordKernelTier::kSSE2:
+      return "sse2";
+    case CodewordKernelTier::kAVX2:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+bool CodewordKernelSupported(CodewordKernelTier tier) {
+  return KernelFor(tier) != nullptr;
+}
+
+CodewordKernelTier CodewordKernelBestTier() { return DetectBestTier(); }
+
+CodewordKernelTier CodewordKernelActiveTier() { return ActiveKernel()->tier; }
+
+bool CodewordKernelSetTier(CodewordKernelTier tier) {
+  const Kernel* k = KernelFor(tier);
+  if (k == nullptr) return false;
+  g_active.store(k, std::memory_order_release);
+  return true;
+}
+
+codeword_t CodewordComputeTier(CodewordKernelTier tier, const void* data,
+                               size_t len) {
+  const Kernel* k = KernelFor(tier);
+  CWDB_CHECK(k != nullptr) << "codeword kernel tier "
+                           << CodewordKernelTierName(tier)
+                           << " not supported on this machine";
+  return k->compute(data, len);
+}
+
+codeword_t CodewordFoldTier(CodewordKernelTier tier, size_t lane_offset,
+                            const void* data, size_t len) {
+  const Kernel* k = KernelFor(tier);
+  CWDB_CHECK(k != nullptr) << "codeword kernel tier "
+                           << CodewordKernelTierName(tier)
+                           << " not supported on this machine";
+  return k->fold(lane_offset, data, len);
+}
+
+// ---------------------------------------------------------------------------
+// Public entry points (codeword.h): one relaxed pointer load, then the
+// active tier. Callers — CodewordTable, the protection schemes, recovery's
+// read-checksum evaluation — speed up with no call-site changes.
+// ---------------------------------------------------------------------------
+
+codeword_t CodewordCompute(const void* data, size_t len) {
+  return ActiveKernel()->compute(data, len);
+}
+
+codeword_t CodewordFold(size_t lane_offset, const void* data, size_t len) {
+  return ActiveKernel()->fold(lane_offset, data, len);
+}
+
+codeword_t CodewordDelta(size_t lane_offset, const void* before,
+                         const void* after, size_t len) {
+  const Kernel* k = ActiveKernel();
+  return k->fold(lane_offset, before, len) ^ k->fold(lane_offset, after, len);
+}
+
+}  // namespace cwdb

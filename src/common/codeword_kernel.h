@@ -1,0 +1,70 @@
+#ifndef CWDB_COMMON_CODEWORD_KERNEL_H_
+#define CWDB_COMMON_CODEWORD_KERNEL_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/codeword.h"
+
+namespace cwdb {
+
+/// Tiered implementations of the codeword fold primitive (the XOR of the
+/// 32-bit words of a byte range). Every codeword scheme bottlenecks on this
+/// loop — it runs on each in-place update, each read precheck, each audit
+/// slice and each post-checkpoint rebuild — so it gets the same treatment a
+/// storage engine gives its checksum kernel:
+///
+///  * kScalar  — the 4-bytes-per-iteration reference loop. Always present;
+///               selectable at runtime so any faster tier can be verified
+///               against it.
+///  * kWide64  — portable 8-bytes-per-load path: two 32-bit lanes ride in a
+///               64-bit accumulator (unrolled 4x) and are combined with one
+///               shift-XOR at the end. Works on any little-endian target.
+///  * kSSE2    — 16-byte vector XOR (x86-64 baseline, compiled whenever the
+///               target supports it).
+///  * kAVX2    — 32-byte vector XOR, compiled behind a function-level
+///               `target("avx2")` attribute and only ever *selected* when
+///               CPUID reports AVX2, so the binary stays runnable on older
+///               x86-64 parts.
+///
+/// Dispatch is one relaxed atomic pointer load; the public entry points in
+/// codeword.h route through the active tier. All tiers produce bit-identical
+/// results for every (lane_offset, data, len) — enforced by
+/// codeword_kernel_test.
+enum class CodewordKernelTier : uint8_t {
+  kScalar = 0,
+  kWide64 = 1,
+  kSSE2 = 2,
+  kAVX2 = 3,
+};
+
+/// Human-readable tier name ("scalar", "wide64", "sse2", "avx2").
+const char* CodewordKernelTierName(CodewordKernelTier tier);
+
+/// True if this build *and* this CPU can run `tier`.
+bool CodewordKernelSupported(CodewordKernelTier tier);
+
+/// The fastest supported tier on this machine (what dispatch picks by
+/// default). Honors the CWDB_CODEWORD_KERNEL environment variable
+/// ("scalar" | "wide64" | "sse2" | "avx2") as an operational override.
+CodewordKernelTier CodewordKernelBestTier();
+
+/// The tier the public CodewordCompute/CodewordFold entry points currently
+/// dispatch to.
+CodewordKernelTier CodewordKernelActiveTier();
+
+/// Forces dispatch to `tier` (verification, benchmarking). Returns false —
+/// leaving the active tier unchanged — if the tier is not supported here.
+bool CodewordKernelSetTier(CodewordKernelTier tier);
+
+/// Direct, non-dispatched entry points for one tier. Used by the
+/// equivalence property test and the per-kernel benchmarks; callers must
+/// check CodewordKernelSupported() first (an unsupported tier aborts).
+codeword_t CodewordComputeTier(CodewordKernelTier tier, const void* data,
+                               size_t len);
+codeword_t CodewordFoldTier(CodewordKernelTier tier, size_t lane_offset,
+                            const void* data, size_t len);
+
+}  // namespace cwdb
+
+#endif  // CWDB_COMMON_CODEWORD_KERNEL_H_

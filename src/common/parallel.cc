@@ -1,0 +1,91 @@
+#include "common/parallel.h"
+
+#include <algorithm>
+
+namespace cwdb {
+
+size_t EffectiveConcurrency(size_t requested) {
+  if (requested != 0) return std::max<size_t>(requested, 1);
+  size_t hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+ThreadPool::ThreadPool(size_t concurrency) {
+  size_t workers = concurrency > 1 ? concurrency - 1 : 0;
+  workers_.reserve(workers);
+  for (size_t i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> guard(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::WorkerLoop() {
+  uint64_t seen_round = 0;
+  std::unique_lock<std::mutex> guard(mu_);
+  while (true) {
+    work_cv_.wait(guard,
+                  [&] { return stop_ || (round_ != seen_round && body_); });
+    if (stop_) return;
+    seen_round = round_;
+    while (next_chunk_ < chunks_.size()) {
+      auto [begin, end] = chunks_[next_chunk_++];
+      guard.unlock();
+      (*body_)(begin, end);
+      guard.lock();
+      if (--pending_chunks_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::ParallelFor(
+    uint64_t n, size_t width,
+    const std::function<void(uint64_t, uint64_t)>& body) {
+  if (n == 0) return;
+  size_t lanes = std::min<size_t>(std::max<size_t>(width, 1), concurrency());
+  lanes = static_cast<size_t>(std::min<uint64_t>(lanes, n));
+  if (lanes <= 1) {
+    body(0, n);
+    return;
+  }
+  // One ParallelFor at a time; later callers queue here.
+  std::lock_guard<std::mutex> round_guard(round_mu_);
+  {
+    std::lock_guard<std::mutex> guard(mu_);
+    chunks_.clear();
+    uint64_t base = n / lanes, extra = n % lanes;
+    uint64_t begin = 0;
+    for (size_t i = 0; i < lanes; ++i) {
+      uint64_t end = begin + base + (i < extra ? 1 : 0);
+      chunks_.emplace_back(begin, end);
+      begin = end;
+    }
+    body_ = &body;
+    next_chunk_ = 0;
+    pending_chunks_ = chunks_.size();
+    ++round_;
+  }
+  work_cv_.notify_all();
+  // The caller is a lane too: steal chunks alongside the workers.
+  {
+    std::unique_lock<std::mutex> guard(mu_);
+    while (next_chunk_ < chunks_.size()) {
+      auto [begin, end] = chunks_[next_chunk_++];
+      guard.unlock();
+      body(begin, end);
+      guard.lock();
+      if (--pending_chunks_ == 0) done_cv_.notify_all();
+    }
+    done_cv_.wait(guard, [&] { return pending_chunks_ == 0; });
+    body_ = nullptr;
+  }
+}
+
+}  // namespace cwdb

@@ -1,0 +1,73 @@
+#ifndef CWDB_COMMON_PARALLEL_H_
+#define CWDB_COMMON_PARALLEL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace cwdb {
+
+/// Resolves a user-facing thread-count option: 0 means "one per hardware
+/// thread", anything else is taken literally (minimum 1).
+size_t EffectiveConcurrency(size_t requested);
+
+/// A small fixed-size pool of worker threads for the bulk codeword sweeps
+/// (RebuildAll, AuditAll, background-audit slices). Workers sit blocked on
+/// a condition variable between calls, so an idle pool costs nothing but
+/// stack space; the pool is created lazily by its owners precisely so that
+/// single-threaded configurations never pay even that.
+///
+/// Only ParallelFor is offered — the sweeps are embarrassingly parallel
+/// range partitions, and keeping the interface to "split [0, n) into
+/// contiguous chunks, run them, wait" keeps the concurrency argument easy
+/// to audit: no task ever outlives the ParallelFor call that spawned it.
+class ThreadPool {
+ public:
+  /// `concurrency` counts the caller too: a pool built with concurrency c
+  /// spawns c - 1 workers and runs the remaining chunk on the calling
+  /// thread. concurrency <= 1 spawns nothing and ParallelFor runs inline.
+  explicit ThreadPool(size_t concurrency);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total lanes (workers + the caller's).
+  size_t concurrency() const { return workers_.size() + 1; }
+
+  /// Partitions [0, n) into at most min(width, concurrency()) contiguous
+  /// chunks and invokes body(begin, end) for each, one chunk per lane, then
+  /// waits for all of them. `body` must be safe to call concurrently for
+  /// disjoint ranges. Exceptions must not escape `body`.
+  ///
+  /// Serialized against itself: one ParallelFor runs at a time (the bulk
+  /// sweeps are rare, and this keeps the pool trivially correct).
+  void ParallelFor(uint64_t n, size_t width,
+                   const std::function<void(uint64_t, uint64_t)>& body);
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;   ///< Workers wait for a round.
+  std::condition_variable done_cv_;   ///< ParallelFor waits for completion.
+  std::mutex round_mu_;               ///< Serializes ParallelFor callers.
+
+  // State of the current round, guarded by mu_.
+  const std::function<void(uint64_t, uint64_t)>* body_ = nullptr;
+  std::vector<std::pair<uint64_t, uint64_t>> chunks_;
+  size_t next_chunk_ = 0;
+  size_t pending_chunks_ = 0;
+  uint64_t round_ = 0;
+  bool stop_ = false;
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace cwdb
+
+#endif  // CWDB_COMMON_PARALLEL_H_

@@ -66,7 +66,11 @@ bool BackgroundAuditor::AuditSlice() {
   uint64_t len = std::min(slice, arena - start);
 
   std::vector<CorruptRange> corrupt;
-  Status s = db_->protection()->AuditRange(start, len, &corrupt);
+  Status s =
+      options_.threads == 1
+          ? db_->protection()->AuditRange(start, len, &corrupt)
+          : db_->protection()->AuditRangeParallel(start, len,
+                                                  options_.threads, &corrupt);
   if (s.IsCorruption()) {
     corruption_seen_.store(true);
     AuditReport report;

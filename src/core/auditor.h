@@ -32,6 +32,13 @@ class BackgroundAuditor {
     std::chrono::milliseconds interval{10};
     /// Bytes audited per slice (rounded to whole regions).
     uint64_t slice_bytes = 1 << 20;
+    /// Sweep lanes per slice: each slice's region range is fanned across
+    /// the protection scheme's sweep pool (AuditRangeParallel), shrinking
+    /// detection latency without changing the cursor/LSN sweep semantics
+    /// or the corruption-callback contract (one callback per bad slice,
+    /// ranges in ascending order). 1 = sequential slices (the default);
+    /// 0 = one lane per hardware thread.
+    size_t threads = 1;
   };
 
   using CorruptionCallback = std::function<void(const AuditReport&)>;

@@ -2,9 +2,11 @@
 #define CWDB_PROTECT_CODEWORD_PROTECTION_H_
 
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "common/latch.h"
+#include "common/parallel.h"
 #include "protect/codeword_table.h"
 #include "protect/protection.h"
 
@@ -40,6 +42,8 @@ class CodewordProtection : public ProtectionManager {
   Status AuditAll(std::vector<CorruptRange>* corrupt) override;
   Status AuditRange(DbPtr off, uint64_t len,
                     std::vector<CorruptRange>* corrupt) override;
+  Status AuditRangeParallel(DbPtr off, uint64_t len, size_t width,
+                            std::vector<CorruptRange>* corrupt) override;
   Status ResetFromImage() override;
   Status RecomputeRegions(DbPtr off, uint64_t len) override;
   uint64_t SpaceOverheadBytes() const override {
@@ -63,10 +67,39 @@ class CodewordProtection : public ProtectionManager {
     return codewords_.Verify(image_->base(), region);
   }
 
+  /// Per-lane tallies of a sweep span, merged into stats_ once per call so
+  /// parallel lanes never race on the shared counters.
+  struct SweepCounts {
+    uint64_t audited = 0;
+    uint64_t failures = 0;
+  };
+
+  /// Audits regions [first, last], taking each region's protection latch
+  /// exclusively. Appends failures to *corrupt (never null here) and
+  /// tallies into *counts; no shared state is touched.
+  void AuditSpan(uint64_t first, uint64_t last,
+                 std::vector<CorruptRange>* corrupt, SweepCounts* counts);
+
+  /// Audits the regions covering [off, off+len) across up to `width` sweep
+  /// lanes; shared implementation of AuditRange / AuditRangeParallel /
+  /// AuditAll.
+  Status AuditRegions(DbPtr off, uint64_t len, size_t width,
+                      std::vector<CorruptRange>* corrupt);
+
+  /// Sweep pool for RebuildAll / AuditAll partitions, created on first use
+  /// (never created when options.sweep_threads == 1). Lanes only ever run
+  /// whole-region work under the region's own protection latch, so pool
+  /// parallelism composes with foreground updates exactly like the
+  /// sequential auditor does.
+  ThreadPool* sweep_pool();
+
   const bool exclusive_updates_;  ///< True for the Precheck scheme.
   CodewordTable codewords_;
   StripedLatchTable protection_latches_;
   StripedLatchTable codeword_latches_;
+
+  std::once_flag sweep_pool_once_;
+  std::unique_ptr<ThreadPool> sweep_pool_;
 };
 
 }  // namespace cwdb

@@ -36,10 +36,17 @@ codeword_t CodewordTable::ComputeFromImage(const uint8_t* arena_base,
   return CodewordCompute(arena_base + RegionStart(region), region_size_);
 }
 
-void CodewordTable::RebuildAll(const uint8_t* arena_base) {
-  for (uint64_t r = 0; r < codewords_.size(); ++r) {
-    codewords_[r] = ComputeFromImage(arena_base, r);
+void CodewordTable::RebuildAll(const uint8_t* arena_base, ThreadPool* pool) {
+  auto rebuild_span = [&](uint64_t first, uint64_t last) {
+    for (uint64_t r = first; r < last; ++r) {
+      codewords_[r] = ComputeFromImage(arena_base, r);
+    }
+  };
+  if (pool == nullptr || pool->concurrency() <= 1) {
+    rebuild_span(0, codewords_.size());
+    return;
   }
+  pool->ParallelFor(codewords_.size(), pool->concurrency(), rebuild_span);
 }
 
 }  // namespace cwdb

@@ -6,6 +6,7 @@
 
 #include "common/codeword.h"
 #include "common/logging.h"
+#include "common/parallel.h"
 #include "storage/layout.h"
 
 namespace cwdb {
@@ -50,8 +51,12 @@ class CodewordTable {
   }
 
   /// Recomputes every codeword from the image (after checkpoint load /
-  /// recovery, and at creation).
-  void RebuildAll(const uint8_t* arena_base);
+  /// recovery, and at creation). With a pool, the region range is
+  /// partitioned across its lanes — each lane writes a disjoint slice of
+  /// the table, so the pass is data-race free by construction. The caller
+  /// must ensure no concurrent updates (all rebuild sites run with the
+  /// image quiesced).
+  void RebuildAll(const uint8_t* arena_base, ThreadPool* pool = nullptr);
 
   uint64_t space_overhead_bytes() const {
     return codewords_.size() * sizeof(codeword_t);

@@ -45,6 +45,13 @@ struct ProtectionOptions {
   /// Number of protection-latch (and codeword-latch) stripes.
   size_t latch_stripes = 1024;
 
+  /// Worker lanes for the bulk codeword sweeps — full-image rebuilds
+  /// (checkpoint load / recovery) and AuditAll / parallel audit slices.
+  /// Regions are independent, so the sweeps partition embarrassingly.
+  /// 0 = one lane per hardware thread; 1 = fully single-threaded (no pool
+  /// is even created). Per-update codeword maintenance is never affected.
+  size_t sweep_threads = 0;
+
   bool UsesCodewords() const {
     return scheme == ProtectionScheme::kDataCodeword ||
            scheme == ProtectionScheme::kReadPrecheck ||

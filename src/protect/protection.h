@@ -73,6 +73,17 @@ class ProtectionManager {
   virtual Status AuditRange(DbPtr off, uint64_t len,
                             std::vector<CorruptRange>* corrupt) = 0;
 
+  /// Parallel variant of AuditRange: partitions the covered regions across
+  /// up to `width` sweep lanes (capped by the scheme's sweep pool). Same
+  /// contract as AuditRange — corrupt ranges arrive in ascending offset
+  /// order and stats totals match the sequential pass. Schemes without a
+  /// pool fall back to the sequential audit.
+  virtual Status AuditRangeParallel(DbPtr off, uint64_t len, size_t width,
+                                    std::vector<CorruptRange>* corrupt) {
+    (void)width;
+    return AuditRange(off, len, corrupt);
+  }
+
   /// Re-derives all protection state from the current image bytes (called
   /// after a checkpoint image is loaded and after recovery writes).
   virtual Status ResetFromImage() = 0;

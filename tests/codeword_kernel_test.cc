@@ -1,0 +1,185 @@
+// Kernel-equivalence property tests: every codeword kernel tier (wide64,
+// SSE2, AVX2) must be bit-identical to the scalar reference for random
+// buffers, lengths, lane offsets and pointer misalignments — including the
+// zero-padded tail and the unaligned-lane head/tail cases of CodewordFold.
+// The dispatched public entry points are also pinned to each tier in turn
+// (CodewordKernelSetTier) to prove the scalar path stays selectable at
+// runtime for verification.
+
+#include "common/codeword_kernel.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "common/codeword.h"
+#include "common/random.h"
+
+namespace cwdb {
+namespace {
+
+constexpr CodewordKernelTier kAllTiers[] = {
+    CodewordKernelTier::kScalar, CodewordKernelTier::kWide64,
+    CodewordKernelTier::kSSE2, CodewordKernelTier::kAVX2};
+
+std::vector<CodewordKernelTier> SupportedTiers() {
+  std::vector<CodewordKernelTier> tiers;
+  for (CodewordKernelTier t : kAllTiers) {
+    if (CodewordKernelSupported(t)) tiers.push_back(t);
+  }
+  return tiers;
+}
+
+/// Restores the dispatched tier after a test pins it.
+class TierRestorer {
+ public:
+  TierRestorer() : saved_(CodewordKernelActiveTier()) {}
+  ~TierRestorer() { CodewordKernelSetTier(saved_); }
+
+ private:
+  CodewordKernelTier saved_;
+};
+
+TEST(CodewordKernel, ScalarAlwaysSupported) {
+  EXPECT_TRUE(CodewordKernelSupported(CodewordKernelTier::kScalar));
+  // The best tier must itself be supported (whatever it is here).
+  EXPECT_TRUE(CodewordKernelSupported(CodewordKernelBestTier()));
+}
+
+TEST(CodewordKernel, TierNamesAreStable) {
+  EXPECT_STREQ(CodewordKernelTierName(CodewordKernelTier::kScalar), "scalar");
+  EXPECT_STREQ(CodewordKernelTierName(CodewordKernelTier::kWide64), "wide64");
+  EXPECT_STREQ(CodewordKernelTierName(CodewordKernelTier::kSSE2), "sse2");
+  EXPECT_STREQ(CodewordKernelTierName(CodewordKernelTier::kAVX2), "avx2");
+}
+
+TEST(CodewordKernel, ComputeMatchesScalarOnRandomBuffers) {
+  auto tiers = SupportedTiers();
+  Random rng(0xC0DE30BD);
+  // Lengths chosen to cross every unroll boundary: empty, sub-word, the
+  // scalar/wide/SSE2/AVX2 block sizes +/- straddle, and large regions.
+  const size_t lengths[] = {0,  1,  2,  3,   4,   5,   7,   8,    9,
+                            15, 16, 17, 31,  32,  33,  63,  64,   65,
+                            96, 127, 128, 129, 511, 512, 513, 8192, 65537};
+  for (size_t len : lengths) {
+    std::vector<uint8_t> buf(len + 64);
+    for (auto& b : buf) b = static_cast<uint8_t>(rng.Next32());
+    // Sweep pointer misalignment too: wide kernels must not assume their
+    // loads are naturally aligned.
+    for (size_t mis : {0u, 1u, 3u, 7u, 13u}) {
+      const uint8_t* p = buf.data() + mis;
+      codeword_t want = CodewordComputeTier(CodewordKernelTier::kScalar, p, len);
+      for (CodewordKernelTier t : tiers) {
+        EXPECT_EQ(CodewordComputeTier(t, p, len), want)
+            << "tier " << CodewordKernelTierName(t) << " len " << len
+            << " misalign " << mis;
+      }
+    }
+  }
+}
+
+TEST(CodewordKernel, FoldMatchesScalarForAllLaneOffsets) {
+  auto tiers = SupportedTiers();
+  Random rng(0xF01D);
+  const size_t lengths[] = {0, 1, 2, 3, 4, 5, 8, 13, 16, 31, 32, 33,
+                            64, 100, 129, 512, 1000, 8191};
+  for (size_t len : lengths) {
+    std::vector<uint8_t> buf(len + 16);
+    for (auto& b : buf) b = static_cast<uint8_t>(rng.Next32());
+    for (size_t lane_offset = 0; lane_offset < 8; ++lane_offset) {
+      for (size_t mis : {0u, 1u, 5u}) {
+        const uint8_t* p = buf.data() + mis;
+        codeword_t want = CodewordFoldTier(CodewordKernelTier::kScalar,
+                                           lane_offset, p, len);
+        for (CodewordKernelTier t : tiers) {
+          EXPECT_EQ(CodewordFoldTier(t, lane_offset, p, len), want)
+              << "tier " << CodewordKernelTierName(t) << " len " << len
+              << " lane_offset " << lane_offset << " misalign " << mis;
+        }
+      }
+    }
+  }
+}
+
+TEST(CodewordKernel, RandomizedLengthsAndOffsets) {
+  auto tiers = SupportedTiers();
+  Random rng(42);
+  std::vector<uint8_t> buf(1 << 16);
+  for (auto& b : buf) b = static_cast<uint8_t>(rng.Next32());
+  for (int iter = 0; iter < 2000; ++iter) {
+    size_t len = rng.Next32() % 700;
+    size_t start = rng.Next32() % (buf.size() - len);
+    size_t lane_offset = rng.Next32() % 8;
+    codeword_t want_c = CodewordComputeTier(CodewordKernelTier::kScalar,
+                                            buf.data() + start, len);
+    codeword_t want_f = CodewordFoldTier(CodewordKernelTier::kScalar,
+                                         lane_offset, buf.data() + start, len);
+    for (CodewordKernelTier t : tiers) {
+      ASSERT_EQ(CodewordComputeTier(t, buf.data() + start, len), want_c)
+          << CodewordKernelTierName(t) << " iter " << iter;
+      ASSERT_EQ(CodewordFoldTier(t, lane_offset, buf.data() + start, len),
+                want_f)
+          << CodewordKernelTierName(t) << " iter " << iter;
+    }
+  }
+}
+
+TEST(CodewordKernel, ZeroPaddedTailEquivalence) {
+  // A buffer whose length is not a multiple of 4 folds exactly like the
+  // same buffer zero-padded to the next word boundary — in every tier.
+  Random rng(7);
+  for (size_t len : {1u, 2u, 3u, 5u, 6u, 7u, 30u, 61u, 121u, 510u}) {
+    std::vector<uint8_t> buf(len);
+    for (auto& b : buf) b = static_cast<uint8_t>(rng.Next32());
+    std::vector<uint8_t> padded(buf);
+    padded.resize((len + 3) & ~size_t{3}, 0);
+    for (CodewordKernelTier t : SupportedTiers()) {
+      EXPECT_EQ(CodewordComputeTier(t, buf.data(), len),
+                CodewordComputeTier(t, padded.data(), padded.size()))
+          << CodewordKernelTierName(t) << " len " << len;
+    }
+  }
+}
+
+TEST(CodewordKernel, DispatchedEntryPointsHonorPinnedTier) {
+  TierRestorer restore;
+  Random rng(99);
+  std::vector<uint8_t> before(777), after(777);
+  for (auto& b : before) b = static_cast<uint8_t>(rng.Next32());
+  for (auto& b : after) b = static_cast<uint8_t>(rng.Next32());
+
+  // Values through the public API must not depend on the pinned tier.
+  CodewordKernelSetTier(CodewordKernelTier::kScalar);
+  codeword_t want_compute = CodewordCompute(before.data(), before.size());
+  codeword_t want_fold = CodewordFold(3, before.data(), before.size());
+  codeword_t want_delta =
+      CodewordDelta(2, before.data(), after.data(), before.size());
+
+  for (CodewordKernelTier t : SupportedTiers()) {
+    ASSERT_TRUE(CodewordKernelSetTier(t));
+    EXPECT_EQ(CodewordKernelActiveTier(), t);
+    EXPECT_EQ(CodewordCompute(before.data(), before.size()), want_compute)
+        << CodewordKernelTierName(t);
+    EXPECT_EQ(CodewordFold(3, before.data(), before.size()), want_fold)
+        << CodewordKernelTierName(t);
+    EXPECT_EQ(CodewordDelta(2, before.data(), after.data(), before.size()),
+              want_delta)
+        << CodewordKernelTierName(t);
+  }
+}
+
+TEST(CodewordKernel, SetTierRejectsUnsupported) {
+  TierRestorer restore;
+  CodewordKernelTier active = CodewordKernelActiveTier();
+  for (CodewordKernelTier t : kAllTiers) {
+    if (!CodewordKernelSupported(t)) {
+      EXPECT_FALSE(CodewordKernelSetTier(t));
+      // A rejected request leaves dispatch untouched.
+      EXPECT_EQ(CodewordKernelActiveTier(), active);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cwdb

@@ -8,6 +8,8 @@
 
 #include <cstring>
 
+#include "common/parallel.h"
+#include "common/random.h"
 #include "core/database.h"
 #include "faultinject/fault_injector.h"
 #include "protect/codeword_protection.h"
@@ -432,6 +434,108 @@ TEST(ProtectionStats, PrecheckCountsReads) {
   ASSERT_OK((*db)->Read(*txn, *t, rid->slot, &got));
   EXPECT_GT((*db)->GetStats().protection.prechecks, before);
   ASSERT_OK((*db)->Commit(*txn));
+}
+
+// ---------- Parallel audit / rebuild sweeps ----------
+// sweep_threads is pinned > 1 so the pool path runs even on a single-CPU
+// host (where the hardware-concurrency default resolves to one lane).
+
+TEST(ParallelSweep, RebuildAllMatchesSequential) {
+  Random rng(11);
+  std::vector<uint8_t> arena(64 * 1024);
+  for (auto& b : arena) b = static_cast<uint8_t>(rng.Next32());
+
+  CodewordTable sequential(arena.size(), 128);
+  sequential.RebuildAll(arena.data());
+  CodewordTable parallel(arena.size(), 128);
+  ThreadPool pool(4);
+  parallel.RebuildAll(arena.data(), &pool);
+
+  for (uint64_t r = 0; r < sequential.region_count(); ++r) {
+    ASSERT_EQ(parallel.Get(r), sequential.Get(r)) << "region " << r;
+  }
+}
+
+TEST(ParallelSweep, AuditAllReportsCorruptRegionsInAscendingOrder) {
+  auto image = DbImage::Create(1 << 20, 4096);
+  ASSERT_TRUE(image.ok());
+  Random rng(12);
+  for (uint64_t i = 0; i < (*image)->size(); ++i) {
+    *(*image)->At(i) = static_cast<uint8_t>(rng.Next32());
+  }
+  ProtectionOptions popts;
+  popts.scheme = ProtectionScheme::kDataCodeword;
+  popts.region_size = 512;
+  popts.sweep_threads = 4;
+  auto prot = CodewordProtection::Create(popts, image->get());
+  ASSERT_TRUE(prot.ok());
+  ASSERT_OK((*prot)->AuditAll(nullptr));
+
+  // Corrupt scattered regions out-of-band, including both ends of the
+  // image so every parallel lane's span holds at least one hit.
+  const uint64_t kCorruptRegions[] = {0, 7, 511, 512, 1024, 2047};
+  for (uint64_t r : kCorruptRegions) {
+    *(*image)->At(r * 512 + 13) ^= 0x40;
+  }
+  std::vector<CorruptRange> corrupt;
+  Status s = (*prot)->AuditAll(&corrupt);
+  EXPECT_TRUE(s.IsCorruption());
+  ASSERT_EQ(corrupt.size(), std::size(kCorruptRegions));
+  for (size_t i = 0; i < corrupt.size(); ++i) {
+    EXPECT_EQ(corrupt[i].off, kCorruptRegions[i] * 512);
+    EXPECT_EQ(corrupt[i].len, 512u);
+  }
+  // Stats totals match the sequential contract: every region audited per
+  // sweep, one failure per corrupt region.
+  const ProtectionStats& stats = (*prot)->stats();
+  EXPECT_EQ(stats.regions_audited, 2 * (1u << 20) / 512);
+  EXPECT_EQ(stats.audit_failures, std::size(kCorruptRegions));
+}
+
+TEST(ParallelSweep, AuditRangeParallelMatchesSequentialAuditRange) {
+  auto image = DbImage::Create(512 * 1024, 4096);
+  ASSERT_TRUE(image.ok());
+  Random rng(13);
+  for (uint64_t i = 0; i < (*image)->size(); ++i) {
+    *(*image)->At(i) = static_cast<uint8_t>(rng.Next32());
+  }
+  ProtectionOptions popts;
+  popts.scheme = ProtectionScheme::kDataCodeword;
+  popts.region_size = 256;
+  popts.sweep_threads = 3;
+  auto prot = CodewordProtection::Create(popts, image->get());
+  ASSERT_TRUE(prot.ok());
+  *(*image)->At(100 * 256 + 5) ^= 1;
+  *(*image)->At(900 * 256 + 5) ^= 1;
+
+  std::vector<CorruptRange> seq, par;
+  Status s1 = (*prot)->AuditRange(0, (*image)->size(), &seq);
+  Status s2 = (*prot)->AuditRangeParallel(0, (*image)->size(), 3, &par);
+  EXPECT_EQ(s1.IsCorruption(), s2.IsCorruption());
+  ASSERT_EQ(par.size(), seq.size());
+  for (size_t i = 0; i < seq.size(); ++i) {
+    EXPECT_EQ(par[i].off, seq[i].off);
+    EXPECT_EQ(par[i].len, seq[i].len);
+  }
+}
+
+TEST(ParallelSweep, ResetFromImageRepairsUnderParallelSweep) {
+  auto image = DbImage::Create(256 * 1024, 4096);
+  ASSERT_TRUE(image.ok());
+  ProtectionOptions popts;
+  popts.scheme = ProtectionScheme::kDataCodeword;
+  popts.region_size = 128;
+  popts.sweep_threads = 4;
+  auto prot = CodewordProtection::Create(popts, image->get());
+  ASSERT_TRUE(prot.ok());
+  // Out-of-band writes everywhere, then a parallel rebuild: the table must
+  // describe the new image exactly.
+  Random rng(14);
+  for (uint64_t i = 0; i < (*image)->size(); i += 37) {
+    *(*image)->At(i) = static_cast<uint8_t>(rng.Next32());
+  }
+  ASSERT_OK((*prot)->ResetFromImage());
+  EXPECT_OK((*prot)->AuditAll(nullptr));
 }
 
 }  // namespace
