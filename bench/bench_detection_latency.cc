@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "bench/bench_util.h"
 #include "core/auditor.h"
 #include "core/database.h"
 #include "faultinject/fault_injector.h"
@@ -21,7 +22,8 @@
 namespace cwdb {
 namespace {
 
-void RunCase(const std::string& dir, uint64_t slice_bytes, int trials) {
+void RunCase(const std::string& dir, uint64_t slice_bytes, int trials,
+             bool json) {
   DatabaseOptions opts;
   opts.path = dir;
   opts.arena_size = 64ull << 20;
@@ -84,34 +86,49 @@ void RunCase(const std::string& dir, uint64_t slice_bytes, int trials) {
     if (latencies_ms.empty()) return 0.0;
     return latencies_ms[static_cast<size_t>(p * (latencies_ms.size() - 1))];
   };
-  std::printf("  %9llu KiB | %6zu %9.1f %9.1f %9.1f\n",
-              static_cast<unsigned long long>(slice_bytes >> 10),
-              latencies_ms.size(), pct(0.5), pct(0.9), pct(1.0));
+  if (json) {
+    std::string name =
+        "detection_latency/slice" + std::to_string(slice_bytes >> 10) + "k";
+    PrintJsonMetricLine(name, "p50_ms", pct(0.5), 1);
+    PrintJsonMetricLine(name, "p90_ms", pct(0.9), 1);
+    PrintJsonMetricLine(name, "max_ms", pct(1.0), 1);
+  } else {
+    std::printf("  %9llu KiB | %6zu %9.1f %9.1f %9.1f\n",
+                static_cast<unsigned long long>(slice_bytes >> 10),
+                latencies_ms.size(), pct(0.5), pct(0.9), pct(1.0));
+  }
+  DumpDbMetricsIfRequested(db->get());
 }
 
 }  // namespace
 }  // namespace cwdb
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cwdb;
-  std::printf(
-      "Ablation: wild-write detection latency under the background auditor\n"
-      "(64 MiB image, 512 B regions, sweeps back-to-back)\n\n");
-  std::printf("  %13s | %6s %9s %9s %9s\n", "slice", "trials", "p50 ms",
-              "p90 ms", "max ms");
-  std::printf("  ------------- | ------ --------- --------- ---------\n");
+  const bool json = JsonMode(argc, argv);
+  if (!json) {
+    std::printf(
+        "Ablation: wild-write detection latency under the background "
+        "auditor\n(64 MiB image, 512 B regions, sweeps back-to-back)\n\n");
+    std::printf("  %13s | %6s %9s %9s %9s\n", "slice", "trials", "p50 ms",
+                "p90 ms", "max ms");
+    std::printf("  ------------- | ------ --------- --------- ---------\n");
+  }
 
   char tmpl[] = "/dev/shm/cwdb_bench_latency_XXXXXX";
   char* base = ::mkdtemp(tmpl);
   int idx = 0;
   for (uint64_t slice : {256ull << 10, 1ull << 20, 4ull << 20}) {
-    RunCase(std::string(base) + "/l" + std::to_string(idx++), slice, 12);
+    RunCase(std::string(base) + "/l" + std::to_string(idx++), slice, 12,
+            json);
   }
   std::string cleanup = std::string("rm -rf '") + base + "'";
   [[maybe_unused]] int rc = ::system(cleanup.c_str());
-  std::printf(
-      "\nDetection latency is bounded by one full sweep; bigger slices\n"
-      "shorten the sweep at the cost of longer exclusive-latch holds per\n"
-      "step (worse tail latency for concurrent updaters).\n");
+  if (!json) {
+    std::printf(
+        "\nDetection latency is bounded by one full sweep; bigger slices\n"
+        "shorten the sweep at the cost of longer exclusive-latch holds per\n"
+        "step (worse tail latency for concurrent updaters).\n");
+  }
   return 0;
 }

@@ -62,9 +62,10 @@ void SetupOne(const std::string& dir, const SchemeCol& col, TpcbConfig cfg,
 }  // namespace
 }  // namespace cwdb
 
-int main() {
+int main(int argc, char** argv) {
   cwdb::PinToCpu(0);
   using namespace cwdb;
+  const bool json = JsonMode(argc, argv);
   TpcbConfig base_cfg;
   base_cfg.accounts = 20000;
   base_cfg.tellers = 2000;
@@ -76,15 +77,17 @@ int main() {
   char tmpl[] = "/dev/shm/cwdb_bench_mix_XXXXXX";
   char* base = ::mkdtemp(tmpl);
 
-  std::printf(
-      "Ablation: scheme overhead vs read fraction (TPC-B + inquiries)\n"
-      "(%% slower than the unprotected baseline at the same mix)\n\n");
-  std::printf("  %6s |", "reads");
-  for (const auto& col : kCols) {
-    if (col.scheme == ProtectionScheme::kNone) continue;
-    std::printf(" %12s", col.name);
+  if (!json) {
+    std::printf(
+        "Ablation: scheme overhead vs read fraction (TPC-B + inquiries)\n"
+        "(%% slower than the unprotected baseline at the same mix)\n\n");
+    std::printf("  %6s |", "reads");
+    for (const auto& col : kCols) {
+      if (col.scheme == ProtectionScheme::kNone) continue;
+      std::printf(" %12s", col.name);
+    }
+    std::printf("\n  ------ | ------------ ------------ ------------\n");
   }
-  std::printf("\n  ------ | ------------ ------------ ------------\n");
 
   int idx = 0;
   constexpr size_t kColCount = std::size(kCols);
@@ -106,26 +109,37 @@ int main() {
       }
     }
     double baseline = 0;
-    std::printf("  %5.0f%% |", frac * 100);
+    if (!json) std::printf("  %5.0f%% |", frac * 100);
+    const std::string mix = "r" + std::to_string(static_cast<int>(frac * 100));
     for (size_t i = 0; i < kColCount; ++i) {
       if (!benches[i].workload->CheckConsistency().ok()) return 1;
       std::sort(benches[i].rates.begin(), benches[i].rates.end());
       double rate = benches[i].rates[benches[i].rates.size() / 2];
+      if (json) {
+        PrintJsonMetricLine(
+            std::string("read_mix/") + kCols[i].name + "/" + mix,
+            "ops_per_sec", rate, 1);
+      }
       if (kCols[i].scheme == ProtectionScheme::kNone) {
         baseline = rate;
         continue;
       }
-      std::printf(" %11.1f%%", (1.0 - rate / baseline) * 100.0);
+      if (!json) {
+        std::printf(" %11.1f%%", (1.0 - rate / baseline) * 100.0);
+      }
+      DumpDbMetricsIfRequested(benches[i].db.get());
     }
-    std::printf("\n");
+    if (!json) std::printf("\n");
     std::fflush(stdout);
   }
   std::string cleanup = std::string("rm -rf '") + base + "'";
   [[maybe_unused]] int rc = ::system(cleanup.c_str());
 
-  std::printf(
-      "\nAs inquiries displace updates, prechecking's relative cost grows\n"
-      "(every read scans a region) while codeword maintenance and read\n"
-      "logging shrink (fewer folds, shorter log).\n");
+  if (!json) {
+    std::printf(
+        "\nAs inquiries displace updates, prechecking's relative cost grows\n"
+        "(every read scans a region) while codeword maintenance and read\n"
+        "logging shrink (fewer folds, shorter log).\n");
+  }
   return 0;
 }

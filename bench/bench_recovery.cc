@@ -24,7 +24,7 @@ struct Config {
   uint64_t ops_after_corruption;
 };
 
-void RunCase(const std::string& dir, const Config& c) {
+void RunCase(const std::string& dir, const Config& c, bool json) {
   TpcbConfig cfg;
   cfg.accounts = 2000;
   cfg.tellers = 200;
@@ -82,29 +82,41 @@ void RunCase(const std::string& dir, const Config& c) {
     std::exit(1);
   }
 
-  std::printf("  %10llu %12llu %14zu %14llu %12.1f\n",
-              static_cast<unsigned long long>(c.corrupt_accounts),
-              static_cast<unsigned long long>(c.ops_after_corruption),
-              report.deleted_txns.size(),
-              static_cast<unsigned long long>(report.redo_records_skipped),
-              ms);
+  if (json) {
+    std::string name = "recovery/c" + std::to_string(c.corrupt_accounts) +
+                       "_ops" + std::to_string(c.ops_after_corruption);
+    PrintJsonMetricLine(name, "recovery_ms", ms, 1);
+    PrintJsonMetricLine(name, "deleted_txns",
+                        static_cast<double>(report.deleted_txns.size()), 1);
+  } else {
+    std::printf("  %10llu %12llu %14zu %14llu %12.1f\n",
+                static_cast<unsigned long long>(c.corrupt_accounts),
+                static_cast<unsigned long long>(c.ops_after_corruption),
+                report.deleted_txns.size(),
+                static_cast<unsigned long long>(report.redo_records_skipped),
+                ms);
+  }
+  DumpDbMetricsIfRequested(db->get());
 }
 
 }  // namespace
 }  // namespace cwdb
 
-int main() {
+int main(int argc, char** argv) {
   cwdb::PinToCpu(0);
   using namespace cwdb;
-  std::printf(
-      "Ablation A4: delete-transaction recovery vs corruption spread\n"
-      "(TPC-B 2000 accounts, 50-op transactions, Data CW w/ReadLog)\n\n");
-  std::printf("  %10s %12s %14s %14s %12s\n", "corrupted", "ops after",
-              "txns deleted", "writes", "recovery");
-  std::printf("  %10s %12s %14s %14s %12s\n", "accounts", "corruption",
-              "", "suppressed", "time (ms)");
-  std::printf("  ---------- ------------ -------------- -------------- "
-              "------------\n");
+  const bool json = JsonMode(argc, argv);
+  if (!json) {
+    std::printf(
+        "Ablation A4: delete-transaction recovery vs corruption spread\n"
+        "(TPC-B 2000 accounts, 50-op transactions, Data CW w/ReadLog)\n\n");
+    std::printf("  %10s %12s %14s %14s %12s\n", "corrupted", "ops after",
+                "txns deleted", "writes", "recovery");
+    std::printf("  %10s %12s %14s %14s %12s\n", "accounts", "corruption",
+                "", "suppressed", "time (ms)");
+    std::printf("  ---------- ------------ -------------- -------------- "
+                "------------\n");
+  }
 
   char tmpl[] = "/dev/shm/cwdb_bench_recovery_XXXXXX";
   char* base = ::mkdtemp(tmpl);
@@ -112,15 +124,18 @@ int main() {
   for (uint64_t corrupt : {1ull, 8ull, 64ull}) {
     for (uint64_t ops : {1000ull, 5000ull}) {
       RunCase(std::string(base) + "/c" + std::to_string(idx++),
-              Config{corrupt, ops});
+              Config{corrupt, ops}, json);
     }
   }
   std::string cleanup = std::string("rm -rf '") + base + "'";
   [[maybe_unused]] int rc = ::system(cleanup.c_str());
 
-  std::printf(
-      "\nDeleted-transaction count grows with both the number of corrupt\n"
-      "records and the amount of history replayed over them; recovery time\n"
-      "is dominated by the redo scan plus the final certifying checkpoint.\n");
+  if (!json) {
+    std::printf(
+        "\nDeleted-transaction count grows with both the number of corrupt\n"
+        "records and the amount of history replayed over them; recovery "
+        "time\nis dominated by the redo scan plus the final certifying "
+        "checkpoint.\n");
+  }
   return 0;
 }

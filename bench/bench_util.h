@@ -4,6 +4,9 @@
 #include <sched.h>
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
 
 namespace cwdb {
 
@@ -18,6 +21,41 @@ inline void PinToCpu(int cpu) {
     std::fprintf(stderr, "note: could not pin to cpu %d; timings may be "
                          "noisier\n", cpu);
   }
+}
+
+/// True when `--json` appears in argv: the bench emits one JSON object per
+/// line (the BENCH_*.json trajectory schema shared by bench_codeword and
+/// bench_audit) instead of the human-readable table.
+inline bool JsonMode(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) return true;
+  }
+  return false;
+}
+
+/// One machine-readable measurement per line, same shape as the other
+/// benches' --json output: a "name" key plus one numeric metric and the
+/// thread count.
+inline void PrintJsonMetricLine(const std::string& name, const char* metric,
+                                double value, unsigned threads) {
+  std::printf("{\"name\": \"%s\", \"%s\": %.3f, \"threads\": %u}\n",
+              name.c_str(), metric, value, threads);
+}
+
+/// Post-run observability hook: when CWDB_BENCH_METRICS is set in the
+/// environment, dumps the database's metrics snapshot to stderr — "json"
+/// selects the stable JSON exporter, anything else the human table. A
+/// template so benches that never call it don't need to link cwdb_core.
+template <typename DB>
+inline void DumpDbMetricsIfRequested(DB* db) {
+  const char* mode = std::getenv("CWDB_BENCH_METRICS");
+  if (mode == nullptr || *mode == '\0') return;
+  if (std::strcmp(mode, "json") == 0) {
+    auto json = db->DumpMetrics();
+    if (json.ok()) std::fprintf(stderr, "%s\n", json->c_str());
+    return;
+  }
+  std::fprintf(stderr, "%s", db->metrics()->Capture().ToText().c_str());
 }
 
 }  // namespace cwdb

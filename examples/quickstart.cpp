@@ -115,5 +115,9 @@ int main(int argc, char** argv) {
   }
   std::printf("audit: %s (%llu regions)\n", report->clean ? "clean" : "CORRUPT",
               static_cast<unsigned long long>(report->regions_audited));
+
+  // --- Close checkpoints, flushes the log, and persists a metrics
+  // snapshot that `cwdb_ctl stats` can re-emit offline. ---
+  DIE_IF_ERROR((*db)->Close());
   return report->clean && std::strcmp(got.name, "alicia") == 0 ? 0 : 1;
 }

@@ -21,12 +21,18 @@ constexpr uint64_t kMetaMagic = 0x434B50544D455441ull;  // "CKPTMETA"
 
 Checkpointer::Checkpointer(const DbFiles& files, DbImage* image,
                            TxnManager* txns, SystemLog* log,
-                           ProtectionManager* protection)
+                           ProtectionManager* protection,
+                           MetricsRegistry* metrics)
     : files_(files),
       image_(image),
       txns_(txns),
       log_(log),
-      protection_(protection) {}
+      protection_(protection),
+      metrics_(FallbackRegistry(metrics, &own_metrics_)) {
+  ins_.checkpoints = metrics_->counter("ckpt.checkpoints");
+  ins_.pages_written = metrics_->counter("ckpt.pages_written");
+  ins_.latency_ns = metrics_->histogram("ckpt.latency_ns");
+}
 
 Status Checkpointer::InitializeFresh() {
   image_->MarkAllDirty();
@@ -46,6 +52,7 @@ Status Checkpointer::Checkpoint(bool certify,
 Status Checkpointer::WriteCheckpointTo(int which, bool certify,
                                        std::vector<CorruptRange>* corrupt) {
   const uint32_t page_size = image_->page_size();
+  const uint64_t t0 = NowNs();
 
   // --- Copy phase, under the exclusive checkpoint latch: no physical
   // update is in flight and no local log is mid-mutation, so the copied
@@ -104,7 +111,11 @@ Status Checkpointer::WriteCheckpointTo(int which, bool certify,
 
   CWDB_RETURN_IF_ERROR(
       WriteFileAtomic(files_.Anchor(), which == 0 ? "A" : "B"));
-  ++checkpoints_taken_;
+  ins_.checkpoints->Add();
+  ins_.pages_written->Add(pages.size());
+  ins_.latency_ns->Record(NowNs() - t0);
+  metrics_->trace().Record(TraceEventType::kCheckpoint, ck_end, pages.size(),
+                           static_cast<uint64_t>(which));
   return Status::OK();
 }
 

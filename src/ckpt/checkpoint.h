@@ -26,6 +26,9 @@ struct DbFiles {
   std::string Anchor() const { return dir_ + "/cur_ckpt"; }
   std::string CorruptNote() const { return dir_ + "/corrupt.note"; }
   std::string AuditMeta() const { return dir_ + "/audit.meta"; }
+  /// Metrics snapshot persisted by Database::DumpMetrics / Close, re-emitted
+  /// by `cwdb_ctl stats`.
+  std::string MetricsFile() const { return dir_ + "/metrics.json"; }
   const std::string& dir() const { return dir_; }
 
  private:
@@ -55,7 +58,8 @@ struct CheckpointMeta {
 class Checkpointer {
  public:
   Checkpointer(const DbFiles& files, DbImage* image, TxnManager* txns,
-               SystemLog* log, ProtectionManager* protection);
+               SystemLog* log, ProtectionManager* protection,
+               MetricsRegistry* metrics = nullptr);
 
   /// For a fresh database: writes a full checkpoint to image A and points
   /// the anchor at it.
@@ -83,7 +87,7 @@ class Checkpointer {
   /// the certified-clean disk image).
   Status ReadImageBytes(DbPtr off, uint64_t len, void* out) const;
 
-  uint64_t checkpoints_taken() const { return checkpoints_taken_; }
+  uint64_t checkpoints_taken() const { return ins_.checkpoints->Value(); }
   uint64_t pages_written_last() const { return pages_written_last_; }
 
  private:
@@ -92,12 +96,20 @@ class Checkpointer {
   Status WriteMeta(int which, const CheckpointMeta& meta);
   Result<CheckpointMeta> ReadMeta(int which) const;
 
+  struct Instruments {
+    Counter* checkpoints;
+    Counter* pages_written;
+    Histogram* latency_ns;
+  };
+
   DbFiles files_;
   DbImage* image_;
   TxnManager* txns_;
   SystemLog* log_;
   ProtectionManager* protection_;
-  uint64_t checkpoints_taken_ = 0;
+  std::unique_ptr<MetricsRegistry> own_metrics_;
+  MetricsRegistry* metrics_;
+  Instruments ins_;
   uint64_t pages_written_last_ = 0;
 };
 

@@ -54,6 +54,8 @@ bool BackgroundAuditor::AuditSlice() {
       // Starting a sweep: record where the log stood (§3.2 — a clean full
       // sweep certifies data as of its beginning; this becomes Audit_SN).
       sweep_start_lsn_ = db_->log()->CurrentLsn();
+      db_->metrics()->trace().Record(TraceEventType::kAuditPassBegin,
+                                     sweep_start_lsn_, 0, 0);
     }
     start = cursor_;
     cursor_ += slice;
@@ -89,6 +91,9 @@ bool BackgroundAuditor::AuditSlice() {
     // A complete sweep came back clean: data as of the sweep's start is
     // certified. Advance the durable Audit_SN.
     (void)db_->RecordCleanAudit(sweep_begin_lsn);
+    db_->metrics()->counter("audit.background_sweeps")->Add();
+    db_->metrics()->trace().Record(TraceEventType::kAuditPassEnd,
+                                   sweep_begin_lsn, arena / region, 0);
     sweeps_completed_.fetch_add(1);
     cv_.notify_all();
   }

@@ -31,12 +31,13 @@ Status Database::OpenImpl() {
       image_, DbImage::Create(options_.arena_size, options_.page_size));
   CWDB_ASSIGN_OR_RETURN(
       protection_,
-      ProtectionManager::Create(options_.protection, image_.get()));
-  CWDB_ASSIGN_OR_RETURN(log_, SystemLog::Open(files_.SystemLog()));
+      ProtectionManager::Create(options_.protection, image_.get(), &metrics_));
+  CWDB_ASSIGN_OR_RETURN(log_, SystemLog::Open(files_.SystemLog(), &metrics_));
   txns_ = std::make_unique<TxnManager>(image_.get(), protection_.get(),
-                                       log_.get());
+                                       log_.get(), &metrics_);
   checkpointer_ = std::make_unique<Checkpointer>(
-      files_, image_.get(), txns_.get(), log_.get(), protection_.get());
+      files_, image_.get(), txns_.get(), log_.get(), protection_.get(),
+      &metrics_);
 
   if (FileExists(files_.Anchor())) {
     CWDB_RETURN_IF_ERROR(RunRecovery());
@@ -159,9 +160,16 @@ Result<AuditReport> Database::Audit() {
   std::string payload;
   EncodeAuditBegin(&payload);
   report.audit_lsn = log_->Append(payload);
+  metrics_.trace().Record(TraceEventType::kAuditPassBegin, report.audit_lsn,
+                          0, 0);
+  const uint64_t t0 = NowNs();
   uint64_t before = protection_->stats().regions_audited;
   Status s = protection_->AuditAll(&report.ranges);
   report.regions_audited = protection_->stats().regions_audited - before;
+  metrics_.counter("audit.passes")->Add();
+  metrics_.histogram("audit.pass_latency_ns")->Record(NowNs() - t0);
+  metrics_.trace().Record(TraceEventType::kAuditPassEnd, report.audit_lsn,
+                          report.regions_audited, report.ranges.size());
   if (s.IsCorruption()) {
     report.clean = false;
     CWDB_RETURN_IF_ERROR(NoteCorruption(report.ranges));
@@ -169,11 +177,20 @@ Result<AuditReport> Database::Audit() {
   }
   CWDB_RETURN_IF_ERROR(s);
   report.clean = true;
+  metrics_.counter("audit.clean_passes")->Add();
   CWDB_RETURN_IF_ERROR(WriteAuditMeta(files_.AuditMeta(), report.audit_lsn));
   return report;
 }
 
 Status Database::NoteCorruption(const std::vector<CorruptRange>& ranges) {
+  // Detection moment: stamp each range against any pending injected fault
+  // (detection-latency measurement) and into the flight recorder.
+  for (const CorruptRange& r : ranges) {
+    metrics_.NoteDetection(r.off, r.len);
+    metrics_.trace().Record(TraceEventType::kCorruptionDetected,
+                            log_->CurrentLsn(), r.off, r.len);
+  }
+  metrics_.counter("audit.corruptions_noted")->Add(ranges.size());
   CorruptionNote note;
   note.last_clean_audit_lsn = LastCleanAuditLsn();
   note.ranges = ranges;
@@ -236,15 +253,33 @@ Status Database::CrashAndRecover() {
 }
 
 DatabaseStats Database::GetStats() const {
+  // One registry snapshot so all the counters are read at the same moment
+  // (the accessors each re-read their own counter).
+  MetricsSnapshot snap = metrics_.Capture();
   DatabaseStats stats;
-  stats.commits = txns_->commits();
-  stats.aborts = txns_->aborts();
-  stats.checkpoints = checkpointer_->checkpoints_taken();
-  stats.log_bytes_appended = log_->bytes_appended();
-  stats.log_flushes = log_->flush_count();
-  stats.protection = protection_->stats();
+  stats.commits = snap.CounterValue("txn.commits");
+  stats.aborts = snap.CounterValue("txn.aborts");
+  stats.checkpoints = snap.CounterValue("ckpt.checkpoints");
+  stats.log_bytes_appended = snap.CounterValue("wal.bytes_appended");
+  stats.log_flushes = snap.CounterValue("wal.flushes");
+  stats.protection.updates = snap.CounterValue("protect.updates");
+  stats.protection.codeword_folds = snap.CounterValue("protect.codeword_folds");
+  stats.protection.prechecks = snap.CounterValue("protect.prechecks");
+  stats.protection.regions_audited =
+      snap.CounterValue("protect.regions_audited");
+  stats.protection.audit_failures = snap.CounterValue("protect.audit_failures");
+  stats.protection.mprotect_calls = snap.CounterValue("protect.mprotect_calls");
+  stats.protection.pages_unprotected =
+      snap.CounterValue("protect.pages_unprotected");
   stats.protection_space_overhead_bytes = protection_->SpaceOverheadBytes();
   return stats;
+}
+
+Result<std::string> Database::DumpMetrics() {
+  MetricsSnapshot snap = metrics_.Capture();
+  std::string json = snap.ToJson();
+  CWDB_RETURN_IF_ERROR(WriteFileAtomic(files_.MetricsFile(), json));
+  return json;
 }
 
 }  // namespace cwdb

@@ -11,6 +11,7 @@
 #include "common/result.h"
 #include "common/slice.h"
 #include "common/status.h"
+#include "obs/metrics.h"
 #include "protect/options.h"
 #include "protect/protection.h"
 #include "recovery/recovery.h"
@@ -225,21 +226,35 @@ class Database {
   /// All outstanding Transaction* become invalid.
   Status CrashAndRecover();
 
-  /// Clean shutdown: takes a final checkpoint and flushes the log so the
-  /// next Open recovers instantly (nothing to redo). Optional — destroying
-  /// the Database without it is always safe (recovery replays the log) and
-  /// is exactly what a crash looks like.
+  /// Clean shutdown: takes a final checkpoint, flushes the log so the next
+  /// Open recovers instantly (nothing to redo), and persists the metrics
+  /// snapshot for post-mortem `cwdb_ctl stats`. Optional — destroying the
+  /// Database without it is always safe (recovery replays the log) and is
+  /// exactly what a crash looks like.
   Status Close() {
     CWDB_CHECK(txns_->att().empty())
         << "Close() with active transactions; commit or abort them first";
     CWDB_RETURN_IF_ERROR(Checkpoint());
-    return log_->Flush();
+    CWDB_RETURN_IF_ERROR(log_->Flush());
+    Result<std::string> snap = DumpMetrics();
+    return snap.ok() ? Status::OK() : snap.status();
   }
 
   /// Report of the most recent recovery (empty if none ran).
   const RecoveryReport& last_recovery_report() const { return last_report_; }
 
   DatabaseStats GetStats() const;
+
+  /// Captures the full metrics snapshot (counters, gauges, histograms and
+  /// the event trace), persists it as JSON to <dir>/metrics.json — which is
+  /// what `cwdb_ctl stats <dir>` re-emits — and returns the same JSON.
+  Result<std::string> DumpMetrics();
+
+  /// The database-wide metrics registry. Every component of this database
+  /// (txn manager, system log, protection, checkpointer, auditor) reports
+  /// into it; per-database rather than process-global so benchmarks can
+  /// compare schemes across several open databases in one process.
+  MetricsRegistry* metrics() { return &metrics_; }
 
   // -- Direct access (application code, fault injection, tests) --
 
@@ -267,6 +282,9 @@ class Database {
 
   DatabaseOptions options_;
   DbFiles files_;
+  /// Declared before the components so it is destroyed after them — every
+  /// component holds bare Counter*/Histogram* pointers into it.
+  MetricsRegistry metrics_;
   std::unique_ptr<DbImage> image_;
   std::unique_ptr<ProtectionManager> protection_;
   std::unique_ptr<SystemLog> log_;

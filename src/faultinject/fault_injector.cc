@@ -58,6 +58,22 @@ FaultInjector::Outcome FaultInjector::WildWriteAt(DbPtr off, Slice bytes) {
   }
   out.changed_bits =
       std::memcmp(target, before.data(), bytes.size()) != 0;
+
+  MetricsRegistry* metrics = db_->metrics();
+  metrics->counter("faultinject.writes_injected")->Add();
+  metrics->trace().Record(TraceEventType::kFaultInjected, 0, off, out.len);
+  if (out.prevented) {
+    // Hardware scheme: the wild store faulted before touching the image —
+    // prevention *is* detection, at (essentially) zero latency.
+    metrics->counter("faultinject.writes_prevented")->Add();
+    metrics->trace().Record(TraceEventType::kWritePrevented, 0, off, out.len);
+    metrics->NoteInjectedFault(off, out.len);
+    metrics->NoteDetection(off, out.len);
+  } else if (out.changed_bits) {
+    // Arm the detection-latency clock: whichever layer later implicates
+    // this range (audit, precheck, recovery) stops it.
+    metrics->NoteInjectedFault(off, out.len);
+  }
   return out;
 }
 

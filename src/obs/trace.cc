@@ -1,0 +1,81 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "obs/metrics.h"
+
+namespace cwdb {
+
+const char* TraceEventTypeName(TraceEventType type) {
+  switch (type) {
+    case TraceEventType::kFaultInjected: return "fault_injected";
+    case TraceEventType::kWritePrevented: return "write_prevented";
+    case TraceEventType::kCorruptionDetected: return "corruption_detected";
+    case TraceEventType::kPrecheckFailed: return "precheck_failed";
+    case TraceEventType::kAuditPassBegin: return "audit_pass_begin";
+    case TraceEventType::kAuditPassEnd: return "audit_pass_end";
+    case TraceEventType::kRecoveryPhase: return "recovery_phase";
+    case TraceEventType::kTxnDeleted: return "txn_deleted";
+    case TraceEventType::kGroupCommitFlush: return "group_commit_flush";
+    case TraceEventType::kCheckpoint: return "checkpoint";
+    case TraceEventType::kMprotectFault: return "mprotect_fault";
+  }
+  return "?";
+}
+
+const char* RecoveryPhaseName(RecoveryPhase phase) {
+  switch (phase) {
+    case RecoveryPhase::kLoadCheckpoint: return "load_checkpoint";
+    case RecoveryPhase::kRedo: return "redo";
+    case RecoveryPhase::kUndo: return "undo";
+    case RecoveryPhase::kFinalCheckpoint: return "final_checkpoint";
+    case RecoveryPhase::kDone: return "done";
+  }
+  return "?";
+}
+
+EventTrace::EventTrace(size_t capacity) : slots_(capacity) {
+  CWDB_CHECK(capacity > 0 && (capacity & (capacity - 1)) == 0)
+      << "trace capacity must be a power of two";
+}
+
+void EventTrace::Record(TraceEventType type, uint64_t lsn, uint64_t a,
+                        uint64_t b) {
+  uint64_t seq = head_.fetch_add(1, std::memory_order_relaxed);
+  Slot& s = slots_[seq & (slots_.size() - 1)];
+  s.ticket.store(2 * seq + 1, std::memory_order_release);
+  s.t_ns.store(NowNs(), std::memory_order_relaxed);
+  s.lsn.store(lsn, std::memory_order_relaxed);
+  s.a.store(a, std::memory_order_relaxed);
+  s.b.store(b, std::memory_order_relaxed);
+  s.type.store(static_cast<uint8_t>(type), std::memory_order_relaxed);
+  s.ticket.store(2 * seq + 2, std::memory_order_release);
+}
+
+std::vector<TraceEvent> EventTrace::Snapshot() const {
+  std::vector<TraceEvent> out;
+  out.reserve(slots_.size());
+  for (const Slot& s : slots_) {
+    uint64_t ticket = s.ticket.load(std::memory_order_acquire);
+    if (ticket == 0 || (ticket & 1) != 0) continue;  // Empty or mid-write.
+    TraceEvent e;
+    e.seq = ticket / 2 - 1;
+    e.t_ns = s.t_ns.load(std::memory_order_relaxed);
+    e.lsn = s.lsn.load(std::memory_order_relaxed);
+    e.a = s.a.load(std::memory_order_relaxed);
+    e.b = s.b.load(std::memory_order_relaxed);
+    e.type = static_cast<TraceEventType>(s.type.load(std::memory_order_relaxed));
+    // A writer may have lapped us mid-copy; keep the event only if the
+    // slot still belongs to the seq we started reading.
+    if (s.ticket.load(std::memory_order_acquire) != ticket) continue;
+    out.push_back(e);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const TraceEvent& x, const TraceEvent& y) {
+              return x.seq < y.seq;
+            });
+  return out;
+}
+
+}  // namespace cwdb

@@ -1,0 +1,95 @@
+#ifndef CWDB_OBS_TRACE_H_
+#define CWDB_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cwdb {
+
+/// Engine events worth a flight-recorder entry. The `a`/`b` payload words
+/// are type-specific (documented per enumerator).
+enum class TraceEventType : uint8_t {
+  kFaultInjected = 0,      ///< a=off, b=len — unprescribed write landed.
+  kWritePrevented = 1,     ///< a=off, b=len — hardware scheme trapped it.
+  kCorruptionDetected = 2, ///< a=off, b=len — audit implicated this range.
+  kPrecheckFailed = 3,     ///< a=off, b=len — read precheck mismatch.
+  kAuditPassBegin = 4,     ///< lsn=Audit_SN candidate.
+  kAuditPassEnd = 5,       ///< a=regions audited, b=corrupt regions.
+  kRecoveryPhase = 6,      ///< a=RecoveryPhase.
+  kTxnDeleted = 7,         ///< a=txn id — delete-transaction recovery.
+  kGroupCommitFlush = 8,   ///< lsn=new stable end, a=batch bytes.
+  kCheckpoint = 9,         ///< lsn=CK_end, a=pages written.
+  kMprotectFault = 10,     ///< a=off, b=len — SIGSEGV on protected page.
+};
+
+const char* TraceEventTypeName(TraceEventType type);
+
+/// Phases recorded via kRecoveryPhase events.
+enum class RecoveryPhase : uint8_t {
+  kLoadCheckpoint = 0,
+  kRedo = 1,
+  kUndo = 2,
+  kFinalCheckpoint = 3,
+  kDone = 4,
+};
+
+const char* RecoveryPhaseName(RecoveryPhase phase);
+
+/// One recorded event. `seq` is a process-lifetime ordinal (older events
+/// are overwritten in place once the ring wraps); `t_ns` is NowNs() at
+/// record time; `lsn` is the log position the event is anchored to (0 when
+/// not applicable).
+struct TraceEvent {
+  uint64_t seq = 0;
+  uint64_t t_ns = 0;
+  uint64_t lsn = 0;
+  uint64_t a = 0;
+  uint64_t b = 0;
+  TraceEventType type = TraceEventType::kFaultInjected;
+};
+
+/// Fixed-capacity lock-light flight recorder. Writers claim a slot with one
+/// atomic fetch_add and publish it with a per-slot ticket (odd = write in
+/// progress, even = complete); every payload field is a relaxed atomic, so
+/// recording takes no lock and readers never block writers. Snapshot()
+/// drops slots whose ticket changed mid-copy (a writer lapped the reader),
+/// so it returns only consistent events, oldest first.
+class EventTrace {
+ public:
+  /// `capacity` must be a power of two.
+  explicit EventTrace(size_t capacity);
+  EventTrace(const EventTrace&) = delete;
+  EventTrace& operator=(const EventTrace&) = delete;
+
+  void Record(TraceEventType type, uint64_t lsn = 0, uint64_t a = 0,
+              uint64_t b = 0);
+
+  /// Consistent events currently resident in the ring, ascending seq.
+  std::vector<TraceEvent> Snapshot() const;
+
+  /// Total events ever recorded (>= Snapshot().size(); the excess wrapped).
+  uint64_t recorded() const { return head_.load(std::memory_order_relaxed); }
+
+  size_t capacity() const { return slots_.size(); }
+
+ private:
+  struct Slot {
+    /// 2*seq+1 while the writer of `seq` is filling the slot, 2*seq+2 once
+    /// published. 0 = never written.
+    std::atomic<uint64_t> ticket{0};
+    std::atomic<uint64_t> t_ns{0};
+    std::atomic<uint64_t> lsn{0};
+    std::atomic<uint64_t> a{0};
+    std::atomic<uint64_t> b{0};
+    std::atomic<uint8_t> type{0};
+  };
+
+  std::vector<Slot> slots_;
+  std::atomic<uint64_t> head_{0};
+};
+
+}  // namespace cwdb
+
+#endif  // CWDB_OBS_TRACE_H_

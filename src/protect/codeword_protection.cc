@@ -5,15 +5,17 @@
 namespace cwdb {
 
 CodewordProtection::CodewordProtection(const ProtectionOptions& options,
-                                       DbImage* image)
-    : ProtectionManager(options, image),
+                                       DbImage* image,
+                                       MetricsRegistry* metrics)
+    : ProtectionManager(options, image, metrics),
       exclusive_updates_(options.PrechecksReads()),
       codewords_(image->size(), options.region_size),
       protection_latches_(options.latch_stripes),
       codeword_latches_(options.latch_stripes) {}
 
 Result<std::unique_ptr<ProtectionManager>> CodewordProtection::Create(
-    const ProtectionOptions& options, DbImage* image) {
+    const ProtectionOptions& options, DbImage* image,
+    MetricsRegistry* metrics) {
   if (options.region_size < 8 ||
       (options.region_size & (options.region_size - 1)) != 0) {
     return Status::InvalidArgument("region size must be a power of two >= 8");
@@ -22,7 +24,7 @@ Result<std::unique_ptr<ProtectionManager>> CodewordProtection::Create(
     return Status::InvalidArgument("arena size not a multiple of region size");
   }
   std::unique_ptr<CodewordProtection> p(
-      new CodewordProtection(options, image));
+      new CodewordProtection(options, image, metrics));
   p->codewords_.RebuildAll(image->base(), p->sweep_pool());
   return std::unique_ptr<ProtectionManager>(std::move(p));
 }
@@ -61,7 +63,7 @@ Status CodewordProtection::BeginUpdate(DbPtr off, uint32_t len,
       protection_latches_.LatchAt(s).LockShared();
     }
   }
-  ++stats_.updates;
+  ins_.updates->Add();
   return Status::OK();
 }
 
@@ -70,11 +72,18 @@ void CodewordProtection::EndUpdate(const UpdateHandle& h,
   // Codeword maintenance from the undo image and the current bytes
   // (paper §3.1). Under exclusive updates the protection latch already
   // serializes us; otherwise take the codeword latches for the brief fold.
+  // Fold latency is sampled 1-in-64 so the clock reads stay off most
+  // updates (a fold of a few hundred bytes costs about as much as one
+  // clock call).
+  thread_local uint32_t fold_sample = 0;
+  const bool timed = (fold_sample++ & 63) == 0;
+  const uint64_t t0 = timed ? NowNs() : 0;
   if (!exclusive_updates_) {
     for (size_t s : h.stripes) codeword_latches_.LatchAt(s).LockExclusive();
   }
   codewords_.ApplyDelta(h.off, before, image_->At(h.off), h.len);
-  ++stats_.codeword_folds;
+  ins_.codeword_folds->Add();
+  if (timed) ins_.fold_latency_ns->Record(NowNs() - t0);
   if (!exclusive_updates_) {
     for (auto it = h.stripes.rbegin(); it != h.stripes.rend(); ++it) {
       codeword_latches_.LatchAt(*it).UnlockExclusive();
@@ -107,10 +116,13 @@ Status CodewordProtection::PrecheckRead(DbPtr off, uint32_t len) {
   uint64_t last = codewords_.RegionOf(off + (len == 0 ? 0 : len - 1));
   thread_local std::vector<size_t> stripes;  // Reused: no hot-path alloc.
   StripesFor(off, len, &stripes);
+  thread_local uint32_t precheck_sample = 0;
+  const bool timed = (precheck_sample++ & 63) == 0;
+  const uint64_t t0 = timed ? NowNs() : 0;
   for (size_t s : stripes) protection_latches_.LatchAt(s).LockExclusive();
   bool clean = true;
   for (uint64_t r = first; r <= last; ++r) {
-    ++stats_.prechecks;
+    ins_.prechecks->Add();
     if (!VerifyRegionLocked(r)) {
       clean = false;
       break;
@@ -119,7 +131,14 @@ Status CodewordProtection::PrecheckRead(DbPtr off, uint32_t len) {
   for (auto it = stripes.rbegin(); it != stripes.rend(); ++it) {
     protection_latches_.LatchAt(*it).UnlockExclusive();
   }
+  if (timed) ins_.precheck_latency_ns->Record(NowNs() - t0);
   if (!clean) {
+    // Read-time detection (§3.1): the read is refused before corrupt data
+    // can reach the transaction. Stamp the detection for latency
+    // accounting and the flight recorder.
+    ins_.precheck_failures->Add();
+    metrics_->NoteDetection(off, len);
+    metrics_->trace().Record(TraceEventType::kPrecheckFailed, 0, off, len);
     return Status::Corruption("read precheck failed: codeword mismatch");
   }
   return Status::OK();
@@ -173,10 +192,10 @@ Status CodewordProtection::AuditRegions(DbPtr off, uint64_t len, size_t width,
   } else {
     AuditSpan(first, last, &found, &total);
   }
-  // One merged stats update per sweep: the counters stay plain (their
-  // documented contract) because only this thread writes them here.
-  stats_.regions_audited += total.audited;
-  stats_.audit_failures += total.failures;
+  // One merged stats update per sweep keeps the per-region loop free of
+  // shared-counter traffic even though the instruments are atomic.
+  ins_.regions_audited->Add(total.audited);
+  ins_.audit_failures->Add(total.failures);
   if (corrupt != nullptr) {
     corrupt->insert(corrupt->end(), found.begin(), found.end());
   }

@@ -33,7 +33,8 @@ namespace cwdb {
 class CodewordProtection : public ProtectionManager {
  public:
   static Result<std::unique_ptr<ProtectionManager>> Create(
-      const ProtectionOptions& options, DbImage* image);
+      const ProtectionOptions& options, DbImage* image,
+      MetricsRegistry* metrics = nullptr);
 
   Status BeginUpdate(DbPtr off, uint32_t len, UpdateHandle* h) override;
   void EndUpdate(const UpdateHandle& h, const uint8_t* before) override;
@@ -55,7 +56,8 @@ class CodewordProtection : public ProtectionManager {
   CodewordTable& mutable_codeword_table() { return codewords_; }
 
  private:
-  CodewordProtection(const ProtectionOptions& options, DbImage* image);
+  CodewordProtection(const ProtectionOptions& options, DbImage* image,
+                     MetricsRegistry* metrics = nullptr);
 
   /// Fills *stripes with the ascending unique latch stripes for the
   /// regions covering [off, len). Reuses the vector's capacity — callers

@@ -5,9 +5,10 @@
 namespace cwdb {
 
 Result<std::unique_ptr<ProtectionManager>> HardwareProtection::Create(
-    const ProtectionOptions& options, DbImage* image) {
+    const ProtectionOptions& options, DbImage* image,
+    MetricsRegistry* metrics) {
   std::unique_ptr<HardwareProtection> p(
-      new HardwareProtection(options, image));
+      new HardwareProtection(options, image, metrics));
   // The image starts writable (formatting/recovery); the database arms the
   // scheme with ReprotectAll once it is open for business.
   return std::unique_ptr<ProtectionManager>(std::move(p));
@@ -17,7 +18,7 @@ Status HardwareProtection::BeginUpdate(DbPtr off, uint32_t len,
                                        UpdateHandle* h) {
   h->off = off;
   h->len = len;
-  ++stats_.updates;
+  ins_.updates->Add();
   if (!armed_) return Status::OK();
   const uint64_t page_bytes = Arena::OsPageSize();
   uint64_t first = off / page_bytes;
@@ -30,8 +31,8 @@ Status HardwareProtection::BeginUpdate(DbPtr off, uint32_t len,
     if (pins++ == 0) {
       CWDB_RETURN_IF_ERROR(
           image_->arena()->Protect(p * page_bytes, page_bytes, true));
-      ++stats_.mprotect_calls;
-      ++stats_.pages_unprotected;
+      ins_.mprotect_calls->Add();
+      ins_.pages_unprotected->Add();
     }
   }
   return Status::OK();
@@ -48,7 +49,7 @@ Status HardwareProtection::ReleasePages(const UpdateHandle& h) {
       exposed_.erase(it);
       CWDB_RETURN_IF_ERROR(
           image_->arena()->Protect(p * page_bytes, page_bytes, false));
-      ++stats_.mprotect_calls;
+      ins_.mprotect_calls->Add();
     }
   }
   return Status::OK();
@@ -67,7 +68,7 @@ void HardwareProtection::AbortUpdate(const UpdateHandle& h) {
 Status HardwareProtection::ExposeAll() {
   std::lock_guard<std::mutex> guard(mu_);
   CWDB_RETURN_IF_ERROR(image_->arena()->Protect(0, image_->size(), true));
-  ++stats_.mprotect_calls;
+  ins_.mprotect_calls->Add();
   exposed_.clear();
   armed_ = false;
   return Status::OK();
@@ -76,7 +77,7 @@ Status HardwareProtection::ExposeAll() {
 Status HardwareProtection::ReprotectAll() {
   std::lock_guard<std::mutex> guard(mu_);
   CWDB_RETURN_IF_ERROR(image_->arena()->Protect(0, image_->size(), false));
-  ++stats_.mprotect_calls;
+  ins_.mprotect_calls->Add();
   exposed_.clear();
   armed_ = true;
   return Status::OK();

@@ -22,7 +22,8 @@ namespace cwdb {
 class HardwareProtection : public ProtectionManager {
  public:
   static Result<std::unique_ptr<ProtectionManager>> Create(
-      const ProtectionOptions& options, DbImage* image);
+      const ProtectionOptions& options, DbImage* image,
+      MetricsRegistry* metrics = nullptr);
 
   Status BeginUpdate(DbPtr off, uint32_t len, UpdateHandle* h) override;
   void EndUpdate(const UpdateHandle& h, const uint8_t* before) override;
@@ -42,8 +43,9 @@ class HardwareProtection : public ProtectionManager {
   bool armed() const { return armed_; }
 
  private:
-  HardwareProtection(const ProtectionOptions& options, DbImage* image)
-      : ProtectionManager(options, image) {}
+  HardwareProtection(const ProtectionOptions& options, DbImage* image,
+                     MetricsRegistry* metrics)
+      : ProtectionManager(options, image, metrics) {}
 
   Status ReleasePages(const UpdateHandle& h);
 

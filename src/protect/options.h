@@ -70,8 +70,10 @@ struct ProtectionOptions {
   }
 };
 
-/// Counters exported by a ProtectionManager; plain reads, updated on the
-/// hot path without synchronization beyond the latches already held.
+/// Point-in-time snapshot of a ProtectionManager's counters, assembled
+/// from the metrics registry by stats(). The live instruments are sharded
+/// atomics (obs/metrics.h), so concurrent transactions update them
+/// race-free; this struct is a plain copy for callers.
 struct ProtectionStats {
   uint64_t updates = 0;           ///< BeginUpdate/EndUpdate pairs.
   uint64_t codeword_folds = 0;    ///< Incremental codeword maintenances.

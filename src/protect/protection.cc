@@ -24,18 +24,53 @@ const char* ProtectionSchemeName(ProtectionScheme scheme) {
   return "Unknown";
 }
 
+ProtectionManager::ProtectionManager(const ProtectionOptions& options,
+                                     DbImage* image, MetricsRegistry* metrics)
+    : options_(options),
+      image_(image),
+      metrics_(FallbackRegistry(metrics, &own_metrics_)) {
+  ins_.updates = metrics_->counter("protect.updates");
+  ins_.codeword_folds = metrics_->counter("protect.codeword_folds");
+  ins_.prechecks = metrics_->counter("protect.prechecks");
+  ins_.precheck_failures = metrics_->counter("protect.precheck_failures");
+  ins_.regions_audited = metrics_->counter("protect.regions_audited");
+  ins_.audit_failures = metrics_->counter("protect.audit_failures");
+  ins_.mprotect_calls = metrics_->counter("protect.mprotect_calls");
+  ins_.pages_unprotected = metrics_->counter("protect.pages_unprotected");
+  ins_.fold_latency_ns = metrics_->histogram("protect.fold_latency_ns");
+  ins_.precheck_latency_ns =
+      metrics_->histogram("protect.precheck_latency_ns");
+  // Pre-register so every snapshot carries the histogram (empty until a
+  // fault is detected) — the stats schema shouldn't depend on whether an
+  // injection campaign ran.
+  metrics_->histogram("protect.detection_latency_ns");
+}
+
+ProtectionStats ProtectionManager::stats() const {
+  ProtectionStats s;
+  s.updates = ins_.updates->Value();
+  s.codeword_folds = ins_.codeword_folds->Value();
+  s.prechecks = ins_.prechecks->Value();
+  s.regions_audited = ins_.regions_audited->Value();
+  s.audit_failures = ins_.audit_failures->Value();
+  s.mprotect_calls = ins_.mprotect_calls->Value();
+  s.pages_unprotected = ins_.pages_unprotected->Value();
+  return s;
+}
+
 namespace {
 
 /// Baseline: the prescribed interface exists but does nothing extra.
 class NoProtection : public ProtectionManager {
  public:
-  NoProtection(const ProtectionOptions& options, DbImage* image)
-      : ProtectionManager(options, image) {}
+  NoProtection(const ProtectionOptions& options, DbImage* image,
+               MetricsRegistry* metrics)
+      : ProtectionManager(options, image, metrics) {}
 
   Status BeginUpdate(DbPtr off, uint32_t len, UpdateHandle* h) override {
     h->off = off;
     h->len = len;
-    ++stats_.updates;
+    ins_.updates->Add();
     return Status::OK();
   }
   void EndUpdate(const UpdateHandle&, const uint8_t*) override {}
@@ -59,18 +94,19 @@ codeword_t ProtectionManager::ChecksumBytes(const DbImage& image, DbPtr off,
 }
 
 Result<std::unique_ptr<ProtectionManager>> ProtectionManager::Create(
-    const ProtectionOptions& options, DbImage* image) {
+    const ProtectionOptions& options, DbImage* image,
+    MetricsRegistry* metrics) {
   switch (options.scheme) {
     case ProtectionScheme::kNone:
       return std::unique_ptr<ProtectionManager>(
-          new NoProtection(options, image));
+          new NoProtection(options, image, metrics));
     case ProtectionScheme::kDataCodeword:
     case ProtectionScheme::kReadPrecheck:
     case ProtectionScheme::kReadLog:
     case ProtectionScheme::kCodewordReadLog:
-      return CodewordProtection::Create(options, image);
+      return CodewordProtection::Create(options, image, metrics);
     case ProtectionScheme::kHardware:
-      return HardwareProtection::Create(options, image);
+      return HardwareProtection::Create(options, image, metrics);
   }
   return Status::InvalidArgument("unknown protection scheme");
 }

@@ -7,6 +7,7 @@
 #include "common/codeword.h"
 #include "common/result.h"
 #include "common/status.h"
+#include "obs/metrics.h"
 #include "protect/options.h"
 #include "storage/db_image.h"
 #include "storage/layout.h"
@@ -41,8 +42,14 @@ class ProtectionManager {
   virtual ~ProtectionManager() = default;
 
   const ProtectionOptions& options() const { return options_; }
-  const ProtectionStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = ProtectionStats(); }
+  /// Point-in-time snapshot of the scheme's counters (race-free: the
+  /// underlying instruments are sharded atomics on the registry).
+  ProtectionStats stats() const;
+  /// Zeroes every protect.* counter and histogram on the registry.
+  void ResetStats() { metrics_->Reset("protect."); }
+  /// The registry this scheme reports into (the owning Database's, or a
+  /// private one when constructed standalone).
+  MetricsRegistry* metrics() const { return metrics_; }
 
   /// Called before the bytes of [off, off+len) are modified. Acquires
   /// whatever latches / page permissions the scheme needs.
@@ -112,17 +119,35 @@ class ProtectionManager {
   static codeword_t ChecksumBytes(const DbImage& image, DbPtr off,
                                   uint32_t len);
 
-  /// Creates the manager for `options.scheme`.
+  /// Creates the manager for `options.scheme`, reporting into `metrics`
+  /// (nullptr = a private registry, for standalone construction).
   static Result<std::unique_ptr<ProtectionManager>> Create(
-      const ProtectionOptions& options, DbImage* image);
+      const ProtectionOptions& options, DbImage* image,
+      MetricsRegistry* metrics = nullptr);
 
  protected:
-  explicit ProtectionManager(const ProtectionOptions& options, DbImage* image)
-      : options_(options), image_(image) {}
+  /// Hot-path instruments, resolved once at construction.
+  struct Instruments {
+    Counter* updates;
+    Counter* codeword_folds;
+    Counter* prechecks;
+    Counter* precheck_failures;
+    Counter* regions_audited;
+    Counter* audit_failures;
+    Counter* mprotect_calls;
+    Counter* pages_unprotected;
+    Histogram* fold_latency_ns;      ///< Sampled 1-in-64.
+    Histogram* precheck_latency_ns;  ///< Sampled 1-in-64.
+  };
+
+  ProtectionManager(const ProtectionOptions& options, DbImage* image,
+                    MetricsRegistry* metrics);
 
   ProtectionOptions options_;
   DbImage* image_;
-  ProtectionStats stats_;
+  std::unique_ptr<MetricsRegistry> own_metrics_;
+  MetricsRegistry* metrics_;
+  Instruments ins_;
 };
 
 }  // namespace cwdb

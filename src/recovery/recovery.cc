@@ -157,9 +157,20 @@ Result<RecoveryReport> RecoveryDriver::Run(const RecoveryOptions& options) {
   corrupt_conflicts_.clear();
   RecoveryReport report;
 
+  // Phase transitions go to the flight recorder; counts and the total
+  // duration land in recovery.* instruments once the run finishes.
+  MetricsRegistry* metrics = txns_->metrics();
+  EventTrace& trace = metrics->trace();
+  const uint64_t t0 = NowNs();
+  auto enter_phase = [&](RecoveryPhase p, Lsn at) {
+    trace.Record(TraceEventType::kRecoveryPhase, at,
+                 static_cast<uint64_t>(p), 0);
+  };
+
   txns_->set_recovery_mode(true);
   CWDB_RETURN_IF_ERROR(protection_->ExposeAll());
 
+  enter_phase(RecoveryPhase::kLoadCheckpoint, 0);
   CWDB_ASSIGN_OR_RETURN(CheckpointMeta meta, checkpointer_->LoadActive());
   if (options.redo_limit != kInvalidLsn && meta.ck_end > options.redo_limit) {
     return Status::InvalidArgument(
@@ -212,6 +223,7 @@ Result<RecoveryReport> RecoveryDriver::Run(const RecoveryOptions& options) {
   uint32_t max_op = 0;
   std::map<TxnId, size_t> open_op_marks;
 
+  enter_phase(RecoveryPhase::kRedo, meta.ck_end);
   CWDB_ASSIGN_OR_RETURN(
       std::unique_ptr<LogReader> reader,
       LogReader::Open(files_.SystemLog(), meta.ck_end, options.redo_limit));
@@ -339,6 +351,7 @@ Result<RecoveryReport> RecoveryDriver::Run(const RecoveryOptions& options) {
   // --- Undo phase: roll back incomplete transactions level by level. The
   // corrupt transactions' (possibly empty) pre-corruption prefixes are
   // rolled back exactly like ordinary incomplete transactions. ---
+  enter_phase(RecoveryPhase::kUndo, report.redo_end);
   std::vector<TxnId> incomplete;
   for (const auto& [id, txn] : txns_->att()) {
     incomplete.push_back(id);
@@ -393,6 +406,7 @@ Result<RecoveryReport> RecoveryDriver::Run(const RecoveryOptions& options) {
 
   // --- Final checkpoint so a future restart cannot rediscover the same
   // corruption and start deleting post-recovery transactions (§4.3). ---
+  enter_phase(RecoveryPhase::kFinalCheckpoint, log_->CurrentLsn());
   std::vector<CorruptRange> corrupt_after;
   Status ckpt_status = checkpointer_->Checkpoint(
       protection_->options().UsesCodewords(), &corrupt_after);
@@ -404,6 +418,20 @@ Result<RecoveryReport> RecoveryDriver::Run(const RecoveryOptions& options) {
 
   std::sort(report.deleted_txns.begin(), report.deleted_txns.end());
   std::sort(report.rolled_back_txns.begin(), report.rolled_back_txns.end());
+
+  enter_phase(RecoveryPhase::kDone, log_->CurrentLsn());
+  for (TxnId id : report.deleted_txns) {
+    trace.Record(TraceEventType::kTxnDeleted, report.redo_end, id, 0);
+  }
+  metrics->counter("recovery.runs")->Add();
+  metrics->counter("recovery.redo_records_applied")
+      ->Add(report.redo_records_applied);
+  metrics->counter("recovery.redo_records_skipped")
+      ->Add(report.redo_records_skipped);
+  metrics->counter("recovery.deleted_txns")->Add(report.deleted_txns.size());
+  metrics->counter("recovery.rolled_back_txns")
+      ->Add(report.rolled_back_txns.size());
+  metrics->histogram("recovery.duration_ns")->Record(NowNs() - t0);
   return report;
 }
 

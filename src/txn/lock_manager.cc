@@ -54,15 +54,26 @@ Status LockManager::Acquire(TxnId txn, LockId id, LockMode mode) {
     }
     // Upgrade request falls through to the wait loop below.
   }
+  // First conflicting probe counts as one wait; the histogram covers the
+  // whole blocked span, however many wakeups it takes.
+  uint64_t wait_start = 0;
   while (!Compatible(e, txn, mode)) {
     if (WouldDeadlock(txn, e, mode)) {
+      if (deadlocks_ != nullptr) deadlocks_->Add();
       return Status::Deadlock("waits-for cycle acquiring lock");
+    }
+    if (wait_start == 0) {
+      wait_start = NowNs();
+      if (lock_waits_ != nullptr) lock_waits_->Add();
     }
     waiting_for_[txn] = id;
     ++e.waiters;
     cv_.wait(guard);
     --e.waiters;
     waiting_for_.erase(txn);
+  }
+  if (wait_start != 0 && lock_wait_ns_ != nullptr) {
+    lock_wait_ns_->Record(NowNs() - wait_start);
   }
   e.holders[txn] = mode;
   return Status::OK();

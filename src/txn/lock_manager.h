@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "obs/metrics.h"
 #include "storage/layout.h"
 
 namespace cwdb {
@@ -42,6 +43,15 @@ class LockManager {
   LockManager() = default;
   LockManager(const LockManager&) = delete;
   LockManager& operator=(const LockManager&) = delete;
+
+  /// Points the wait instruments at `reg` (TxnManager calls this once at
+  /// construction, before any Acquire can run). Without it the manager
+  /// simply does not report waits.
+  void BindMetrics(MetricsRegistry* reg) {
+    lock_waits_ = reg->counter("txn.lock_waits");
+    deadlocks_ = reg->counter("txn.deadlocks");
+    lock_wait_ns_ = reg->histogram("txn.lock_wait_ns");
+  }
 
   /// Blocks until granted or deadlock. Re-entrant: a transaction already
   /// holding the lock in a mode >= `mode` is granted immediately; a shared
@@ -80,6 +90,9 @@ class LockManager {
   std::map<LockId, Entry> locks_;
   /// txn -> lock id it is currently waiting for (at most one).
   std::map<TxnId, LockId> waiting_for_;
+  Counter* lock_waits_ = nullptr;
+  Counter* deadlocks_ = nullptr;
+  Histogram* lock_wait_ns_ = nullptr;
 };
 
 }  // namespace cwdb

@@ -8,8 +8,18 @@
 namespace cwdb {
 
 TxnManager::TxnManager(DbImage* image, ProtectionManager* protection,
-                       SystemLog* log)
-    : image_(image), protection_(protection), log_(log) {}
+                       SystemLog* log, MetricsRegistry* metrics)
+    : image_(image),
+      protection_(protection),
+      log_(log),
+      metrics_(FallbackRegistry(metrics, &own_metrics_)) {
+  ins_.commits = metrics_->counter("txn.commits");
+  ins_.aborts = metrics_->counter("txn.aborts");
+  ins_.active = metrics_->gauge("txn.active");
+  ins_.commit_latency_ns = metrics_->histogram("txn.commit_latency_ns");
+  ins_.abort_latency_ns = metrics_->histogram("txn.abort_latency_ns");
+  locks_.BindMetrics(metrics_);
+}
 
 Result<Transaction*> TxnManager::Begin() {
   std::lock_guard<std::mutex> guard(att_mu_);
@@ -20,6 +30,7 @@ Result<Transaction*> TxnManager::Begin() {
   EncodeBeginTxn(&payload, id);
   raw->local_redo_.push_back(std::move(payload));
   att_[id] = std::move(txn);
+  ins_.active->Add(1);
   return raw;
 }
 
@@ -219,6 +230,7 @@ Status TxnManager::Commit(Transaction* txn) {
   CWDB_CHECK(txn->state_ == Transaction::State::kActive);
   CWDB_CHECK(!txn->open_op_.has_value() && !txn->update_active_)
       << "commit with an operation or update in flight";
+  const uint64_t t0 = NowNs();
   std::string payload;
   EncodeCommitTxn(&payload, txn->id_);
   txn->local_redo_.push_back(std::move(payload));
@@ -231,16 +243,21 @@ Status TxnManager::Commit(Transaction* txn) {
   // Group side effects: flush through the commit record, then release locks.
   CWDB_RETURN_IF_ERROR(log_->Flush());
   locks_.ReleaseAll(txn->id_);
-  ++commits_;
+  ins_.commits->Add();
+  ins_.active->Sub(1);
+  ins_.commit_latency_ns->Record(NowNs() - t0);
   std::lock_guard<std::mutex> guard(att_mu_);
   att_.erase(txn->id_);  // Destroys txn.
   return Status::OK();
 }
 
 Status TxnManager::Abort(Transaction* txn) {
+  const uint64_t t0 = NowNs();
   CWDB_RETURN_IF_ERROR(Rollback(txn));
   locks_.ReleaseAll(txn->id_);
-  ++aborts_;
+  ins_.aborts->Add();
+  ins_.active->Sub(1);
+  ins_.abort_latency_ns->Record(NowNs() - t0);
   std::lock_guard<std::mutex> guard(att_mu_);
   att_.erase(txn->id_);  // Destroys txn.
   return Status::OK();
@@ -279,6 +296,7 @@ void TxnManager::ClearForCrash() {
   std::lock_guard<std::mutex> guard(att_mu_);
   att_.clear();
   locks_.Clear();
+  ins_.active->Set(0);  // The ATT is volatile; nothing survives the crash.
 }
 
 void TxnManager::BumpIds(TxnId txn_floor, uint32_t op_floor) {

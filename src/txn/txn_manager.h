@@ -33,7 +33,10 @@ namespace cwdb {
 /// ARIES-style CLRs (see DESIGN.md).
 class TxnManager {
  public:
-  TxnManager(DbImage* image, ProtectionManager* protection, SystemLog* log);
+  /// Commit/abort counts and latencies are reported into `metrics`
+  /// (nullptr = a private registry, for standalone construction in tests).
+  TxnManager(DbImage* image, ProtectionManager* protection, SystemLog* log,
+             MetricsRegistry* metrics = nullptr);
 
   TxnManager(const TxnManager&) = delete;
   TxnManager& operator=(const TxnManager&) = delete;
@@ -42,6 +45,7 @@ class TxnManager {
   ProtectionManager* protection() const { return protection_; }
   SystemLog* log() const { return log_; }
   LockManager& locks() { return locks_; }
+  MetricsRegistry* metrics() const { return metrics_; }
 
   /// Held shared by every update window and local-log mutation; held
   /// exclusively by the checkpointer while copying the image and ATT, which
@@ -129,8 +133,8 @@ class TxnManager {
   /// tables). Every outstanding Transaction* becomes invalid.
   void ClearForCrash();
 
-  uint64_t commits() const { return commits_; }
-  uint64_t aborts() const { return aborts_; }
+  uint64_t commits() const { return ins_.commits->Value(); }
+  uint64_t aborts() const { return ins_.aborts->Value(); }
 
  private:
   friend class Transaction;
@@ -147,9 +151,20 @@ class TxnManager {
   /// remain. The caller has set in_rollback_.
   Status UndoDownTo(Transaction* txn, size_t mark);
 
+  struct Instruments {
+    Counter* commits;
+    Counter* aborts;
+    Gauge* active;
+    Histogram* commit_latency_ns;
+    Histogram* abort_latency_ns;
+  };
+
   DbImage* image_;
   ProtectionManager* protection_;
   SystemLog* log_;
+  std::unique_ptr<MetricsRegistry> own_metrics_;
+  MetricsRegistry* metrics_;
+  Instruments ins_;
   LockManager locks_;
   Latch ckpt_latch_;
 
@@ -158,8 +173,6 @@ class TxnManager {
   TxnId next_txn_id_ = 1;
   uint32_t next_op_id_ = 1;
   bool recovery_mode_ = false;
-  uint64_t commits_ = 0;
-  uint64_t aborts_ = 0;
 };
 
 }  // namespace cwdb

@@ -55,14 +55,27 @@ uint64_t ValidPrefix(const std::string& contents) {
 
 }  // namespace
 
-SystemLog::SystemLog(std::string path, int fd, uint64_t stable_size)
-    : path_(std::move(path)), fd_(fd), stable_size_(stable_size) {}
+SystemLog::SystemLog(std::string path, int fd, uint64_t stable_size,
+                     MetricsRegistry* metrics)
+    : path_(std::move(path)),
+      fd_(fd),
+      stable_size_(stable_size),
+      metrics_(FallbackRegistry(metrics, &own_metrics_)) {
+  ins_.appends = metrics_->counter("wal.appends");
+  ins_.bytes_appended = metrics_->counter("wal.bytes_appended");
+  ins_.flushes = metrics_->counter("wal.flushes");
+  ins_.flush_piggybacks = metrics_->counter("wal.flush_piggybacks");
+  ins_.tail_bytes = metrics_->gauge("wal.tail_bytes");
+  ins_.flush_latency_ns = metrics_->histogram("wal.flush_latency_ns");
+  ins_.flush_batch_bytes = metrics_->histogram("wal.flush_batch_bytes");
+}
 
 SystemLog::~SystemLog() {
   if (fd_ >= 0) ::close(fd_);
 }
 
-Result<std::unique_ptr<SystemLog>> SystemLog::Open(const std::string& path) {
+Result<std::unique_ptr<SystemLog>> SystemLog::Open(const std::string& path,
+                                                   MetricsRegistry* metrics) {
   std::string contents;
   CWDB_RETURN_IF_ERROR(ReadWholeFile(path, &contents));
   uint64_t stable = ValidPrefix(contents);
@@ -79,7 +92,7 @@ Result<std::unique_ptr<SystemLog>> SystemLog::Open(const std::string& path) {
       return s;
     }
   }
-  return std::unique_ptr<SystemLog>(new SystemLog(path, fd, stable));
+  return std::unique_ptr<SystemLog>(new SystemLog(path, fd, stable, metrics));
 }
 
 Lsn SystemLog::Append(Slice payload) {
@@ -88,7 +101,9 @@ Lsn SystemLog::Append(Slice payload) {
   PutFixed32(&tail_, static_cast<uint32_t>(payload.size()));
   PutFixed32(&tail_, Crc32c(payload.data(), payload.size()));
   tail_.append(payload.data(), payload.size());
-  bytes_appended_ += kFrameHeaderBytes + payload.size();
+  ins_.appends->Add();
+  ins_.bytes_appended->Add(kFrameHeaderBytes + payload.size());
+  ins_.tail_bytes->Set(static_cast<int64_t>(tail_.size()));
   return lsn;
 }
 
@@ -96,10 +111,15 @@ Status SystemLog::Flush() {
   std::unique_lock<std::mutex> guard(latch_);
   const Lsn target = stable_size_ + flushing_bytes_ + tail_.size();
   Status status;
+  bool piggybacked = false;
   while (stable_size_ < target) {
     if (flush_in_progress_) {
       // Another thread is writing a batch that (at least partly) covers
       // us; piggyback on its fsync instead of issuing our own.
+      if (!piggybacked) {
+        piggybacked = true;
+        ins_.flush_piggybacks->Add();
+      }
       flush_cv_.wait(guard);
       continue;
     }
@@ -111,8 +131,10 @@ Status SystemLog::Flush() {
     tail_.clear();
     flushing_bytes_ = batch.size();
     const uint64_t base = stable_size_;
+    ins_.tail_bytes->Set(0);
     guard.unlock();
 
+    const uint64_t t0 = NowNs();
     Status io;
     size_t done = 0;
     while (done < batch.size()) {
@@ -136,12 +158,17 @@ Status SystemLog::Flush() {
     flushing_bytes_ = 0;
     if (io.ok()) {
       stable_size_ = base + batch.size();
-      ++flush_count_;
+      ins_.flushes->Add();
+      ins_.flush_latency_ns->Record(NowNs() - t0);
+      ins_.flush_batch_bytes->Record(batch.size());
+      metrics_->trace().Record(TraceEventType::kGroupCommitFlush, stable_size_,
+                               batch.size(), 0);
     } else {
       // Put the batch back in front of whatever accumulated meanwhile so
       // LSNs stay dense and a retry covers everything.
       batch.append(tail_);
       tail_ = std::move(batch);
+      ins_.tail_bytes->Set(static_cast<int64_t>(tail_.size()));
       status = io;
     }
     flush_cv_.notify_all();
@@ -163,6 +190,7 @@ Lsn SystemLog::end_of_stable_log() const {
 void SystemLog::DiscardTail() {
   std::lock_guard<std::mutex> guard(latch_);
   tail_.clear();
+  ins_.tail_bytes->Set(0);
 }
 
 Result<std::unique_ptr<LogReader>> LogReader::Open(const std::string& path,

@@ -10,6 +10,7 @@
 #include "common/result.h"
 #include "common/slice.h"
 #include "common/status.h"
+#include "obs/metrics.h"
 #include "wal/log_record.h"
 
 namespace cwdb {
@@ -27,8 +28,11 @@ class SystemLog {
  public:
   /// Opens (creating if needed) the stable log at `path`. Scans existing
   /// contents to find the end of the valid prefix; a torn tail is truncated
-  /// logically (subsequent appends overwrite it).
-  static Result<std::unique_ptr<SystemLog>> Open(const std::string& path);
+  /// logically (subsequent appends overwrite it). Flush latency, batch
+  /// sizes and append volume are reported into `metrics` (nullptr = a
+  /// private registry, for standalone construction in tests).
+  static Result<std::unique_ptr<SystemLog>> Open(
+      const std::string& path, MetricsRegistry* metrics = nullptr);
 
   ~SystemLog();
   SystemLog(const SystemLog&) = delete;
@@ -58,11 +62,22 @@ class SystemLog {
   void DiscardTail();
 
   /// Total bytes appended to the tail since open (read-log volume studies).
-  uint64_t bytes_appended() const { return bytes_appended_; }
-  uint64_t flush_count() const { return flush_count_; }
+  uint64_t bytes_appended() const { return ins_.bytes_appended->Value(); }
+  uint64_t flush_count() const { return ins_.flushes->Value(); }
 
  private:
-  SystemLog(std::string path, int fd, uint64_t stable_size);
+  SystemLog(std::string path, int fd, uint64_t stable_size,
+            MetricsRegistry* metrics);
+
+  struct Instruments {
+    Counter* appends;
+    Counter* bytes_appended;
+    Counter* flushes;
+    Counter* flush_piggybacks;
+    Gauge* tail_bytes;
+    Histogram* flush_latency_ns;
+    Histogram* flush_batch_bytes;
+  };
 
   std::string path_;
   int fd_;
@@ -72,8 +87,9 @@ class SystemLog {
   uint64_t flushing_bytes_ = 0; ///< Bytes of the batch being written now.
   bool flush_in_progress_ = false;
   std::string tail_;            ///< Encoded frames not yet flushed.
-  uint64_t bytes_appended_ = 0;
-  uint64_t flush_count_ = 0;
+  std::unique_ptr<MetricsRegistry> own_metrics_;
+  MetricsRegistry* metrics_;
+  Instruments ins_;
 };
 
 /// Sequential reader over the stable system log. Stops cleanly at the first

@@ -17,6 +17,10 @@ trap 'rm -rf "$DIR"' EXIT
 "$CTL" logdump "$DIR/db" | grep -q "end of valid log"
 "$CTL" recover "$DIR/db" readlog | grep -q "recovery complete"
 
+# stats re-emits the metrics snapshot quickstart's Close() persisted.
+"$CTL" stats "$DIR/db" | grep -q '"txn.commits"'
+"$CTL" stats "$DIR/db" | grep -q '"txn.commit_latency_ns"'
+
 # Unknown command fails with usage.
 if "$CTL" bogus "$DIR/db" 2> /dev/null; then
   echo "bogus subcommand should fail" >&2

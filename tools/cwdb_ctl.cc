@@ -8,6 +8,9 @@
 //   cwdb_ctl logdump <dir> [from-lsn]    decode the stable system log
 //   cwdb_ctl recover <dir> [scheme]      open the database (running restart
 //                                        or corruption recovery) and report
+//   cwdb_ctl stats <dir>                 re-emit the metrics snapshot that
+//                                        Database::DumpMetrics()/Close()
+//                                        persisted (byte-identical JSON)
 //
 // All subcommands except `recover` are read-only and work on a cold
 // directory without instantiating a Database.
@@ -31,8 +34,8 @@ namespace {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: cwdb_ctl <info|tables|check|logdump|recover> <dir> "
-               "[args]\n");
+               "usage: cwdb_ctl <info|tables|check|logdump|recover|stats> "
+               "<dir> [args]\n");
   return 2;
 }
 
@@ -278,6 +281,24 @@ int CmdRecover(const std::string& dir, const std::string& scheme_name) {
   return 0;
 }
 
+int CmdStats(const std::string& dir) {
+  DbFiles files(dir);
+  std::string json;
+  Status s = ReadFileToString(files.MetricsFile(), &json);
+  if (!s.ok()) {
+    std::fprintf(stderr,
+                 "no metrics snapshot at %s (run Database::DumpMetrics() or "
+                 "Close() first): %s\n",
+                 files.MetricsFile().c_str(), s.ToString().c_str());
+    return 1;
+  }
+  // Verbatim: the contract is that this output is byte-identical to what
+  // DumpMetrics() returned in-process.
+  std::fwrite(json.data(), 1, json.size(), stdout);
+  if (json.empty() || json.back() != '\n') std::printf("\n");
+  return 0;
+}
+
 }  // namespace
 }  // namespace cwdb
 
@@ -296,5 +317,6 @@ int main(int argc, char** argv) {
   if (cmd == "recover") {
     return CmdRecover(dir, argc > 3 ? argv[3] : "none");
   }
+  if (cmd == "stats") return CmdStats(dir);
   return Usage();
 }
