@@ -14,7 +14,7 @@ constexpr char kArchiveAudit[] = "/audit.meta";
 Status CopyFile(const std::string& from, const std::string& to) {
   std::string contents;
   CWDB_RETURN_IF_ERROR(ReadFileToString(from, &contents));
-  return WriteFileAtomic(to, contents);
+  return WriteFileAtomic(to, contents, "archive.file");
 }
 
 }  // namespace

@@ -8,6 +8,7 @@
 
 #include "ckpt/att_codec.h"
 #include "common/coding.h"
+#include "common/crashpoint.h"
 #include "common/crc32.h"
 #include "common/file_util.h"
 
@@ -36,7 +37,9 @@ Checkpointer::Checkpointer(const DbFiles& files, DbImage* image,
 
 Status Checkpointer::InitializeFresh() {
   image_->MarkAllDirty();
+  CWDB_RETURN_IF_ERROR(crashpoint::Check("ckpt.image.setsize"));
   CWDB_RETURN_IF_ERROR(EnsureFileSize(files_.CkptImage(0), image_->size()));
+  CWDB_RETURN_IF_ERROR(crashpoint::Check("ckpt.image.setsize"));
   CWDB_RETURN_IF_ERROR(EnsureFileSize(files_.CkptImage(1), image_->size()));
   // Full first checkpoint into A; B stays all-dirty so the next checkpoint
   // writes it completely.
@@ -71,11 +74,42 @@ Status Checkpointer::WriteCheckpointTo(int which, bool certify,
                   image_->At(pages[i] * page_size), page_size);
     }
     att_blob = EncodeAtt(*txns_);
+    // The snapshot is taken; pages dirtied from here on belong to the next
+    // checkpoint of this image. If any durability step below fails, the
+    // snapshot's bits are restored (see the failure path at the end) so
+    // the next checkpoint to this image rewrites every captured page —
+    // otherwise it would silently skip them and certify a stale image.
     image_->ClearDirty(which);
   }
   pages_written_last_ = pages.size();
 
   // --- Durability phase, off the critical path. ---
+  Status s = WriteDurable(which, pages, page_bytes, ck_end,
+                          std::move(att_blob), certify, corrupt);
+  if (!s.ok()) {
+    // Nothing certified: the anchor still names the previous image. Put
+    // the captured pages back in the dirty set (under the latch — the
+    // bitmaps race with concurrent MarkDirty otherwise). Re-marking a
+    // page that was re-dirtied meanwhile is a harmless superset.
+    ExclusiveGuard guard(txns_->checkpoint_latch());
+    image_->MarkPagesDirty(which, pages);
+    return s;
+  }
+  ins_.checkpoints->Add();
+  ins_.pages_written->Add(pages.size());
+  ins_.latency_ns->Record(NowNs() - t0);
+  metrics_->trace().Record(TraceEventType::kCheckpoint, ck_end, pages.size(),
+                           static_cast<uint64_t>(which));
+  return Status::OK();
+}
+
+Status Checkpointer::WriteDurable(int which,
+                                  const std::vector<uint64_t>& pages,
+                                  const std::string& page_bytes,
+                                  Lsn ck_end, std::string att_blob,
+                                  bool certify,
+                                  std::vector<CorruptRange>* corrupt) {
+  const uint32_t page_size = image_->page_size();
   CWDB_RETURN_IF_ERROR(log_->Flush());
 
   int fd = ::open(files_.CkptImage(which).c_str(), O_WRONLY);
@@ -84,14 +118,16 @@ Status Checkpointer::WriteCheckpointTo(int which, bool certify,
                            std::strerror(errno));
   }
   for (size_t i = 0; i < pages.size(); ++i) {
-    Status s = PWriteAll(fd, page_bytes.data() + i * page_size, page_size,
-                         pages[i] * page_size);
+    Status s = crashpoint::InjectedPWrite("ckpt.page.pwrite", fd,
+                                          page_bytes.data() + i * page_size,
+                                          page_size, pages[i] * page_size);
     if (!s.ok()) {
       ::close(fd);
       return s;
     }
   }
-  Status s = FsyncFd(fd);
+  Status s = crashpoint::Check("ckpt.image.fsync");
+  if (s.ok()) s = FsyncFd(fd);
   ::close(fd);
   CWDB_RETURN_IF_ERROR(s);
 
@@ -109,14 +145,8 @@ Status Checkpointer::WriteCheckpointTo(int which, bool certify,
   meta.att_blob = std::move(att_blob);
   CWDB_RETURN_IF_ERROR(WriteMeta(which, meta));
 
-  CWDB_RETURN_IF_ERROR(
-      WriteFileAtomic(files_.Anchor(), which == 0 ? "A" : "B"));
-  ins_.checkpoints->Add();
-  ins_.pages_written->Add(pages.size());
-  ins_.latency_ns->Record(NowNs() - t0);
-  metrics_->trace().Record(TraceEventType::kCheckpoint, ck_end, pages.size(),
-                           static_cast<uint64_t>(which));
-  return Status::OK();
+  return WriteFileAtomic(files_.Anchor(), which == 0 ? "A" : "B",
+                         "ckpt.anchor");
 }
 
 Status Checkpointer::WriteMeta(int which, const CheckpointMeta& meta) {
@@ -128,7 +158,7 @@ Status Checkpointer::WriteMeta(int which, const CheckpointMeta& meta) {
   PutLengthPrefixed(&body, meta.att_blob);
   std::string out = body;
   PutFixed32(&out, Crc32c(body.data(), body.size()));
-  return WriteFileAtomic(files_.CkptMeta(which), out);
+  return WriteFileAtomic(files_.CkptMeta(which), out, "ckpt.meta");
 }
 
 Result<CheckpointMeta> Checkpointer::ReadMeta(int which) const {

@@ -93,6 +93,13 @@ class Checkpointer {
  private:
   Status WriteCheckpointTo(int which, bool certify,
                            std::vector<CorruptRange>* corrupt);
+  /// The durability half of a checkpoint: log flush, page writes, fsync,
+  /// certification audit, metadata, anchor toggle. On failure the caller
+  /// restores the cleared dirty bits.
+  Status WriteDurable(int which, const std::vector<uint64_t>& pages,
+                      const std::string& page_bytes, Lsn ck_end,
+                      std::string att_blob, bool certify,
+                      std::vector<CorruptRange>* corrupt);
   Status WriteMeta(int which, const CheckpointMeta& meta);
   Result<CheckpointMeta> ReadMeta(int which) const;
 

@@ -9,6 +9,8 @@
 #include <cstring>
 #include <vector>
 
+#include "common/crashpoint.h"
+
 namespace cwdb {
 
 namespace {
@@ -17,12 +19,32 @@ Status Errno(const std::string& what, const std::string& path) {
   return Status::IoError(what + " " + path + ": " + std::strerror(errno));
 }
 
+/// Crash-point name "<scope>.<site>", or nullptr when no scope is set.
+/// Storage lives in `buf` so the callers stay allocation-free when off.
+const char* ScopedPoint(const char* scope, const char* site,
+                        std::string* buf) {
+  if (scope == nullptr) return nullptr;
+  *buf = std::string(scope) + "." + site;
+  return buf->c_str();
+}
+
+Status CheckPoint(const char* name) {
+  return name == nullptr ? Status::OK() : crashpoint::Check(name);
+}
+
 }  // namespace
 
-Status ReadFileToString(const std::string& path, std::string* out) {
+Status ReadFileToString(const std::string& path, std::string* out,
+                        MissingFile missing) {
   int fd = ::open(path.c_str(), O_RDONLY);
   if (fd < 0) {
-    if (errno == ENOENT) return Status::NotFound("no such file: " + path);
+    if (errno == ENOENT) {
+      if (missing == MissingFile::kTreatAsEmpty) {
+        out->clear();
+        return Status::OK();
+      }
+      return Status::NotFound("no such file: " + path);
+    }
     return Errno("open", path);
   }
   out->clear();
@@ -36,37 +58,35 @@ Status ReadFileToString(const std::string& path, std::string* out) {
   return s;
 }
 
-Status WriteFileAtomic(const std::string& path, const std::string& data) {
+Status WriteFileAtomic(const std::string& path, const std::string& data,
+                       const char* crash_scope) {
+  std::string point;
   std::string tmp = path + ".tmp";
   int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
   if (fd < 0) return Errno("open", tmp);
-  size_t done = 0;
-  while (done < data.size()) {
-    ssize_t n = ::write(fd, data.data() + done, data.size() - done);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      Status s = Errno("write", tmp);
+  {
+    // The tmp file is freshly truncated, so a sequential full write is a
+    // positional write at offset 0.
+    const char* p = ScopedPoint(crash_scope, "tmp_write", &point);
+    Status s = p != nullptr
+                   ? crashpoint::InjectedPWrite(p, fd, data.data(),
+                                                data.size(), 0)
+                   : PWriteAll(fd, data.data(), data.size(), 0);
+    if (!s.ok()) {
       ::close(fd);
       return s;
     }
-    done += static_cast<size_t>(n);
   }
-  if (::fsync(fd) != 0) {
-    Status s = Errno("fsync", tmp);
-    ::close(fd);
-    return s;
-  }
+  Status s = CheckPoint(ScopedPoint(crash_scope, "tmp_fsync", &point));
+  if (s.ok() && ::fsync(fd) != 0) s = Errno("fsync", tmp);
   ::close(fd);
+  CWDB_RETURN_IF_ERROR(s);
+  CWDB_RETURN_IF_ERROR(CheckPoint(ScopedPoint(crash_scope, "rename", &point)));
   if (::rename(tmp.c_str(), path.c_str()) != 0) return Errno("rename", path);
   // fsync the directory so the rename itself is durable.
-  std::vector<char> dir(path.begin(), path.end());
-  dir.push_back('\0');
-  int dfd = ::open(::dirname(dir.data()), O_RDONLY | O_DIRECTORY);
-  if (dfd >= 0) {
-    ::fsync(dfd);
-    ::close(dfd);
-  }
-  return Status::OK();
+  CWDB_RETURN_IF_ERROR(
+      CheckPoint(ScopedPoint(crash_scope, "dir_fsync", &point)));
+  return FsyncParentDir(path);
 }
 
 Status PWriteAll(int fd, const void* data, size_t len, uint64_t offset) {
@@ -114,6 +134,11 @@ Status EnsureFileSize(const std::string& path, uint64_t size) {
     if (::ftruncate(fd, static_cast<off_t>(size)) != 0) {
       s = Errno("ftruncate", path);
     }
+    // The new length (and, for a fresh file, its existence) must survive a
+    // crash: a shorter-than-arena checkpoint image fails recovery's
+    // PReadAll with "unexpected EOF".
+    if (s.ok() && ::fsync(fd) != 0) s = Errno("fsync", path);
+    if (s.ok()) s = FsyncParentDir(path);
   }
   ::close(fd);
   return s;
@@ -122,6 +147,17 @@ Status EnsureFileSize(const std::string& path, uint64_t size) {
 Status FsyncFd(int fd) {
   if (::fsync(fd) != 0) {
     return Status::IoError(std::string("fsync: ") + std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+Status FsyncParentDir(const std::string& path) {
+  std::vector<char> dir(path.begin(), path.end());
+  dir.push_back('\0');
+  int dfd = ::open(::dirname(dir.data()), O_RDONLY | O_DIRECTORY);
+  if (dfd >= 0) {
+    ::fsync(dfd);
+    ::close(dfd);
   }
   return Status::OK();
 }

@@ -137,6 +137,10 @@ void DbImage::ClearDirty(int which) {
   std::fill(dirty_[which].begin(), dirty_[which].end(), false);
 }
 
+void DbImage::MarkPagesDirty(int which, const std::vector<uint64_t>& pages) {
+  for (uint64_t p : pages) dirty_[which][p] = true;
+}
+
 void DbImage::MarkAllDirty() {
   std::fill(dirty_[0].begin(), dirty_[0].end(), true);
   std::fill(dirty_[1].begin(), dirty_[1].end(), true);

@@ -86,6 +86,9 @@ class DbImage {
   /// Pages currently dirty with respect to checkpoint image `which` (0/1).
   std::vector<uint64_t> DirtyPages(int which) const;
   void ClearDirty(int which);
+  /// Re-marks `pages` dirty in set `which` — a failed checkpoint restores
+  /// the snapshot it cleared so the next checkpoint rewrites those pages.
+  void MarkPagesDirty(int which, const std::vector<uint64_t>& pages);
   void MarkAllDirty();
   bool IsDirty(int which, uint64_t page) const {
     return dirty_[which][page];

@@ -8,7 +8,9 @@
 #include <memory>
 
 #include "common/coding.h"
+#include "common/crashpoint.h"
 #include "common/crc32.h"
+#include "common/file_util.h"
 #include "common/logging.h"
 
 namespace cwdb {
@@ -16,29 +18,6 @@ namespace cwdb {
 namespace {
 
 constexpr size_t kFrameHeaderBytes = 8;  // u32 len + u32 crc.
-
-Status ReadWholeFile(const std::string& path, std::string* out) {
-  int fd = ::open(path.c_str(), O_RDONLY);
-  if (fd < 0) {
-    if (errno == ENOENT) {
-      out->clear();
-      return Status::OK();
-    }
-    return Status::IoError("open " + path + ": " + std::strerror(errno));
-  }
-  out->clear();
-  char buf[1 << 16];
-  ssize_t n;
-  while ((n = ::read(fd, buf, sizeof(buf))) > 0) {
-    out->append(buf, static_cast<size_t>(n));
-  }
-  Status s = Status::OK();
-  if (n < 0) {
-    s = Status::IoError("read " + path + ": " + std::strerror(errno));
-  }
-  ::close(fd);
-  return s;
-}
 
 /// Length of the valid frame prefix of `contents`.
 uint64_t ValidPrefix(const std::string& contents) {
@@ -64,6 +43,7 @@ SystemLog::SystemLog(std::string path, int fd, uint64_t stable_size,
   ins_.appends = metrics_->counter("wal.appends");
   ins_.bytes_appended = metrics_->counter("wal.bytes_appended");
   ins_.flushes = metrics_->counter("wal.flushes");
+  ins_.flush_failures = metrics_->counter("wal.flush_failures");
   ins_.flush_piggybacks = metrics_->counter("wal.flush_piggybacks");
   ins_.tail_bytes = metrics_->gauge("wal.tail_bytes");
   ins_.flush_latency_ns = metrics_->histogram("wal.flush_latency_ns");
@@ -77,7 +57,8 @@ SystemLog::~SystemLog() {
 Result<std::unique_ptr<SystemLog>> SystemLog::Open(const std::string& path,
                                                    MetricsRegistry* metrics) {
   std::string contents;
-  CWDB_RETURN_IF_ERROR(ReadWholeFile(path, &contents));
+  CWDB_RETURN_IF_ERROR(
+      ReadFileToString(path, &contents, MissingFile::kTreatAsEmpty));
   uint64_t stable = ValidPrefix(contents);
   int fd = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
   if (fd < 0) {
@@ -135,19 +116,9 @@ Status SystemLog::Flush() {
     guard.unlock();
 
     const uint64_t t0 = NowNs();
-    Status io;
-    size_t done = 0;
-    while (done < batch.size()) {
-      ssize_t n = ::pwrite(fd_, batch.data() + done, batch.size() - done,
-                           static_cast<off_t>(base + done));
-      if (n < 0) {
-        if (errno == EINTR) continue;
-        io = Status::IoError("pwrite " + path_ + ": " +
-                             std::strerror(errno));
-        break;
-      }
-      done += static_cast<size_t>(n);
-    }
+    Status io = crashpoint::InjectedPWrite("wal.flush.pwrite", fd_,
+                                           batch.data(), batch.size(), base);
+    if (io.ok()) io = crashpoint::Check("wal.flush.fdatasync");
     if (io.ok() && ::fdatasync(fd_) != 0) {
       io = Status::IoError("fdatasync " + path_ + ": " +
                            std::strerror(errno));
@@ -165,9 +136,12 @@ Status SystemLog::Flush() {
                                batch.size(), 0);
     } else {
       // Put the batch back in front of whatever accumulated meanwhile so
-      // LSNs stay dense and a retry covers everything.
+      // LSNs stay dense and a retry covers everything. The failure is
+      // accounted separately from wal.flushes so a retried batch is not
+      // double-counted as two successful flushes.
       batch.append(tail_);
       tail_ = std::move(batch);
+      ins_.flush_failures->Add();
       ins_.tail_bytes->Set(static_cast<int64_t>(tail_.size()));
       status = io;
     }
@@ -196,7 +170,8 @@ void SystemLog::DiscardTail() {
 Result<std::unique_ptr<LogReader>> LogReader::Open(const std::string& path,
                                                    Lsn start, Lsn limit) {
   std::string contents;
-  CWDB_RETURN_IF_ERROR(ReadWholeFile(path, &contents));
+  CWDB_RETURN_IF_ERROR(
+      ReadFileToString(path, &contents, MissingFile::kTreatAsEmpty));
   return std::unique_ptr<LogReader>(
       new LogReader(std::move(contents), start, limit));
 }

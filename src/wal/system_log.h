@@ -64,6 +64,9 @@ class SystemLog {
   /// Total bytes appended to the tail since open (read-log volume studies).
   uint64_t bytes_appended() const { return ins_.bytes_appended->Value(); }
   uint64_t flush_count() const { return ins_.flushes->Value(); }
+  /// Flushes that failed with an I/O error; the batch was restored to the
+  /// tail and the next Flush() covers it exactly once.
+  uint64_t flush_failures() const { return ins_.flush_failures->Value(); }
 
  private:
   SystemLog(std::string path, int fd, uint64_t stable_size,
@@ -73,6 +76,7 @@ class SystemLog {
     Counter* appends;
     Counter* bytes_appended;
     Counter* flushes;
+    Counter* flush_failures;
     Counter* flush_piggybacks;
     Gauge* tail_bytes;
     Histogram* flush_latency_ns;

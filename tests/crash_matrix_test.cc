@@ -1,0 +1,267 @@
+// Crash-point torture matrix: for every durability boundary compiled into
+// the engine, fork a child that runs a scripted transactional workload,
+// kill it (or fail its I/O) at the armed point, then reopen, recover, and
+// assert the durability invariants (see faultinject/crash_harness.h).
+// Also the in-process regression tests for the dirty-bit restore bug and
+// for torn anchor / torn metadata recovery.
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdlib>
+
+#include <gtest/gtest.h>
+
+#include "common/crashpoint.h"
+#include "common/file_util.h"
+#include "common/random.h"
+#include "faultinject/crash_harness.h"
+#include "tests/test_util.h"
+
+namespace cwdb {
+namespace {
+
+using crashharness::CaseSpec;
+using crashharness::CaseResult;
+using crashharness::RunCase;
+using crashpoint::Mode;
+
+/// Runs one case in its own subdirectory of `dir` and asserts it passed.
+void ExpectCasePasses(const TempDir& dir, const CaseSpec& spec,
+                      const std::string& tag) {
+  Result<CaseResult> r = RunCase(dir.path() + "/" + tag, spec);
+  ASSERT_TRUE(r.ok()) << tag << ": " << r.status().ToString();
+  SCOPED_TRACE(r->detail);
+}
+
+CaseSpec MakeSpec(const std::string& point, Mode mode) {
+  CaseSpec spec;
+  spec.point = point;
+  spec.mode = mode;
+  // The image-sizing point is only reached while a fresh database is being
+  // formatted, so it must be armed before Database::Open.
+  spec.arm_before_open = point == "ckpt.image.setsize";
+  return spec;
+}
+
+/// The full named sweep for one mode: every compiled-in crash point.
+void SweepAllPoints(Mode mode, const char* mode_tag) {
+  for (const std::string& point : crashpoint::AllPoints()) {
+    TempDir dir;
+    ExpectCasePasses(dir, MakeSpec(point, mode),
+                     point + "." + mode_tag);
+  }
+}
+
+TEST(CrashMatrix, NamedSweepAbort) { SweepAllPoints(Mode::kAbort, "abort"); }
+
+TEST(CrashMatrix, NamedSweepEio) { SweepAllPoints(Mode::kEio, "eio"); }
+
+TEST(CrashMatrix, NamedSweepTornWrite) {
+  SweepAllPoints(Mode::kTornWrite, "torn");
+}
+
+/// Randomized cases: random point, mode and countdown, seeded (override
+/// with CWDB_CRASHTEST_SEED to reproduce a CI failure locally).
+TEST(CrashMatrix, RandomizedCases) {
+  const char* env = std::getenv("CWDB_CRASHTEST_SEED");
+  uint64_t seed = env != nullptr ? std::strtoull(env, nullptr, 10) : 0xC0DEu;
+  Random rng(seed);
+  const std::vector<std::string>& points = crashpoint::AllPoints();
+  constexpr Mode kModes[] = {Mode::kAbort, Mode::kEio, Mode::kTornWrite};
+  for (int i = 0; i < 8; ++i) {
+    CaseSpec spec;
+    do {
+      spec.point = points[rng.Uniform(static_cast<uint32_t>(points.size()))];
+      // The sizing point is hit exactly twice, during the fresh format, so
+      // a random countdown would often never expire; leave it to the sweep.
+    } while (spec.point == "ckpt.image.setsize");
+    spec.mode = kModes[rng.Uniform(3)];
+    spec.countdown = 1 + rng.Uniform(2);  // Every other point is hit >= 2x.
+    TempDir dir;
+    ExpectCasePasses(dir, spec,
+                     "rand" + std::to_string(i) + "." + spec.point);
+    ASSERT_FALSE(::testing::Test::HasFatalFailure())
+        << "seed " << seed << ", iteration " << i;
+  }
+}
+
+/// A bit flip inside a WAL batch is detected by the frame CRC at the next
+/// open and treated as a torn tail — acked commits in or after the damaged
+/// frame may legitimately be lost, but atomicity and a clean audit must
+/// still hold (RunCase relaxes invariant 1 for kBitFlip).
+TEST(CrashMatrix, WalBitFlipRecoversToCleanPrefix) {
+  TempDir dir;
+  ExpectCasePasses(dir, MakeSpec("wal.flush.pwrite", Mode::kBitFlip),
+                   "wal.bitflip");
+}
+
+/// A bit flip in the checkpoint metadata is caught by the meta CRC; the
+/// ping-pong partner (or a later rewrite) keeps the database recoverable.
+TEST(CrashMatrix, MetaBitFlipIsDetected) {
+  TempDir dir;
+  ExpectCasePasses(dir, MakeSpec("ckpt.meta.tmp_write", Mode::kBitFlip),
+                   "meta.bitflip");
+}
+
+// ---------------------------------------------------------------------------
+// Regression: a checkpoint that fails after clearing its image's dirty bits
+// must restore them. Before the fix, the failed attempt left the bits
+// cleared; the next checkpoint to the same image then wrote nothing, yet
+// toggled the anchor to an image file that was never populated — recovery
+// from it failed (or, worse, silently loaded stale pages).
+// ---------------------------------------------------------------------------
+
+TEST(CheckpointFailure, DirtyBitsSurviveFailedCheckpoint) {
+  TempDir dir;
+  auto db = Database::Open(
+      SmallDbOptions(dir.path(), ProtectionScheme::kDataCodeword));
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+
+  auto txn = (*db)->Begin();
+  ASSERT_TRUE(txn.ok());
+  auto t = (*db)->CreateTable(*txn, "t", 64, 256);
+  ASSERT_TRUE(t.ok());
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE((*db)->Insert(*txn, *t, std::string(64, 'a' + i % 26)).ok());
+  }
+  ASSERT_OK((*db)->Commit(*txn));
+
+  // Checkpoint #1 targets the inactive image (B) and dies on its first
+  // page write: nothing of the snapshot reaches the file.
+  crashpoint::Arm("ckpt.page.pwrite", {Mode::kEio, 1, 0});
+  Status failed = (*db)->Checkpoint();
+  ASSERT_FALSE(failed.ok());
+  crashpoint::DisarmAll();
+
+  // Checkpoint #2 targets B again (the anchor never moved). With the bug,
+  // the dirty set was empty, so B stayed all-zero yet became the anchor;
+  // recovery from it then failed header validation. With the fix the
+  // captured pages were re-marked dirty and B is written in full.
+  ASSERT_OK((*db)->Checkpoint());
+  ASSERT_OK((*db)->CrashAndRecover());
+
+  // Byte-for-byte: the recovered records must be exactly the committed
+  // ones — 50 runs of a single letter, two each of 'a'..'x', one each of
+  // 'y' and 'z'.
+  auto found = (*db)->FindTable("t");
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ((*db)->CountRecords(*found), 50u);
+  int tally[26] = {};
+  auto rd = (*db)->Begin();
+  ASSERT_TRUE(rd.ok());
+  ASSERT_OK((*db)->Scan(*rd, *found, [&](uint32_t, Slice rec) -> Status {
+    if (rec.size() != 64) return Status::Internal("bad record size");
+    char c = rec[0];
+    if (c < 'a' || c > 'z' || rec != Slice(std::string(64, c))) {
+      return Status::Internal("recovered record bytes are wrong");
+    }
+    ++tally[c - 'a'];
+    return Status::OK();
+  }));
+  ASSERT_OK((*db)->Abort(*rd));
+  for (int i = 0; i < 26; ++i) {
+    EXPECT_EQ(tally[i], i < 50 % 26 ? 2 : 1) << "letter " << char('a' + i);
+  }
+  auto audit = (*db)->Audit();
+  ASSERT_TRUE(audit.ok());
+  EXPECT_TRUE(audit->clean);
+}
+
+// ---------------------------------------------------------------------------
+// Torn-anchor / torn-metadata recovery: damage to the small control files
+// must surface as a clean Corruption diagnosis (or be survived outright via
+// the ping-pong partner), never as a crash or a garbled reopen.
+// ---------------------------------------------------------------------------
+
+class TornControlFileTest : public ::testing::Test {
+ protected:
+  /// Builds a database with one committed table and closes it cleanly.
+  void BuildDb() {
+    auto db = Database::Open(
+        SmallDbOptions(dir_.path(), ProtectionScheme::kDataCodeword));
+    ASSERT_TRUE(db.ok()) << db.status().ToString();
+    auto txn = (*db)->Begin();
+    auto t = (*db)->CreateTable(*txn, "t", 32, 64);
+    ASSERT_TRUE(t.ok());
+    ASSERT_TRUE((*db)->Insert(*txn, *t, std::string(32, 'x')).ok());
+    ASSERT_OK((*db)->Commit(*txn));
+    ASSERT_OK((*db)->Close());
+    files_ = std::make_unique<DbFiles>(dir_.path());
+  }
+
+  Status Reopen() {
+    return Database::Open(
+               SmallDbOptions(dir_.path(), ProtectionScheme::kDataCodeword))
+        .status();
+  }
+
+  std::string ActiveAnchor() {
+    std::string a;
+    EXPECT_OK(ReadFileToString(files_->Anchor(), &a));
+    return a;
+  }
+
+  TempDir dir_;
+  std::unique_ptr<DbFiles> files_;
+};
+
+TEST_F(TornControlFileTest, EmptyAnchorIsCleanCorruption) {
+  BuildDb();
+  ASSERT_OK(WriteFileAtomic(files_->Anchor(), ""));
+  Status s = Reopen();
+  ASSERT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsCorruption()) << s.ToString();
+}
+
+TEST_F(TornControlFileTest, GarbageAnchorIsCleanCorruption) {
+  BuildDb();
+  ASSERT_OK(WriteFileAtomic(files_->Anchor(), "Z\x7f"));
+  Status s = Reopen();
+  ASSERT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsCorruption()) << s.ToString();
+}
+
+TEST_F(TornControlFileTest, TruncatedActiveMetaIsCleanCorruption) {
+  BuildDb();
+  std::string anchor = ActiveAnchor();
+  std::string meta_path = files_->CkptMeta(anchor == "A" ? 0 : 1);
+  std::string meta;
+  ASSERT_OK(ReadFileToString(meta_path, &meta));
+  ASSERT_GT(meta.size(), 8u);
+  ASSERT_OK(WriteFileAtomic(meta_path, meta.substr(0, meta.size() / 2)));
+  Status s = Reopen();
+  ASSERT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsCorruption()) << s.ToString();
+}
+
+TEST_F(TornControlFileTest, BitFlippedActiveMetaIsCleanCorruption) {
+  BuildDb();
+  std::string anchor = ActiveAnchor();
+  std::string meta_path = files_->CkptMeta(anchor == "A" ? 0 : 1);
+  std::string meta;
+  ASSERT_OK(ReadFileToString(meta_path, &meta));
+  meta[meta.size() / 3] ^= 0x10;
+  ASSERT_OK(WriteFileAtomic(meta_path, meta));
+  Status s = Reopen();
+  ASSERT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsCorruption()) << s.ToString();
+}
+
+TEST_F(TornControlFileTest, CorruptInactiveMetaIsHarmless) {
+  BuildDb();
+  std::string anchor = ActiveAnchor();
+  std::string meta_path = files_->CkptMeta(anchor == "A" ? 1 : 0);
+  // The inactive meta may not exist yet (only one checkpoint ever ran);
+  // either way, garbage there must not affect recovery from the anchor.
+  ASSERT_OK(WriteFileAtomic(meta_path, "garbage garbage garbage"));
+  auto db = Database::Open(
+      SmallDbOptions(dir_.path(), ProtectionScheme::kDataCodeword));
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  auto t = (*db)->FindTable("t");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ((*db)->CountRecords(*t), 1u);
+}
+
+}  // namespace
+}  // namespace cwdb

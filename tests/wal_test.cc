@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/crashpoint.h"
 #include "common/file_util.h"
 #include "tests/test_util.h"
 #include "wal/log_record.h"
@@ -245,6 +246,46 @@ TEST_F(SystemLogTest, ReaderHonorsStartAndLimit) {
   int n = 0;
   while ((*limited)->Next(&rec, nullptr)) ++n;
   EXPECT_EQ(n, 1);
+}
+
+TEST_F(SystemLogTest, FailedFlushIsCountedAndRetryCoversBatchOnce) {
+  auto log = SystemLog::Open(LogPath());
+  ASSERT_TRUE(log.ok());
+  std::string p;
+  EncodeBeginTxn(&p, 1);
+  Lsn first = (*log)->Append(p);
+  p.clear();
+  EncodeBeginTxn(&p, 2);
+  (*log)->Append(p);
+
+  // First flush attempt dies on the injected fdatasync error: the batch
+  // must be restored to the tail (nothing durable) and counted as exactly
+  // one failure, zero completed flushes.
+  crashpoint::Arm("wal.flush.fdatasync",
+                  {crashpoint::Mode::kEio, /*countdown=*/1, /*param=*/0});
+  Status s = (*log)->Flush();
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ((*log)->flush_failures(), 1u);
+  EXPECT_EQ((*log)->flush_count(), 0u);
+  EXPECT_EQ((*log)->end_of_stable_log(), 0u);
+
+  // The point disarmed itself after firing; the retry succeeds and the
+  // stable log holds each record exactly once, at its original LSN.
+  ASSERT_OK((*log)->Flush());
+  EXPECT_EQ((*log)->flush_failures(), 1u);
+  EXPECT_EQ((*log)->flush_count(), 1u);
+
+  auto reader = LogReader::Open(LogPath(), 0, kInvalidLsn);
+  ASSERT_TRUE(reader.ok());
+  LogRecord rec;
+  Lsn lsn = 0;
+  ASSERT_TRUE((*reader)->Next(&rec, &lsn));
+  EXPECT_EQ(rec.txn, 1u);
+  EXPECT_EQ(lsn, first);
+  ASSERT_TRUE((*reader)->Next(&rec, nullptr));
+  EXPECT_EQ(rec.txn, 2u);
+  EXPECT_FALSE((*reader)->Next(&rec, nullptr));
+  crashpoint::DisarmAll();
 }
 
 TEST_F(SystemLogTest, BytesAppendedAccounting) {
