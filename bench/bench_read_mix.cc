@@ -110,7 +110,8 @@ int main(int argc, char** argv) {
     }
     double baseline = 0;
     if (!json) std::printf("  %5.0f%% |", frac * 100);
-    const std::string mix = "r" + std::to_string(static_cast<int>(frac * 100));
+    std::string mix = "r";
+    mix += std::to_string(static_cast<int>(frac * 100));
     for (size_t i = 0; i < kColCount; ++i) {
       if (!benches[i].workload->CheckConsistency().ok()) return 1;
       std::sort(benches[i].rates.begin(), benches[i].rates.end());

@@ -34,7 +34,12 @@ constexpr uint32_t kRecordSize = 128;
 std::string Cell(Database* db, Transaction* txn, TableId t, uint32_t slot) {
   std::string out;
   Status s = db->Read(txn, t, slot, &out);
-  if (!s.ok()) return "<" + s.ToString() + ">";
+  if (!s.ok()) {
+    std::string err = "<";
+    err += s.ToString();
+    err += ">";
+    return err;
+  }
   return out.substr(0, 12);
 }
 
@@ -149,6 +154,25 @@ int main(int argc, char** argv) {
   auto audit2 = (*db)->Audit();
   std::printf("   final audit: %s\n",
               audit2.ok() && audit2->clean ? "clean" : "CORRUPT");
+
+  std::printf("\n== 7. Why each transaction was deleted ==\n");
+  const ProvenanceGraph& graph = rr.provenance;
+  for (TxnId id : rr.deleted_txns) {
+    std::printf("   txn %llu:\n", static_cast<unsigned long long>(id));
+    for (const ProvenanceEdge* e : graph.PathFor(id)) {
+      std::printf("      %s via [%llu, +%llu)%s",
+                  ProvenanceReasonName(e->reason),
+                  static_cast<unsigned long long>(e->via.off),
+                  static_cast<unsigned long long>(e->via.len),
+                  e->from_txn == 0 ? " <- the corrupt range itself\n" : "");
+      if (e->from_txn != 0) {
+        std::printf(" <- tainted by txn %llu\n",
+                    static_cast<unsigned long long>(e->from_txn));
+      }
+    }
+  }
+  std::printf("   (full dossier: cwdb_ctl incidents; graph: cwdb_ctl "
+              "explain-recovery --dot)\n");
 
   bool carrier_deleted =
       std::find(rr.deleted_txns.begin(), rr.deleted_txns.end(), carrier) !=

@@ -2,9 +2,14 @@
 // the command line) under a chosen protection scheme and reports
 // throughput, protection statistics and the consistency invariants.
 //
-//   ./tpcb_demo [scheme] [scale]
+//   ./tpcb_demo [scheme] [scale] [--serve=SECONDS[:PORT]]
 //     scheme: baseline | datacw | precheck | readlog | cwreadlog | hardware
 //     scale:  1 = paper size (100k accounts); default 0.1
+//     --serve: keep the live stats endpoint up for SECONDS after the run
+//              (127.0.0.1, ephemeral port unless PORT given) so an external
+//              scraper — e.g. the CI exporter smoke job — can GET /metrics.
+
+#include <unistd.h>
 
 #include <cstdio>
 #include <cstdlib>
@@ -17,6 +22,21 @@
 using namespace cwdb;
 
 int main(int argc, char** argv) {
+  unsigned serve_seconds = 0;
+  uint16_t serve_port = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--serve=", 8) == 0) {
+      serve_seconds = static_cast<unsigned>(std::atoi(argv[i] + 8));
+      if (const char* colon = std::strchr(argv[i] + 8, ':')) {
+        serve_port = static_cast<uint16_t>(std::atoi(colon + 1));
+      }
+      // Shift the flag out so the positional args keep their slots.
+      for (int j = i; j + 1 < argc; ++j) argv[j] = argv[j + 1];
+      --argc;
+      break;
+    }
+  }
+
   ProtectionScheme scheme = ProtectionScheme::kReadLog;
   if (argc > 1) {
     std::string s = argv[1];
@@ -53,6 +73,11 @@ int main(int argc, char** argv) {
                     ~uint64_t{8191};
   opts.protection.scheme = scheme;
   opts.protection.region_size = 512;
+  if (serve_seconds > 0) {
+    opts.serve_stats = true;
+    opts.stats_server.port = serve_port;
+    opts.metrics.flush_interval_ms = 1000;
+  }
 
   std::printf("TPC-B demo: %s, %llu accounts / %llu tellers / %llu branches, "
               "%llu ops\n",
@@ -102,5 +127,13 @@ int main(int argc, char** argv) {
   auto audit = (*db)->Audit();
   std::printf("  final audit         : %s\n",
               audit.ok() && audit->clean ? "clean" : "CORRUPT");
+
+  if (serve_seconds > 0) {
+    std::printf("  stats endpoint      : http://127.0.0.1:%u/metrics "
+                "(serving %u s)\n",
+                static_cast<unsigned>((*db)->stats_port()), serve_seconds);
+    std::fflush(stdout);
+    ::sleep(serve_seconds);
+  }
   return s.ok() ? 0 : 1;
 }

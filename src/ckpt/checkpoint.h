@@ -29,6 +29,14 @@ struct DbFiles {
   /// Metrics snapshot persisted by Database::DumpMetrics / Close, re-emitted
   /// by `cwdb_ctl stats`.
   std::string MetricsFile() const { return dir_ + "/metrics.json"; }
+  /// Durable corruption-incident dossiers, one JSON object per line,
+  /// appended by the ForensicsRecorder at every detection.
+  std::string IncidentsFile() const { return dir_ + "/incidents.jsonl"; }
+  /// Implication-chain graph written by the last corruption recovery,
+  /// rendered by `cwdb_ctl explain-recovery`.
+  std::string ProvenanceFile() const {
+    return dir_ + "/recovery_provenance.json";
+  }
   const std::string& dir() const { return dir_; }
 
  private:

@@ -3,6 +3,9 @@
 #include <sys/stat.h>
 
 #include <cerrno>
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
 #include <cstring>
 
 #include "ckpt/archive.h"
@@ -24,7 +27,36 @@ Result<std::unique_ptr<Database>> Database::Open(
   return db;
 }
 
-Database::~Database() = default;
+Database::~Database() { StopBackgroundWork(); }
+
+void Database::StopBackgroundWork() {
+  if (stats_server_ != nullptr) stats_server_->Stop();
+  {
+    std::lock_guard<std::mutex> guard(flusher_mu_);
+    stop_flusher_ = true;
+  }
+  flusher_cv_.notify_all();
+  if (metrics_flusher_.joinable()) metrics_flusher_.join();
+}
+
+void Database::MetricsFlusherLoop() {
+  const auto interval =
+      std::chrono::milliseconds(options_.metrics.flush_interval_ms);
+  std::unique_lock<std::mutex> lock(flusher_mu_);
+  while (!flusher_cv_.wait_for(lock, interval,
+                               [this] { return stop_flusher_; })) {
+    lock.unlock();
+    // Identical to DumpMetrics(), but a failure (full disk) only counts —
+    // a background flusher must never take the database down.
+    MetricsSnapshot snap = metrics_.Capture();
+    if (!WriteFileAtomic(files_.MetricsFile(), snap.ToJson()).ok()) {
+      metrics_.counter("obs.metrics_flush_failures")->Add();
+    } else {
+      metrics_.counter("obs.metrics_flushes")->Add();
+    }
+    lock.lock();
+  }
+}
 
 Status Database::OpenImpl() {
   CWDB_ASSIGN_OR_RETURN(
@@ -39,8 +71,43 @@ Status Database::OpenImpl() {
       files_, image_.get(), txns_.get(), log_.get(), protection_.get(),
       &metrics_);
 
+  forensics_ = std::make_unique<ForensicsRecorder>(files_.dir(), image_.get(),
+                                                   &metrics_);
+  forensics_->set_scheme_name(
+      ProtectionSchemeName(options_.protection.scheme));
+  forensics_->set_codeword_probe(
+      [this](DbPtr off, codeword_t* stored, codeword_t* computed) {
+        return protection_->RegionCodewords(off, stored, computed);
+      });
+  forensics_->set_active_txns_fn([this] { return txns_->ActiveTxnIds(); });
+  protection_->set_forensics(forensics_.get());
+
+  // A damaged WAL tail (a complete frame failing its CRC — not explainable
+  // as a torn append) is a detection in its own right: file the dossier
+  // before recovery truncates and moves on.
+  const WalTailScan& tail = log_->tail_scan();
+  if (tail.damaged) {
+    char detail[160];
+    std::snprintf(detail, sizeof(detail),
+                  "WAL tail failed CRC at byte %" PRIu64 " of %" PRIu64
+                  "; log truncated to last valid prefix %" PRIu64,
+                  tail.damage_off, tail.file_bytes, tail.valid_bytes);
+    forensics_->RecordIncident(IncidentSource::kWalCrc,
+                               /*lsn=*/tail.valid_bytes, LastCleanAuditLsn(),
+                               {}, detail);
+  }
+
   if (FileExists(files_.Anchor())) {
-    CWDB_RETURN_IF_ERROR(RunRecovery());
+    Status recovered = RunRecovery();
+    if (recovered.IsCorruption()) {
+      // The checkpoint/metadata needed for recovery is itself unusable —
+      // worth a dossier even though the open fails.
+      forensics_->RecordIncident(
+          IncidentSource::kCheckpointMeta, /*lsn=*/0, LastCleanAuditLsn(), {},
+          "recovery could not use the active checkpoint: " +
+              recovered.ToString());
+    }
+    CWDB_RETURN_IF_ERROR(recovered);
   } else {
     // Fresh database: the image is already formatted; take checkpoint zero
     // so restart always has an anchor to start from.
@@ -51,6 +118,27 @@ Status Database::OpenImpl() {
   // Arm hardware protection only once the database is open for business
   // (recovery and formatting write the image directly).
   CWDB_RETURN_IF_ERROR(protection_->ReprotectAll());
+
+  if (options_.metrics.flush_interval_ms > 0) {
+    metrics_flusher_ = std::thread([this] { MetricsFlusherLoop(); });
+  }
+  if (options_.serve_stats) {
+    stats_server_ = std::make_unique<StatsServer>();
+    StatsServer::Hooks hooks;
+    hooks.snapshot = [this] { return metrics_.Capture(); };
+    hooks.incidents_jsonl = [this] {
+      std::string body;
+      if (!ReadFileToString(files_.IncidentsFile(), &body,
+                            MissingFile::kTreatAsEmpty)
+               .ok()) {
+        body.clear();
+      }
+      return body;
+    };
+    hooks.healthy = [this] { return !FileExists(files_.CorruptNote()); };
+    CWDB_RETURN_IF_ERROR(
+        stats_server_->Start(options_.stats_server, std::move(hooks)));
+  }
   return Status::OK();
 }
 
@@ -143,7 +231,8 @@ Status Database::Checkpoint() {
   std::vector<CorruptRange> corrupt;
   Status s = checkpointer_->Checkpoint(certify, &corrupt);
   if (s.IsCorruption()) {
-    CWDB_RETURN_IF_ERROR(NoteCorruption(corrupt));
+    CWDB_RETURN_IF_ERROR(
+        NoteCorruption(corrupt, IncidentSource::kCertification));
     return s;
   }
   CWDB_RETURN_IF_ERROR(s);
@@ -182,7 +271,8 @@ Result<AuditReport> Database::Audit() {
   return report;
 }
 
-Status Database::NoteCorruption(const std::vector<CorruptRange>& ranges) {
+Status Database::NoteCorruption(const std::vector<CorruptRange>& ranges,
+                                IncidentSource source) {
   // Detection moment: stamp each range against any pending injected fault
   // (detection-latency measurement) and into the flight recorder.
   for (const CorruptRange& r : ranges) {
@@ -194,6 +284,15 @@ Status Database::NoteCorruption(const std::vector<CorruptRange>& ranges) {
   CorruptionNote note;
   note.last_clean_audit_lsn = LastCleanAuditLsn();
   note.ranges = ranges;
+  if (forensics_ != nullptr) {
+    // The dossier goes to incidents.jsonl first (it captures the image
+    // bytes as found, before any recovery rewrites them); the note then
+    // carries its id so the post-restart provenance can point back.
+    note.incident_id = forensics_->RecordIncident(
+        source, log_->CurrentLsn(), note.last_clean_audit_lsn, ranges,
+        "corruption note written; next recovery runs the "
+        "delete-transaction algorithm");
+  }
   return WriteCorruptionNote(files_.CorruptNote(), note);
 }
 
@@ -215,6 +314,12 @@ Status Database::RecoverFromCorruption(const std::vector<CorruptRange>& ranges,
   note.last_clean_audit_lsn =
       not_before_lsn.has_value() ? *not_before_lsn : LastCleanAuditLsn();
   note.ranges = ranges;
+  if (forensics_ != nullptr) {
+    note.incident_id = forensics_->RecordIncident(
+        IncidentSource::kOperator, log_->CurrentLsn(),
+        note.last_clean_audit_lsn, ranges,
+        "corruption reported through RecoverFromCorruption");
+  }
   CWDB_RETURN_IF_ERROR(WriteCorruptionNote(files_.CorruptNote(), note));
   return CrashAndRecover();
 }

@@ -7,11 +7,17 @@
 #include <string>
 #include <vector>
 
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
 #include "ckpt/checkpoint.h"
 #include "common/result.h"
 #include "common/slice.h"
 #include "common/status.h"
+#include "obs/forensics.h"
 #include "obs/metrics.h"
+#include "obs/stats_server.h"
 #include "protect/options.h"
 #include "protect/protection.h"
 #include "recovery/recovery.h"
@@ -22,6 +28,14 @@
 #include "wal/system_log.h"
 
 namespace cwdb {
+
+/// Background metrics persistence. With a nonzero interval a flusher
+/// thread re-captures the registry and rewrites <dir>/metrics.json on that
+/// cadence, so the snapshot (schema-versioned, wall-clock stamped) survives
+/// a process death between explicit DumpMetrics() calls.
+struct MetricsOptions {
+  uint64_t flush_interval_ms = 0;  ///< 0 = no background flushing.
+};
 
 /// Configuration for opening a cwdb database.
 struct DatabaseOptions {
@@ -49,6 +63,15 @@ struct DatabaseOptions {
   /// or after it. Use together with RestoreArchive to rewind past the
   /// live checkpoints. kInvalidLsn = recover to the latest state.
   Lsn recover_to_lsn = kInvalidLsn;
+
+  /// Periodic metrics flushing (see MetricsOptions).
+  MetricsOptions metrics;
+
+  /// Serve GET /metrics, /incidents and /healthz on 127.0.0.1 from a
+  /// background thread (see StatsServer). The bound port is available from
+  /// stats_port() once open.
+  bool serve_stats = false;
+  StatsServerOptions stats_server;
 };
 
 /// Result of an explicit audit (§3.2).
@@ -256,6 +279,15 @@ class Database {
   /// compare schemes across several open databases in one process.
   MetricsRegistry* metrics() { return &metrics_; }
 
+  /// Corruption-incident dossier recorder (always present once open; every
+  /// detection path files into <dir>/incidents.jsonl through it).
+  ForensicsRecorder* forensics() { return forensics_.get(); }
+
+  /// Port of the live stats endpoint, or 0 when serve_stats is off.
+  uint16_t stats_port() const {
+    return stats_server_ != nullptr ? stats_server_->port() : 0;
+  }
+
   // -- Direct access (application code, fault injection, tests) --
 
   /// Base of the mapped database image. Writing through this pointer
@@ -276,9 +308,14 @@ class Database {
 
   Status OpenImpl();
   Status RunRecovery();
-  /// Writes the corruption note for a failed audit/certification.
-  Status NoteCorruption(const std::vector<CorruptRange>& ranges);
+  /// Writes the corruption note for a failed audit/certification, filing
+  /// the incident dossier whose id the note carries.
+  Status NoteCorruption(const std::vector<CorruptRange>& ranges,
+                        IncidentSource source = IncidentSource::kAudit);
   Lsn LastCleanAuditLsn() const;
+  /// Joins the metrics flusher and stops the stats server (idempotent).
+  void StopBackgroundWork();
+  void MetricsFlusherLoop();
 
   DatabaseOptions options_;
   DbFiles files_;
@@ -286,11 +323,20 @@ class Database {
   /// component holds bare Counter*/Histogram* pointers into it.
   MetricsRegistry metrics_;
   std::unique_ptr<DbImage> image_;
+  /// Before protection_ (which keeps a bare pointer to it) so it outlives
+  /// every component that files incidents.
+  std::unique_ptr<ForensicsRecorder> forensics_;
   std::unique_ptr<ProtectionManager> protection_;
   std::unique_ptr<SystemLog> log_;
   std::unique_ptr<TxnManager> txns_;
   std::unique_ptr<Checkpointer> checkpointer_;
   RecoveryReport last_report_;
+
+  std::unique_ptr<StatsServer> stats_server_;
+  std::thread metrics_flusher_;
+  std::mutex flusher_mu_;
+  std::condition_variable flusher_cv_;
+  bool stop_flusher_ = false;
 };
 
 }  // namespace cwdb

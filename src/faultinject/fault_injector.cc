@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "common/logging.h"
+#include "obs/forensics.h"
 
 namespace cwdb {
 
@@ -69,6 +70,13 @@ FaultInjector::Outcome FaultInjector::WildWriteAt(DbPtr off, Slice bytes) {
     metrics->trace().Record(TraceEventType::kWritePrevented, 0, off, out.len);
     metrics->NoteInjectedFault(off, out.len);
     metrics->NoteDetection(off, out.len);
+    if (ForensicsRecorder* forensics = db_->forensics()) {
+      forensics->RecordIncident(
+          IncidentSource::kMprotectTrap, /*lsn=*/0,
+          /*last_clean_audit_lsn=*/0, {CorruptRange{off, out.len}},
+          "hardware protection trapped an unprescribed write; "
+          "image bytes unchanged");
+    }
   } else if (out.changed_bits) {
     // Arm the detection-latency clock: whichever layer later implicates
     // this range (audit, precheck, recovery) stops it.

@@ -130,6 +130,10 @@ Histogram* MetricsRegistry::histogram(std::string_view name) {
 
 MetricsSnapshot MetricsRegistry::Capture() const {
   MetricsSnapshot snap;
+  snap.captured_mono_ns = NowNs();
+  snap.captured_wall_ns = WallNowNs();
+  snap.boot_mono_ns = boot_mono_ns_;
+  snap.boot_wall_ns = boot_wall_ns_;
   {
     std::lock_guard<std::mutex> guard(mu_);
     snap.counters.reserve(counters_.size());
@@ -194,7 +198,14 @@ size_t MetricsRegistry::NoteDetection(uint64_t off, uint64_t len) {
 // ---------------------------------------------------------------------------
 
 std::string MetricsSnapshot::ToJson() const {
-  std::string out = "{\n  \"counters\": {";
+  std::string out = "{\n";
+  Appendf(&out, "  \"schema_version\": %u,\n", kSchemaVersion);
+  Appendf(&out,
+          "  \"captured_mono_ns\": %" PRIu64 ",\n  \"captured_wall_ns\": %" PRIu64
+          ",\n  \"boot_mono_ns\": %" PRIu64 ",\n  \"boot_wall_ns\": %" PRIu64
+          ",\n",
+          captured_mono_ns, captured_wall_ns, boot_mono_ns, boot_wall_ns);
+  out += "  \"counters\": {";
   bool first = true;
   for (const auto& [name, v] : counters) {
     Appendf(&out, "%s\n    \"%s\": %" PRIu64, first ? "" : ",", name.c_str(),
@@ -227,10 +238,10 @@ std::string MetricsSnapshot::ToJson() const {
   for (const TraceEvent& e : events) {
     Appendf(&out,
             "%s\n    {\"seq\": %" PRIu64 ", \"t_ns\": %" PRIu64
-            ", \"type\": \"%s\", \"lsn\": %" PRIu64 ", \"a\": %" PRIu64
-            ", \"b\": %" PRIu64 "}",
-            first ? "" : ",", e.seq, e.t_ns, TraceEventTypeName(e.type),
-            e.lsn, e.a, e.b);
+            ", \"wall_ns\": %" PRIu64 ", \"type\": \"%s\", \"lsn\": %" PRIu64
+            ", \"a\": %" PRIu64 ", \"b\": %" PRIu64 "}",
+            first ? "" : ",", e.seq, e.t_ns, WallFromMono(e.t_ns),
+            TraceEventTypeName(e.type), e.lsn, e.a, e.b);
     first = false;
   }
   out += first ? "]\n" : "\n  ]\n";

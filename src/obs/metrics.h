@@ -24,6 +24,15 @@ inline uint64_t NowNs() {
           .count());
 }
 
+/// Nanoseconds since the Unix epoch on the wall clock. Never used for
+/// latency math (it can step); only for stamping output an operator reads.
+inline uint64_t WallNowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+}
+
 /// Monotonic 64-bit counter sharded across cache-line-padded atomic slots.
 /// Each thread is assigned one slot round-robin at first use, so concurrent
 /// transactions on different threads never contend on (or false-share) a
@@ -127,10 +136,28 @@ struct HistogramSnapshot {
 /// and human-text exporters. Instrument vectors are sorted by name so two
 /// snapshots of the same state serialize identically.
 struct MetricsSnapshot {
+  /// Version of the JSON schema ToJson emits. Bumped to 2 when the
+  /// timestamp block and per-event wall_ns were added.
+  static constexpr uint32_t kSchemaVersion = 2;
+
+  /// When this snapshot was taken, in both time bases, plus the registry's
+  /// boot anchor pair that converts any monotonic stamp in `events` to wall
+  /// time: wall = boot_wall_ns + (mono - boot_mono_ns).
+  uint64_t captured_mono_ns = 0;
+  uint64_t captured_wall_ns = 0;
+  uint64_t boot_mono_ns = 0;
+  uint64_t boot_wall_ns = 0;
+
   std::vector<std::pair<std::string, uint64_t>> counters;
   std::vector<std::pair<std::string, int64_t>> gauges;
   std::vector<HistogramSnapshot> histograms;
   std::vector<TraceEvent> events;
+
+  /// Projects a monotonic stamp through the boot anchor; 0 stays 0.
+  uint64_t WallFromMono(uint64_t mono_ns) const {
+    if (mono_ns == 0 || boot_wall_ns == 0) return 0;
+    return boot_wall_ns + (mono_ns - boot_mono_ns);
+  }
 
   /// Stable machine-readable form: keys sorted, fixed field order, one
   /// entry per line. This is the schema `cwdb_ctl stats` re-emits.
@@ -154,8 +181,14 @@ struct MetricsSnapshot {
 /// stay valid for the registry's lifetime.
 class MetricsRegistry {
  public:
-  MetricsRegistry() : trace_(kDefaultTraceCapacity) {}
-  explicit MetricsRegistry(size_t trace_capacity) : trace_(trace_capacity) {}
+  MetricsRegistry()
+      : boot_mono_ns_(NowNs()),
+        boot_wall_ns_(WallNowNs()),
+        trace_(kDefaultTraceCapacity) {}
+  explicit MetricsRegistry(size_t trace_capacity)
+      : boot_mono_ns_(NowNs()),
+        boot_wall_ns_(WallNowNs()),
+        trace_(trace_capacity) {}
   MetricsRegistry(const MetricsRegistry&) = delete;
   MetricsRegistry& operator=(const MetricsRegistry&) = delete;
 
@@ -165,6 +198,15 @@ class MetricsRegistry {
   EventTrace& trace() { return trace_; }
 
   MetricsSnapshot Capture() const;
+
+  /// Boot-time anchor pair sampled once at construction: the same instant
+  /// on both clocks, letting operators convert steady-clock stamps
+  /// (NowNs(), trace events) into wall-clock time.
+  uint64_t boot_mono_ns() const { return boot_mono_ns_; }
+  uint64_t boot_wall_ns() const { return boot_wall_ns_; }
+  uint64_t WallFromMono(uint64_t mono_ns) const {
+    return mono_ns == 0 ? 0 : boot_wall_ns_ + (mono_ns - boot_mono_ns_);
+  }
 
   /// Resets every counter and histogram whose name starts with `prefix`
   /// (all of them for an empty prefix). Gauges and the trace are left
@@ -194,6 +236,9 @@ class MetricsRegistry {
     uint64_t len;
     uint64_t t_ns;
   };
+
+  const uint64_t boot_mono_ns_;
+  const uint64_t boot_wall_ns_;
 
   mutable std::mutex mu_;
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;

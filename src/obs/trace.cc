@@ -1,6 +1,7 @@
 #include "obs/trace.h"
 
 #include <algorithm>
+#include <cstdio>
 
 #include "common/logging.h"
 #include "obs/metrics.h"
@@ -20,8 +21,73 @@ const char* TraceEventTypeName(TraceEventType type) {
     case TraceEventType::kGroupCommitFlush: return "group_commit_flush";
     case TraceEventType::kCheckpoint: return "checkpoint";
     case TraceEventType::kMprotectFault: return "mprotect_fault";
+    case TraceEventType::kWalTailDamage: return "wal_tail_damage";
   }
   return "?";
+}
+
+bool TraceEventTypeFromName(const std::string& name, TraceEventType* type) {
+  for (int i = 0; i <= static_cast<int>(TraceEventType::kWalTailDamage);
+       ++i) {
+    TraceEventType t = static_cast<TraceEventType>(i);
+    if (name == TraceEventTypeName(t)) {
+      *type = t;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string DescribeTraceEvent(const TraceEvent& e) {
+  char buf[128];
+  switch (e.type) {
+    case TraceEventType::kFaultInjected:
+    case TraceEventType::kWritePrevented:
+    case TraceEventType::kCorruptionDetected:
+    case TraceEventType::kPrecheckFailed:
+    case TraceEventType::kMprotectFault:
+      std::snprintf(buf, sizeof(buf), "off=%llu len=%llu",
+                    static_cast<unsigned long long>(e.a),
+                    static_cast<unsigned long long>(e.b));
+      break;
+    case TraceEventType::kAuditPassBegin:
+      std::snprintf(buf, sizeof(buf), "audit_sn=%llu",
+                    static_cast<unsigned long long>(e.lsn));
+      break;
+    case TraceEventType::kAuditPassEnd:
+      std::snprintf(buf, sizeof(buf), "regions=%llu corrupt=%llu",
+                    static_cast<unsigned long long>(e.a),
+                    static_cast<unsigned long long>(e.b));
+      break;
+    case TraceEventType::kRecoveryPhase:
+      std::snprintf(buf, sizeof(buf), "phase=%s",
+                    RecoveryPhaseName(static_cast<RecoveryPhase>(e.a)));
+      break;
+    case TraceEventType::kTxnDeleted:
+      std::snprintf(buf, sizeof(buf), "txn=%llu",
+                    static_cast<unsigned long long>(e.a));
+      break;
+    case TraceEventType::kGroupCommitFlush:
+      std::snprintf(buf, sizeof(buf), "stable_end=%llu batch_bytes=%llu",
+                    static_cast<unsigned long long>(e.lsn),
+                    static_cast<unsigned long long>(e.a));
+      break;
+    case TraceEventType::kCheckpoint:
+      std::snprintf(buf, sizeof(buf), "ck_end=%llu pages=%llu",
+                    static_cast<unsigned long long>(e.lsn),
+                    static_cast<unsigned long long>(e.a));
+      break;
+    case TraceEventType::kWalTailDamage:
+      std::snprintf(buf, sizeof(buf), "damage_off=%llu file_bytes=%llu",
+                    static_cast<unsigned long long>(e.a),
+                    static_cast<unsigned long long>(e.b));
+      break;
+    default:
+      std::snprintf(buf, sizeof(buf), "a=%llu b=%llu",
+                    static_cast<unsigned long long>(e.a),
+                    static_cast<unsigned long long>(e.b));
+  }
+  return buf;
 }
 
 const char* RecoveryPhaseName(RecoveryPhase phase) {

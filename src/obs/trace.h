@@ -22,9 +22,16 @@ enum class TraceEventType : uint8_t {
   kGroupCommitFlush = 8,   ///< lsn=new stable end, a=batch bytes.
   kCheckpoint = 9,         ///< lsn=CK_end, a=pages written.
   kMprotectFault = 10,     ///< a=off, b=len — SIGSEGV on protected page.
+  kWalTailDamage = 11,     ///< a=damage offset, b=file bytes — a complete
+                           ///< WAL frame failed its CRC at open (not a torn
+                           ///< tail: valid frames follow the bad one).
 };
 
 const char* TraceEventTypeName(TraceEventType type);
+
+/// Inverse of TraceEventTypeName (e.g. for re-decoding persisted metrics
+/// JSON). Returns false for an unknown name.
+bool TraceEventTypeFromName(const std::string& name, TraceEventType* type);
 
 /// Phases recorded via kRecoveryPhase events.
 enum class RecoveryPhase : uint8_t {
@@ -49,6 +56,11 @@ struct TraceEvent {
   uint64_t b = 0;
   TraceEventType type = TraceEventType::kFaultInjected;
 };
+
+/// Decodes an event's type-specific `a`/`b` payload into operator-readable
+/// text, e.g. "off=73728 len=64" or "phase=redo". Used by `cwdb_ctl trace`
+/// and the dossier's trace-snapshot rendering.
+std::string DescribeTraceEvent(const TraceEvent& e);
 
 /// Fixed-capacity lock-light flight recorder. Writers claim a slot with one
 /// atomic fetch_add and publish it with a per-slot ticket (odd = write in

@@ -1,6 +1,10 @@
 #include "protect/codeword_protection.h"
 
 #include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+#include "obs/forensics.h"
 
 namespace cwdb {
 
@@ -121,10 +125,12 @@ Status CodewordProtection::PrecheckRead(DbPtr off, uint32_t len) {
   const uint64_t t0 = timed ? NowNs() : 0;
   for (size_t s : stripes) protection_latches_.LatchAt(s).LockExclusive();
   bool clean = true;
+  uint64_t bad_region = 0;
   for (uint64_t r = first; r <= last; ++r) {
     ins_.prechecks->Add();
     if (!VerifyRegionLocked(r)) {
       clean = false;
+      bad_region = r;
       break;
     }
   }
@@ -139,9 +145,33 @@ Status CodewordProtection::PrecheckRead(DbPtr off, uint32_t len) {
     ins_.precheck_failures->Add();
     metrics_->NoteDetection(off, len);
     metrics_->trace().Record(TraceEventType::kPrecheckFailed, 0, off, len);
+    if (forensics_ != nullptr) {
+      // Filed after the latches are released: the dossier's codeword probe
+      // re-takes the failing region's latch.
+      char detail[96];
+      std::snprintf(detail, sizeof(detail),
+                    "read precheck refused read of [%" PRIu64 ",+%u)",
+                    static_cast<uint64_t>(off), len);
+      forensics_->RecordIncident(
+          IncidentSource::kReadPrecheck, /*lsn=*/0,
+          /*last_clean_audit_lsn=*/0,
+          {CorruptRange{codewords_.RegionStart(bad_region),
+                        codewords_.region_size()}},
+          detail);
+    }
     return Status::Corruption("read precheck failed: codeword mismatch");
   }
   return Status::OK();
+}
+
+bool CodewordProtection::RegionCodewords(DbPtr off, codeword_t* stored,
+                                         codeword_t* computed) {
+  uint64_t region = codewords_.RegionOf(off);
+  size_t s = protection_latches_.StripeOf(region);
+  ExclusiveGuard guard(protection_latches_.LatchAt(s));
+  *stored = codewords_.Get(region);
+  *computed = codewords_.ComputeFromImage(image_->base(), region);
+  return true;
 }
 
 void CodewordProtection::AuditSpan(uint64_t first, uint64_t last,

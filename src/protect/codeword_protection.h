@@ -47,6 +47,8 @@ class CodewordProtection : public ProtectionManager {
                             std::vector<CorruptRange>* corrupt) override;
   Status ResetFromImage() override;
   Status RecomputeRegions(DbPtr off, uint64_t len) override;
+  bool RegionCodewords(DbPtr off, codeword_t* stored,
+                       codeword_t* computed) override;
   uint64_t SpaceOverheadBytes() const override {
     return codewords_.space_overhead_bytes();
   }

@@ -14,13 +14,7 @@
 
 namespace cwdb {
 
-/// A byte range of the image found inconsistent with its codeword.
-struct CorruptRange {
-  DbPtr off = 0;
-  uint64_t len = 0;
-
-  bool operator==(const CorruptRange&) const = default;
-};
+class ForensicsRecorder;
 
 /// Hook points of the prescribed update interface. The transaction layer
 /// calls BeginUpdate / EndUpdate (or AbortUpdate) around every in-place
@@ -113,6 +107,25 @@ class ProtectionManager {
   /// Bytes of memory the scheme spends outside the image (codeword table).
   virtual uint64_t SpaceOverheadBytes() const { return 0; }
 
+  /// Forensics probe: for the protection region containing `off`, reports
+  /// the stored codeword and the codeword recomputed from the current image
+  /// bytes (their XOR is the corruption delta a dossier records). Returns
+  /// false for schemes that keep no codeword table. Takes the region's
+  /// protection latch exclusively (the auditor's consistent-snapshot
+  /// protocol); must not be called while holding it.
+  virtual bool RegionCodewords(DbPtr off, codeword_t* stored,
+                               codeword_t* computed) {
+    (void)off;
+    (void)stored;
+    (void)computed;
+    return false;
+  }
+
+  /// Detection paths inside the scheme (read prechecks) file incident
+  /// dossiers here when set. Owned by the Database; may be null.
+  void set_forensics(ForensicsRecorder* forensics) { forensics_ = forensics; }
+  ForensicsRecorder* forensics() const { return forensics_; }
+
   /// Recomputes the codeword of the bytes at [off, off+len) in `image`
   /// *without* consulting the stored table — used by recovery to evaluate
   /// logged read checksums against a recovered image. Folds from lane 0.
@@ -147,6 +160,7 @@ class ProtectionManager {
   DbImage* image_;
   std::unique_ptr<MetricsRegistry> own_metrics_;
   MetricsRegistry* metrics_;
+  ForensicsRecorder* forensics_ = nullptr;
   Instruments ins_;
 };
 

@@ -39,6 +39,9 @@ Status WriteCorruptionNote(const std::string& path,
     PutFixed64(&body, r.off);
     PutFixed64(&body, r.len);
   }
+  // Trailing optional field: readers that predate it stop at the range
+  // list, readers that know it check the remaining byte count.
+  PutFixed64(&body, note.incident_id);
   return WriteFileAtomic(path, Sealed(body));
 }
 
@@ -61,6 +64,7 @@ Result<CorruptionNote> ReadCorruptionNote(const std::string& path) {
     note.ranges.push_back(r);
   }
   if (!dec.ok()) return Status::Corruption("truncated corruption note");
+  if (dec.remaining() >= 8) note.incident_id = dec.GetFixed64();
   return note;
 }
 

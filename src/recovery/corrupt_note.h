@@ -22,6 +22,10 @@ struct CorruptionNote {
   Lsn last_clean_audit_lsn = 0;
   /// Regions the failing audit found inconsistent with their codewords.
   std::vector<CorruptRange> ranges;
+  /// Id of the incident dossier filed for this detection (incidents.jsonl),
+  /// so the post-crash restart can link its recovery provenance back to the
+  /// full forensic record. 0 = none (or a pre-dossier note file).
+  uint64_t incident_id = 0;
 };
 
 Status WriteCorruptionNote(const std::string& path,

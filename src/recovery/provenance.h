@@ -1,0 +1,66 @@
+#ifndef CWDB_RECOVERY_PROVENANCE_H_
+#define CWDB_RECOVERY_PROVENANCE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "storage/db_image.h"
+#include "storage/layout.h"
+#include "wal/log_record.h"
+
+namespace cwdb {
+
+/// Why the delete-transaction algorithm (§4.3) implicated a transaction.
+enum class ProvenanceReason : uint8_t {
+  kReadCorruptRange = 0,     ///< A logged read overlapped corrupt data.
+  kWroteCorruptRange = 1,    ///< A physical write overlapped corrupt data.
+  kChecksumMismatch = 2,     ///< Logged read checksum != recovered image.
+  kConflictWithUndo = 3,     ///< Begin-op conflicted with a corrupt txn's
+                             ///< undo log (would block its rollback).
+  kCommittedAfterLimit = 4,  ///< Prior-state model: committed at/after the
+                             ///< redo limit.
+};
+
+const char* ProvenanceReasonName(ProvenanceReason r);
+
+/// One implication: `txn` became corrupt/deleted because of `reason`,
+/// observed at log position `at_lsn`, through byte range `via` (when range
+/// based). `from_txn` is the upstream corrupt transaction whose taint
+/// propagated — 0 means the taint came straight from the incident's
+/// directly-corrupt ranges (the roots).
+struct ProvenanceEdge {
+  TxnId txn = 0;
+  ProvenanceReason reason = ProvenanceReason::kReadCorruptRange;
+  Lsn at_lsn = 0;
+  CorruptRange via;
+  TxnId from_txn = 0;
+};
+
+/// The implication chain recovery followed: corrupt range → reader txn →
+/// its writes → further readers. Exactly one edge per implicated
+/// transaction (the first implication wins; later ones are redundant for
+/// the delete decision).
+struct ProvenanceGraph {
+  uint64_t incident_id = 0;          ///< Dossier that triggered recovery.
+  Lsn last_clean_audit_lsn = 0;
+  std::vector<CorruptRange> roots;   ///< The incident's corrupt ranges.
+  std::vector<ProvenanceEdge> edges;
+
+  const ProvenanceEdge* EdgeFor(TxnId txn) const;
+
+  /// The reason path for `txn`: its own edge first, then each upstream
+  /// carrier's, ending at the edge whose from_txn is 0 (rooted in the
+  /// incident ranges). Empty if `txn` has no edge. Cycle-safe.
+  std::vector<const ProvenanceEdge*> PathFor(TxnId txn) const;
+
+  /// Pretty-printed JSON. With `image`, root ranges carry their
+  /// page/table/record attribution.
+  std::string ToJson(const DbImage* image = nullptr) const;
+  /// Graphviz DOT: range roots as boxes, transactions as ellipses.
+  std::string ToDot() const;
+};
+
+}  // namespace cwdb
+
+#endif  // CWDB_RECOVERY_PROVENANCE_H_

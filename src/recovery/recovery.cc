@@ -138,12 +138,29 @@ RecoveryDriver::ConflictSet RecoveryDriver::TargetsOfUndoLog(
 }
 
 bool RecoveryDriver::Conflicts(const ConflictSet& a, const ConflictSet& b) {
-  for (const auto& t : a.targets) {
-    if (b.targets.count(t)) return true;
-  }
+  CorruptRange witness;
+  return ConflictWitness(a, b, &witness);
+}
+
+bool RecoveryDriver::ConflictWitness(const ConflictSet& a,
+                                     const ConflictSet& b,
+                                     CorruptRange* witness) {
+  // Prefer a byte-range witness: it attributes the conflict to concrete
+  // image bytes the provenance graph can show.
   for (const CorruptRange& ra : a.ranges) {
     for (const CorruptRange& rb : b.ranges) {
-      if (RangesOverlap(ra, rb)) return true;
+      if (RangesOverlap(ra, rb)) {
+        uint64_t lo = std::max(ra.off, rb.off);
+        uint64_t hi = std::min(ra.off + ra.len, rb.off + rb.len);
+        *witness = CorruptRange{lo, hi - lo};
+        return true;
+      }
+    }
+  }
+  for (const auto& t : a.targets) {
+    if (b.targets.count(t)) {
+      *witness = CorruptRange{0, 0};
+      return true;
     }
   }
   return false;
@@ -187,10 +204,36 @@ Result<RecoveryReport> RecoveryDriver::Run(const RecoveryOptions& options) {
   // the corruption test), matching "the CorruptDataTable can be dispensed
   // with".
   const Lsn audit_lsn = options.note.last_clean_audit_lsn;
+  if (options.corruption_recovery) {
+    report.provenance.incident_id = options.note.incident_id;
+    report.provenance.last_clean_audit_lsn = audit_lsn;
+    report.provenance.roots = options.note.ranges;
+  }
+
+  // Provenance taints mirror every CorruptDataTable insertion, tagged with
+  // the transaction whose suppressed/rolled-back bytes produced it (0 =
+  // the incident's own ranges), so each implication edge can name its
+  // carrier. Shadow taints cover checksum-mode suppressed writes, which
+  // never enter the table but still explain later checksum mismatches.
+  struct Taint {
+    CorruptRange range;
+    TxnId src;
+  };
+  std::vector<Taint> taints;
+  std::vector<Taint> shadow_taints;
+  auto find_taint = [](const std::vector<Taint>& v, DbPtr off,
+                       uint64_t len) -> const Taint* {
+    for (const Taint& t : v) {
+      if (RangesOverlap(t.range, CorruptRange{off, len})) return &t;
+    }
+    return nullptr;
+  };
+
   bool note_ranges_added = false;
   auto add_note_ranges = [&]() {
     for (const CorruptRange& r : options_.note.ranges) {
       corrupt_data_.Insert(r.off, r.len);
+      taints.push_back(Taint{r, 0});
     }
     note_ranges_added = true;
   };
@@ -198,9 +241,13 @@ Result<RecoveryReport> RecoveryDriver::Run(const RecoveryOptions& options) {
     add_note_ranges();
   }
 
-  auto mark_corrupt = [&](TxnId id) {
+  auto mark_corrupt = [&](TxnId id, ProvenanceEdge edge) {
     Transaction* t = txns_->GetOrCreateRecovered(id);
     corrupt_txns_.insert(id);
+    if (report.provenance.EdgeFor(id) == nullptr) {
+      edge.txn = id;
+      report.provenance.edges.push_back(edge);
+    }
     // Freeze the conflict set now: nothing is appended to a corrupt
     // transaction's undo log after this point.
     ConflictSet cs = TargetsOfUndoLog(*t);
@@ -215,8 +262,35 @@ Result<RecoveryReport> RecoveryDriver::Run(const RecoveryOptions& options) {
     // point, so forward-only marking suffices.
     for (const CorruptRange& r : cs.ranges) {
       corrupt_data_.Insert(r.off, r.len);
+      taints.push_back(Taint{r, id});
     }
     corrupt_conflicts_[id] = std::move(cs);
+  };
+
+  // Builds the provenance edge for a read/write that tripped
+  // ReadsCorruptData: a taint overlap names the byte range and its carrier;
+  // otherwise the trigger was a logged-checksum mismatch against the
+  // recovered image (§4.3 Extension), whose carrier — if any — is a
+  // suppressed write recorded in the shadow taints.
+  auto implication_edge = [&](const LogRecord& rec, Lsn at,
+                              ProvenanceReason range_reason) {
+    ProvenanceEdge e;
+    e.txn = rec.txn;
+    e.at_lsn = at;
+    e.via = CorruptRange{rec.off, rec.len};
+    if (const Taint* t = find_taint(taints, rec.off, rec.len)) {
+      uint64_t lo = std::max<uint64_t>(rec.off, t->range.off);
+      uint64_t hi = std::min<uint64_t>(rec.off + rec.len,
+                                       t->range.off + t->range.len);
+      e.reason = range_reason;
+      e.via = CorruptRange{lo, hi - lo};
+      e.from_txn = t->src;
+    } else {
+      e.reason = ProvenanceReason::kChecksumMismatch;
+      const Taint* s = find_taint(shadow_taints, rec.off, rec.len);
+      e.from_txn = s != nullptr ? s->src : 0;
+    }
+    return e;
   };
 
   TxnId max_txn = 0;
@@ -245,7 +319,9 @@ Result<RecoveryReport> RecoveryDriver::Run(const RecoveryOptions& options) {
         Transaction* t = txns_->GetOrCreateRecovered(rec.txn);
         if (options.corruption_recovery) {
           if (!is_corrupt && ReadsCorruptData(rec)) {
-            mark_corrupt(rec.txn);
+            mark_corrupt(rec.txn,
+                         implication_edge(
+                             rec, lsn, ProvenanceReason::kWroteCorruptRange));
             is_corrupt = true;
           }
           if (is_corrupt) {
@@ -258,6 +334,11 @@ Result<RecoveryReport> RecoveryDriver::Run(const RecoveryOptions& options) {
             // conservative and range-based.
             if (!options_.use_logged_checksums) {
               corrupt_data_.Insert(rec.off, rec.len);
+              taints.push_back(
+                  Taint{CorruptRange{rec.off, rec.len}, rec.txn});
+            } else {
+              shadow_taints.push_back(
+                  Taint{CorruptRange{rec.off, rec.len}, rec.txn});
             }
             suppressed_bytes_ += rec.len;
             ++report.redo_records_skipped;
@@ -272,7 +353,9 @@ Result<RecoveryReport> RecoveryDriver::Run(const RecoveryOptions& options) {
       case LogRecordType::kReadLog:
         if (options.corruption_recovery && !is_corrupt &&
             ReadsCorruptData(rec)) {
-          mark_corrupt(rec.txn);
+          mark_corrupt(rec.txn,
+                       implication_edge(
+                           rec, lsn, ProvenanceReason::kReadCorruptRange));
         }
         break;
 
@@ -282,10 +365,17 @@ Result<RecoveryReport> RecoveryDriver::Run(const RecoveryOptions& options) {
         if (options.corruption_recovery && !corrupt_conflicts_.empty()) {
           ConflictSet mine = TargetsOf(rec);
           for (const auto& [id, cs] : corrupt_conflicts_) {
-            if (Conflicts(mine, cs)) {
+            CorruptRange witness{0, 0};
+            if (ConflictWitness(mine, cs, &witness)) {
               // Beginning this operation would prevent rolling back the
               // corrupt transaction; delete this transaction too (§4.3).
-              mark_corrupt(rec.txn);
+              ProvenanceEdge e;
+              e.txn = rec.txn;
+              e.reason = ProvenanceReason::kConflictWithUndo;
+              e.at_lsn = lsn;
+              e.via = witness;
+              e.from_txn = id;
+              mark_corrupt(rec.txn, e);
               is_corrupt = true;
               break;
             }
@@ -343,6 +433,13 @@ Result<RecoveryReport> RecoveryDriver::Run(const RecoveryOptions& options) {
       max_txn = std::max(max_txn, rec.txn);
       if (rec.type == LogRecordType::kCommitTxn) {
         report.deleted_txns.push_back(rec.txn);
+        if (report.provenance.EdgeFor(rec.txn) == nullptr) {
+          ProvenanceEdge e;
+          e.txn = rec.txn;
+          e.reason = ProvenanceReason::kCommittedAfterLimit;
+          e.at_lsn = lsn;
+          report.provenance.edges.push_back(e);
+        }
       }
     }
   }
@@ -418,6 +515,16 @@ Result<RecoveryReport> RecoveryDriver::Run(const RecoveryOptions& options) {
 
   std::sort(report.deleted_txns.begin(), report.deleted_txns.end());
   std::sort(report.rolled_back_txns.begin(), report.rolled_back_txns.end());
+
+  // Persist the implication chain for `cwdb_ctl explain-recovery`. Best
+  // effort: the graph is diagnostic, never consulted by recovery itself.
+  if (options.corruption_recovery || options.redo_limit != kInvalidLsn) {
+    Status prov_status = WriteFileAtomic(files_.ProvenanceFile(),
+                                         report.provenance.ToJson(image_));
+    if (!prov_status.ok()) {
+      metrics->counter("recovery.provenance_write_failures")->Add();
+    }
+  }
 
   enter_phase(RecoveryPhase::kDone, log_->CurrentLsn());
   for (TxnId id : report.deleted_txns) {

@@ -10,6 +10,7 @@
 #include "protect/protection.h"
 #include "recovery/corrupt_note.h"
 #include "recovery/interval_set.h"
+#include "recovery/provenance.h"
 #include "storage/db_image.h"
 #include "txn/txn_manager.h"
 #include "wal/system_log.h"
@@ -54,6 +55,11 @@ struct RecoveryReport {
   uint64_t redo_records_applied = 0;
   uint64_t redo_records_skipped = 0;  ///< Writes of deleted transactions.
   uint64_t corrupt_data_bytes = 0;    ///< Final CorruptDataTable coverage.
+
+  /// Why each deleted transaction was deleted: the implication chain from
+  /// the incident's corrupt ranges to every entry of deleted_txns. Also
+  /// persisted to DbFiles::ProvenanceFile() in corruption-recovery runs.
+  ProvenanceGraph provenance;
 };
 
 /// Restart recovery (paper §2.1) with optional delete-transaction
@@ -100,6 +106,10 @@ class RecoveryDriver {
   /// Conflict set of a corrupt transaction's current undo log.
   ConflictSet TargetsOfUndoLog(const Transaction& txn) const;
   static bool Conflicts(const ConflictSet& a, const ConflictSet& b);
+  /// Conflicts() plus the overlapping byte range that witnesses the
+  /// conflict (zero-length when the conflict is target-based only).
+  static bool ConflictWitness(const ConflictSet& a, const ConflictSet& b,
+                              CorruptRange* witness);
 
   DbFiles files_;
   DbImage* image_;

@@ -1,0 +1,179 @@
+#include "storage/attribution.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+
+namespace cwdb {
+namespace {
+
+/// A resolved extent of the image with a single attribution.
+struct Extent {
+  DbPtr begin = 0;
+  DbPtr end = 0;  ///< exclusive
+  ImageAreaKind kind = ImageAreaKind::kUnallocated;
+  TableId table = 0;
+  std::string table_name;
+  uint64_t record_size = 0;  ///< kRecordData only.
+  DbPtr data_off = 0;        ///< kRecordData only.
+};
+
+std::string SafeTableName(const TableMetaRaw* m) {
+  // The directory itself may be the corrupt bytes under attribution; cap at
+  // the field width and stop at NUL so a scribbled name can't run away.
+  size_t n = strnlen(m->name, kTableNameBytes);
+  std::string out(m->name, n);
+  for (char& c : out) {
+    if (static_cast<unsigned char>(c) < 0x20 ||
+        static_cast<unsigned char>(c) > 0x7E) {
+      c = '?';
+    }
+  }
+  return out;
+}
+
+/// Builds the sorted extent map of every structured area of the image.
+std::vector<Extent> BuildExtents(const DbImage& image) {
+  std::vector<Extent> out;
+  out.push_back({kHeaderOff, kHeaderBytes, ImageAreaKind::kHeader, 0, "", 0, 0});
+  out.push_back({kTableDirOff, kTableDirOff + kTableDirBytes,
+                 ImageAreaKind::kTableDir, 0, "", 0, 0});
+  for (TableId t = 0; t < kMaxTables; ++t) {
+    const TableMetaRaw* m = image.table_meta(t);
+    if (m->in_use != 1) continue;  // Defensive: a flipped flag reads as free.
+    std::string name = SafeTableName(m);
+    uint64_t bitmap_len = BitmapBytes(m->capacity);
+    if (image.InBounds(m->bitmap_off, bitmap_len) && bitmap_len > 0) {
+      out.push_back({m->bitmap_off, m->bitmap_off + bitmap_len,
+                     ImageAreaKind::kBitmap, t, name, 0, 0});
+    }
+    uint64_t data_len =
+        static_cast<uint64_t>(m->record_size) * m->capacity;
+    if (m->record_size > 0 && image.InBounds(m->data_off, data_len) &&
+        data_len > 0) {
+      out.push_back({m->data_off, m->data_off + data_len,
+                     ImageAreaKind::kRecordData, t, name, m->record_size,
+                     m->data_off});
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Extent& a, const Extent& b) { return a.begin < b.begin; });
+  return out;
+}
+
+}  // namespace
+
+const char* ImageAreaKindName(ImageAreaKind k) {
+  switch (k) {
+    case ImageAreaKind::kHeader: return "header";
+    case ImageAreaKind::kTableDir: return "table_dir";
+    case ImageAreaKind::kBitmap: return "bitmap";
+    case ImageAreaKind::kRecordData: return "record_data";
+    case ImageAreaKind::kUnallocated: return "unallocated";
+  }
+  return "unknown";
+}
+
+std::string RangeAttribution::ToString() const {
+  char buf[256];
+  switch (kind) {
+    case ImageAreaKind::kRecordData:
+      std::snprintf(buf, sizeof(buf),
+                    "[%llu,+%llu) table '%s' (id %u) records %u..%u pages "
+                    "%llu..%llu",
+                    static_cast<unsigned long long>(off),
+                    static_cast<unsigned long long>(len), table_name.c_str(),
+                    static_cast<unsigned>(table), first_slot, last_slot,
+                    static_cast<unsigned long long>(page_first),
+                    static_cast<unsigned long long>(page_last));
+      break;
+    case ImageAreaKind::kBitmap:
+      std::snprintf(buf, sizeof(buf),
+                    "[%llu,+%llu) alloc bitmap of table '%s' (id %u) pages "
+                    "%llu..%llu",
+                    static_cast<unsigned long long>(off),
+                    static_cast<unsigned long long>(len), table_name.c_str(),
+                    static_cast<unsigned>(table),
+                    static_cast<unsigned long long>(page_first),
+                    static_cast<unsigned long long>(page_last));
+      break;
+    case ImageAreaKind::kTableDir:
+      std::snprintf(buf, sizeof(buf),
+                    "[%llu,+%llu) table directory slot %u pages %llu..%llu",
+                    static_cast<unsigned long long>(off),
+                    static_cast<unsigned long long>(len),
+                    static_cast<unsigned>(table),
+                    static_cast<unsigned long long>(page_first),
+                    static_cast<unsigned long long>(page_last));
+      break;
+    default:
+      std::snprintf(buf, sizeof(buf), "[%llu,+%llu) %s pages %llu..%llu",
+                    static_cast<unsigned long long>(off),
+                    static_cast<unsigned long long>(len),
+                    ImageAreaKindName(kind),
+                    static_cast<unsigned long long>(page_first),
+                    static_cast<unsigned long long>(page_last));
+  }
+  return buf;
+}
+
+std::vector<RangeAttribution> AttributeRange(const DbImage& image, DbPtr off,
+                                             uint64_t len) {
+  std::vector<RangeAttribution> out;
+  if (len == 0) return out;
+  // Clamp to the image so a garbage range from a corrupt note can't index
+  // out of bounds.
+  if (off >= image.size()) {
+    off = image.size();
+    len = 0;
+  } else if (len > image.size() - off) {
+    len = image.size() - off;
+  }
+  if (len == 0) return out;
+
+  std::vector<Extent> extents = BuildExtents(image);
+  DbPtr pos = off;
+  const DbPtr end = off + len;
+
+  auto emit = [&](const Extent* e, DbPtr piece_begin, DbPtr piece_end) {
+    RangeAttribution a;
+    a.off = piece_begin;
+    a.len = piece_end - piece_begin;
+    a.page_first = image.PageOf(piece_begin);
+    a.page_last = image.PageOf(piece_end - 1);
+    if (e == nullptr) {
+      a.kind = ImageAreaKind::kUnallocated;
+    } else {
+      a.kind = e->kind;
+      a.table = e->table;
+      a.table_name = e->table_name;
+      if (e->kind == ImageAreaKind::kTableDir) {
+        a.table = static_cast<TableId>((piece_begin - kTableDirOff) /
+                                       kTableMetaBytes);
+      } else if (e->kind == ImageAreaKind::kRecordData) {
+        a.first_slot =
+            static_cast<uint32_t>((piece_begin - e->data_off) / e->record_size);
+        a.last_slot = static_cast<uint32_t>((piece_end - 1 - e->data_off) /
+                                            e->record_size);
+      }
+    }
+    out.push_back(std::move(a));
+  };
+
+  for (const Extent& e : extents) {
+    if (pos >= end) break;
+    if (e.end <= pos) continue;
+    if (e.begin >= end) break;
+    if (pos < e.begin) {
+      emit(nullptr, pos, e.begin);  // Gap before this extent.
+      pos = e.begin;
+    }
+    DbPtr piece_end = std::min(end, e.end);
+    emit(&e, pos, piece_end);
+    pos = piece_end;
+  }
+  if (pos < end) emit(nullptr, pos, end);
+  return out;
+}
+
+}  // namespace cwdb

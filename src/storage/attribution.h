@@ -1,0 +1,55 @@
+#ifndef CWDB_STORAGE_ATTRIBUTION_H_
+#define CWDB_STORAGE_ATTRIBUTION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "storage/db_image.h"
+#include "storage/layout.h"
+
+namespace cwdb {
+
+/// What part of the image a byte range falls in.
+enum class ImageAreaKind : uint8_t {
+  kHeader = 0,       ///< DbHeaderRaw at offset 0.
+  kTableDir = 1,     ///< The table directory (TableMetaRaw slots).
+  kBitmap = 2,       ///< A table's record-allocation bitmap extent.
+  kRecordData = 3,   ///< A table's record extent.
+  kUnallocated = 4,  ///< Beyond alloc_cursor / between extents.
+};
+
+const char* ImageAreaKindName(ImageAreaKind k);
+
+/// One homogeneous piece of an attributed range: the bytes [off, off+len)
+/// all belong to the same image area (and, for bitmap/record areas, the
+/// same table).
+struct RangeAttribution {
+  ImageAreaKind kind = ImageAreaKind::kUnallocated;
+  DbPtr off = 0;
+  uint64_t len = 0;
+  uint64_t page_first = 0;  ///< Database page ids covering the piece.
+  uint64_t page_last = 0;
+
+  // Valid for kBitmap / kRecordData (and kTableDir, where `table` is the
+  // directory slot the bytes fall in):
+  TableId table = 0;
+  std::string table_name;
+  uint32_t first_slot = kInvalidSlot;  ///< kRecordData: record slots covered.
+  uint32_t last_slot = kInvalidSlot;
+
+  std::string ToString() const;
+};
+
+/// Maps the byte range [off, off+len) through the table directory into a
+/// sequence of homogeneous pieces, in ascending offset order. This is how a
+/// dossier turns "bytes 73728..73791 failed their codeword" into "table
+/// 'accounts' records 12..13, page 9". Tolerates a corrupt directory (it
+/// reads in_use/offset fields defensively and falls back to kUnallocated);
+/// never writes to the image.
+std::vector<RangeAttribution> AttributeRange(const DbImage& image, DbPtr off,
+                                             uint64_t len);
+
+}  // namespace cwdb
+
+#endif  // CWDB_STORAGE_ATTRIBUTION_H_

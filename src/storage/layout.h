@@ -40,6 +40,17 @@ struct RecordId {
   bool operator==(const RecordId&) const = default;
 };
 
+/// A byte range of the image found inconsistent with its codeword (or
+/// otherwise implicated by a detection path). Defined here rather than in
+/// protect/ so attribution and forensics code can name ranges without
+/// depending on a concrete protection scheme.
+struct CorruptRange {
+  DbPtr off = 0;
+  uint64_t len = 0;
+
+  bool operator==(const CorruptRange&) const = default;
+};
+
 constexpr uint64_t kDbMagic = 0x43574442'31393939ull;  // "CWDB1999"
 constexpr uint32_t kDbVersion = 1;
 

@@ -263,6 +263,14 @@ Status TxnManager::Abort(Transaction* txn) {
   return Status::OK();
 }
 
+std::vector<TxnId> TxnManager::ActiveTxnIds() {
+  std::lock_guard<std::mutex> guard(att_mu_);
+  std::vector<TxnId> ids;
+  ids.reserve(att_.size());
+  for (const auto& [id, txn] : att_) ids.push_back(id);
+  return ids;
+}
+
 Transaction* TxnManager::GetOrCreateRecovered(TxnId id) {
   std::lock_guard<std::mutex> guard(att_mu_);
   auto it = att_.find(id);

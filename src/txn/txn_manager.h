@@ -4,6 +4,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <vector>
 
 #include "common/latch.h"
 #include "common/result.h"
@@ -119,6 +120,11 @@ class TxnManager {
   std::map<TxnId, std::unique_ptr<Transaction>>& mutable_att() {
     return att_;
   }
+
+  /// Ids of all currently active transactions, under the ATT lock — safe
+  /// to call from other threads (forensics snapshots the set into a
+  /// corruption dossier).
+  std::vector<TxnId> ActiveTxnIds();
 
   /// Ensures future transaction / operation ids do not collide with
   /// recovered ones.

@@ -3,6 +3,7 @@
 #include <fcntl.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 #include <memory>
@@ -32,6 +33,51 @@ uint64_t ValidPrefix(const std::string& contents) {
   return pos;
 }
 
+/// Classifies the invalid suffix (if any): torn append vs in-place damage.
+/// A torn tail is an *incomplete* final frame with nothing valid after it —
+/// the only shape a crashed append can leave, since nothing beyond the torn
+/// write was ever issued. Anything else (a complete frame failing its CRC,
+/// or a later frame that still verifies) means stable bytes were altered
+/// after they were made durable.
+WalTailScan ScanTail(const std::string& contents) {
+  WalTailScan scan;
+  scan.file_bytes = contents.size();
+  scan.valid_bytes = ValidPrefix(contents);
+  if (scan.valid_bytes >= contents.size()) return scan;
+  const uint64_t bad = scan.valid_bytes;
+  if (bad + kFrameHeaderBytes <= contents.size()) {
+    uint32_t len = DecodeFixed32(contents.data() + bad);
+    if (bad + kFrameHeaderBytes + len <= contents.size()) {
+      scan.damaged = true;  // Complete frame, bad CRC: payload damage.
+      scan.damage_off = bad;
+      return scan;
+    }
+  }
+  // The frame header itself may hold the damaged bytes (a flipped length
+  // word looks torn). Resync-scan a bounded window for any later frame
+  // that still verifies; finding one proves the log continued past the
+  // "tear". Bounded: 1 MiB of candidate offsets, 1024 CRC evaluations.
+  const uint64_t window_end =
+      std::min<uint64_t>(contents.size(), bad + (1ull << 20));
+  size_t crc_attempts = 0;
+  for (uint64_t off = bad + 1;
+       off + kFrameHeaderBytes <= window_end && crc_attempts < 1024; ++off) {
+    uint32_t len = DecodeFixed32(contents.data() + off);
+    uint32_t crc = DecodeFixed32(contents.data() + off + 4);
+    if (len == 0 || len > contents.size() ||
+        off + kFrameHeaderBytes + len > contents.size()) {
+      continue;
+    }
+    ++crc_attempts;
+    if (Crc32c(contents.data() + off + kFrameHeaderBytes, len) == crc) {
+      scan.damaged = true;
+      scan.damage_off = bad;
+      return scan;
+    }
+  }
+  return scan;
+}
+
 }  // namespace
 
 SystemLog::SystemLog(std::string path, int fd, uint64_t stable_size,
@@ -59,7 +105,8 @@ Result<std::unique_ptr<SystemLog>> SystemLog::Open(const std::string& path,
   std::string contents;
   CWDB_RETURN_IF_ERROR(
       ReadFileToString(path, &contents, MissingFile::kTreatAsEmpty));
-  uint64_t stable = ValidPrefix(contents);
+  WalTailScan scan = ScanTail(contents);
+  const uint64_t stable = scan.valid_bytes;
   int fd = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
   if (fd < 0) {
     return Status::IoError("open " + path + ": " + std::strerror(errno));
@@ -73,7 +120,18 @@ Result<std::unique_ptr<SystemLog>> SystemLog::Open(const std::string& path,
       return s;
     }
   }
-  return std::unique_ptr<SystemLog>(new SystemLog(path, fd, stable, metrics));
+  auto log =
+      std::unique_ptr<SystemLog>(new SystemLog(path, fd, stable, metrics));
+  log->tail_scan_ = scan;
+  if (scan.damaged) {
+    // The caller (Database recovery) files the incident dossier; the
+    // counter and trace entry are recorded here so standalone opens (tools,
+    // tests) still leave evidence.
+    log->metrics_->counter("wal.crc_damaged_tail")->Add();
+    log->metrics_->trace().Record(TraceEventType::kWalTailDamage, stable,
+                                  scan.damage_off, scan.file_bytes);
+  }
+  return log;
 }
 
 Lsn SystemLog::Append(Slice payload) {

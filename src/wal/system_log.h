@@ -15,6 +15,20 @@
 
 namespace cwdb {
 
+/// What SystemLog::Open found past the valid frame prefix. A clean shutdown
+/// or an ordinary crash leaves `valid_bytes == file_bytes` or a *torn* tail
+/// (an incomplete final frame with nothing after it). `damaged` means the
+/// invalid bytes are not explainable as a torn append: either a complete
+/// frame failed its CRC, or valid frames exist beyond the bad region —
+/// i.e. stable log contents were corrupted in place (media/wild write),
+/// which costs committed transactions and deserves an incident dossier.
+struct WalTailScan {
+  uint64_t valid_bytes = 0;  ///< End of the valid frame prefix.
+  uint64_t file_bytes = 0;   ///< File size before truncation.
+  bool damaged = false;
+  uint64_t damage_off = 0;   ///< First bad frame offset when damaged.
+};
+
 /// The system log (paper §2.1): an in-memory tail plus a stable log file on
 /// disk. Redo records are appended to the tail when operations commit; the
 /// tail is flushed (written and fsync'd) at transaction commit and at
@@ -61,6 +75,10 @@ class SystemLog {
   /// failure would lose.
   void DiscardTail();
 
+  /// Classification of what Open() found at the end of the stable file
+  /// (before truncating it back to the valid prefix).
+  const WalTailScan& tail_scan() const { return tail_scan_; }
+
   /// Total bytes appended to the tail since open (read-log volume studies).
   uint64_t bytes_appended() const { return ins_.bytes_appended->Value(); }
   uint64_t flush_count() const { return ins_.flushes->Value(); }
@@ -85,6 +103,7 @@ class SystemLog {
 
   std::string path_;
   int fd_;
+  WalTailScan tail_scan_;
   mutable std::mutex latch_;  ///< The paper's "system log latch".
   std::condition_variable flush_cv_;
   uint64_t stable_size_;        ///< Bytes of valid stable log.

@@ -98,7 +98,9 @@ TEST_P(FaultCampaignTest, CopyOverrunClobbersNeighborAndIsDetected) {
 INSTANTIATE_TEST_SUITE_P(Regions, FaultCampaignTest,
                          ::testing::Values(64u, 512u, 4096u),
                          [](const auto& info) {
-                           return "r" + std::to_string(info.param);
+                           std::string name = "r";
+                           name += std::to_string(info.param);
+                           return name;
                          });
 
 TEST(FaultCampaign, HardwarePreventsAllQuiescentWildWrites) {

@@ -1,0 +1,377 @@
+// Corruption-forensics tests: every detection path must file a structured
+// incident dossier into incidents.jsonl (with attribution, codeword
+// evidence and the note linkage), delete-transaction recovery must emit a
+// provenance graph explaining each deleted transaction, and — just as
+// important — the one documented *undetected* fault (DESIGN §8's
+// checkpoint-page bit flip) must NOT produce a false dossier.
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/file_util.h"
+#include "common/json.h"
+#include "core/database.h"
+#include "faultinject/crash_harness.h"
+#include "faultinject/fault_injector.h"
+#include "obs/forensics.h"
+#include "recovery/provenance.h"
+#include "storage/attribution.h"
+#include "tests/test_util.h"
+
+namespace cwdb {
+namespace {
+
+std::vector<JsonValue> LoadIncidents(const std::string& dir) {
+  size_t skipped = 0;
+  Result<std::vector<JsonValue>> r =
+      LoadIncidentFile(dir + "/incidents.jsonl", &skipped);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(skipped, 0u);
+  return r.ok() ? *r : std::vector<JsonValue>();
+}
+
+/// First incident whose "source" field matches, or nullptr.
+const JsonValue* FindBySource(const std::vector<JsonValue>& incidents,
+                              const std::string& source) {
+  for (const JsonValue& inc : incidents) {
+    if (inc.Str("source") == source) return &inc;
+  }
+  return nullptr;
+}
+
+/// Builds a one-table database and returns the image offset of `slot`.
+struct Fixture {
+  std::unique_ptr<Database> db;
+  TableId table = 0;
+  uint32_t slots[4] = {};
+
+  static Fixture Build(const std::string& dir, ProtectionScheme scheme,
+                       uint32_t region_size = 512) {
+    Fixture f;
+    auto db = Database::Open(SmallDbOptions(dir, scheme, region_size));
+    EXPECT_TRUE(db.ok()) << db.status().ToString();
+    if (!db.ok()) return f;
+    f.db = std::move(*db);
+    auto txn = f.db->Begin();
+    EXPECT_TRUE(txn.ok());
+    auto t = f.db->CreateTable(*txn, "acct", 64, 256);
+    EXPECT_TRUE(t.ok());
+    f.table = *t;
+    for (int i = 0; i < 4; ++i) {
+      auto rid = f.db->Insert(*txn, f.table, std::string(64, 'a' + i));
+      EXPECT_TRUE(rid.ok());
+      f.slots[i] = rid->slot;
+    }
+    EXPECT_OK(f.db->Commit(*txn));
+    EXPECT_OK(f.db->Checkpoint());  // Certify a clean baseline.
+    return f;
+  }
+};
+
+TEST(Attribution, RecordRangeMapsToTableAndSlots) {
+  TempDir dir;
+  Fixture f = Fixture::Build(dir.path(), ProtectionScheme::kDataCodeword);
+  ASSERT_NE(f.db, nullptr);
+
+  DbPtr off = f.db->image()->RecordOff(f.table, f.slots[1]);
+  std::vector<RangeAttribution> pieces =
+      AttributeRange(*f.db->image(), off, 64 + 32);  // Slot 1 + part of 2.
+  ASSERT_FALSE(pieces.empty());
+  EXPECT_EQ(pieces[0].kind, ImageAreaKind::kRecordData);
+  EXPECT_EQ(pieces[0].table_name, "acct");
+  EXPECT_EQ(pieces[0].first_slot, f.slots[1]);
+  EXPECT_EQ(pieces[0].last_slot, f.slots[2]);
+}
+
+TEST(Forensics, AuditFailureFilesDossierLinkedToNote) {
+  TempDir dir;
+  Fixture f = Fixture::Build(dir.path(), ProtectionScheme::kDataCodeword);
+  ASSERT_NE(f.db, nullptr);
+
+  FaultInjector inject(f.db.get(), 7);
+  DbPtr victim = f.db->image()->RecordOff(f.table, f.slots[1]);
+  inject.WildWriteAt(victim, "garbage-bytes");
+
+  auto report = f.db->Audit();
+  ASSERT_TRUE(report.ok());
+  ASSERT_FALSE(report->clean);
+
+  std::vector<JsonValue> incidents = LoadIncidents(dir.path());
+  ASSERT_EQ(incidents.size(), 1u);
+  const JsonValue& inc = incidents[0];
+  EXPECT_EQ(inc.U64("id"), 1u);
+  EXPECT_EQ(inc.Str("source"), "audit");
+  EXPECT_EQ(inc.Str("scheme"), "Data CW");
+  EXPECT_GT(inc.U64("lsn"), 0u);
+  EXPECT_FALSE(inc.Str("detail").empty());
+
+  const JsonValue* regions = inc.Find("regions");
+  ASSERT_NE(regions, nullptr);
+  ASSERT_TRUE(regions->is_array());
+  ASSERT_FALSE(regions->array().empty());
+  const JsonValue& region = regions->array()[0];
+  // The wild write falls inside the reported region...
+  EXPECT_LE(region.U64("off"), victim);
+  EXPECT_GT(region.U64("off") + region.U64("len"), victim);
+  // ...with codeword evidence (the XOR delta of a real mismatch is
+  // nonzero) and a bounded hexdump of the bytes as found.
+  ASSERT_NE(region.Find("codeword_delta"), nullptr);
+  EXPECT_NE(region.U64("codeword_delta"), 0u);
+  EXPECT_EQ(region.U64("codeword_delta"),
+            region.U64("codeword_stored") ^ region.U64("codeword_computed"));
+  EXPECT_FALSE(region.Str("hexdump").empty());
+  // Attribution maps the region through the table directory.
+  const JsonValue* attr = region.Find("attribution");
+  ASSERT_NE(attr, nullptr);
+  ASSERT_TRUE(attr->is_array());
+  bool found_record_data = false;
+  for (const JsonValue& a : attr->array()) {
+    if (a.Str("kind") == "record_data") {
+      found_record_data = true;
+      EXPECT_EQ(a.Str("table_name"), "acct");
+    }
+  }
+  EXPECT_TRUE(found_record_data);
+
+  // The corruption note carries the dossier id: detection → note →
+  // recovery are one linked chain.
+  DbFiles files(dir.path());
+  auto note = ReadCorruptionNote(files.CorruptNote());
+  ASSERT_TRUE(note.ok()) << note.status().ToString();
+  EXPECT_EQ(note->incident_id, inc.U64("id"));
+}
+
+TEST(Forensics, ReadPrecheckRefusalFilesDossier) {
+  TempDir dir;
+  Fixture f = Fixture::Build(dir.path(), ProtectionScheme::kReadPrecheck);
+  ASSERT_NE(f.db, nullptr);
+
+  FaultInjector inject(f.db.get(), 11);
+  DbPtr victim = f.db->image()->RecordOff(f.table, f.slots[2]);
+  inject.WildWriteAt(victim, "clobbered");
+
+  auto txn = f.db->Begin();
+  ASSERT_TRUE(txn.ok());
+  std::string out;
+  Status s = f.db->Read(*txn, f.table, f.slots[2], &out);
+  ASSERT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsCorruption()) << s.ToString();
+
+  std::vector<JsonValue> incidents = LoadIncidents(dir.path());
+  const JsonValue* inc = FindBySource(incidents, "read_precheck");
+  ASSERT_NE(inc, nullptr);
+  EXPECT_EQ(inc->Str("scheme"), "Data CW w/Precheck");
+  EXPECT_NE(inc->Str("detail").find("read precheck refused"),
+            std::string::npos);
+  // The refused read's region is implicated, with codeword evidence.
+  const JsonValue* regions = inc->Find("regions");
+  ASSERT_NE(regions, nullptr);
+  ASSERT_FALSE(regions->array().empty());
+  EXPECT_NE(regions->array()[0].U64("codeword_delta"), 0u);
+  // The reading transaction was active at detection time.
+  const JsonValue* active = inc->Find("active_txns");
+  ASSERT_NE(active, nullptr);
+  EXPECT_FALSE(active->array().empty());
+  ASSERT_OK(f.db->Abort(*txn));
+}
+
+TEST(Forensics, HardwareTrapFilesDossier) {
+  TempDir dir;
+  Fixture f = Fixture::Build(dir.path(), ProtectionScheme::kHardware);
+  ASSERT_NE(f.db, nullptr);
+
+  FaultInjector inject(f.db.get(), 13);
+  DbPtr victim = f.db->image()->RecordOff(f.table, f.slots[0]);
+  FaultInjector::Outcome out = inject.WildWriteAt(victim, "trapped");
+  ASSERT_TRUE(out.prevented);
+
+  std::vector<JsonValue> incidents = LoadIncidents(dir.path());
+  const JsonValue* inc = FindBySource(incidents, "mprotect_trap");
+  ASSERT_NE(inc, nullptr);
+  EXPECT_NE(inc->Str("detail").find("image bytes unchanged"),
+            std::string::npos);
+  const JsonValue* regions = inc->Find("regions");
+  ASSERT_NE(regions, nullptr);
+  ASSERT_FALSE(regions->array().empty());
+  EXPECT_EQ(regions->array()[0].U64("off"), victim);
+}
+
+// The §4.3 spread scenario, asserted down to the provenance edges: a wild
+// write corrupts 'savings'; T_carrier reads it and writes 'escrow';
+// T_second reads escrow and writes 'payroll'; T_clean touches neither.
+// Recovery must delete carrier and second, keep clean, and the graph must
+// say WHY: carrier read the incident's root range, second read a range
+// tainted by carrier.
+TEST(Forensics, RecoveryBuildsProvenanceGraph) {
+  TempDir dir;
+  constexpr uint32_t kRecordSize = 128;
+  auto opened = Database::Open(
+      SmallDbOptions(dir.path(), ProtectionScheme::kReadLog, kRecordSize));
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  std::unique_ptr<Database> db = std::move(*opened);
+
+  auto txn = db->Begin();
+  ASSERT_TRUE(txn.ok());
+  auto ledger = db->CreateTable(*txn, "ledger", kRecordSize, 32);
+  ASSERT_TRUE(ledger.ok());
+  uint32_t slots[5];
+  for (int i = 0; i < 5; ++i) {
+    auto rid = db->Insert(*txn, *ledger, std::string(kRecordSize, 'A' + i));
+    ASSERT_TRUE(rid.ok());
+    slots[i] = rid->slot;
+  }
+  ASSERT_OK(db->Commit(*txn));
+  ASSERT_OK(db->Checkpoint());
+
+  FaultInjector inject(db.get(), 2024);
+  DbPtr victim = db->image()->RecordOff(*ledger, slots[1]);
+  inject.WildWriteAt(victim, "savings:99999999");
+
+  // T_carrier: reads corrupt savings, writes escrow.
+  txn = db->Begin();
+  ASSERT_TRUE(txn.ok());
+  TxnId carrier = (*txn)->id();
+  std::string val;
+  ASSERT_OK(db->Read(*txn, *ledger, slots[1], &val));
+  ASSERT_OK(db->Update(*txn, *ledger, slots[2], 0, "esc<" + val.substr(0, 8)));
+  ASSERT_OK(db->Commit(*txn));
+
+  // T_second: reads escrow (indirectly corrupt), writes payroll.
+  txn = db->Begin();
+  ASSERT_TRUE(txn.ok());
+  TxnId second = (*txn)->id();
+  ASSERT_OK(db->Read(*txn, *ledger, slots[2], &val));
+  ASSERT_OK(db->Update(*txn, *ledger, slots[3], 0, "pay<" + val.substr(0, 8)));
+  ASSERT_OK(db->Commit(*txn));
+
+  // T_clean: reads checking, writes petty — untainted.
+  txn = db->Begin();
+  ASSERT_TRUE(txn.ok());
+  TxnId clean = (*txn)->id();
+  ASSERT_OK(db->Read(*txn, *ledger, slots[0], &val));
+  ASSERT_OK(db->Update(*txn, *ledger, slots[4], 0, "petty:42"));
+  ASSERT_OK(db->Commit(*txn));
+
+  auto report = db->Audit();
+  ASSERT_TRUE(report.ok());
+  ASSERT_FALSE(report->clean);
+  std::vector<JsonValue> incidents = LoadIncidents(dir.path());
+  ASSERT_EQ(incidents.size(), 1u);
+  const uint64_t incident_id = incidents[0].U64("id");
+
+  ASSERT_OK(db->CrashAndRecover());
+  const RecoveryReport& rr = db->last_recovery_report();
+  auto deleted = [&](TxnId id) {
+    return std::find(rr.deleted_txns.begin(), rr.deleted_txns.end(), id) !=
+           rr.deleted_txns.end();
+  };
+  ASSERT_TRUE(deleted(carrier));
+  ASSERT_TRUE(deleted(second));
+  ASSERT_FALSE(deleted(clean));
+
+  const ProvenanceGraph& g = rr.provenance;
+  EXPECT_EQ(g.incident_id, incident_id);
+  ASSERT_FALSE(g.roots.empty());
+
+  // Carrier was implicated by reading the incident's root range directly.
+  const ProvenanceEdge* ce = g.EdgeFor(carrier);
+  ASSERT_NE(ce, nullptr);
+  EXPECT_EQ(ce->reason, ProvenanceReason::kReadCorruptRange);
+  EXPECT_EQ(ce->from_txn, 0u);
+  EXPECT_LE(ce->via.off, victim);
+  EXPECT_GT(ce->via.off + ce->via.len, victim);
+  EXPECT_GT(ce->at_lsn, 0u);
+
+  // Second was implicated through carrier's suppressed escrow write.
+  const ProvenanceEdge* se = g.EdgeFor(second);
+  ASSERT_NE(se, nullptr);
+  EXPECT_EQ(se->reason, ProvenanceReason::kReadCorruptRange);
+  EXPECT_EQ(se->from_txn, carrier);
+
+  // Clean has no edge; second's reason path walks back to the root.
+  EXPECT_EQ(g.EdgeFor(clean), nullptr);
+  std::vector<const ProvenanceEdge*> path = g.PathFor(second);
+  ASSERT_EQ(path.size(), 2u);
+  EXPECT_EQ(path[0]->txn, second);
+  EXPECT_EQ(path[1]->txn, carrier);
+
+  // The graph was persisted as valid JSON, and its DOT export names every
+  // implicated transaction.
+  DbFiles files(dir.path());
+  std::string json;
+  ASSERT_OK(ReadFileToString(files.ProvenanceFile(), &json));
+  Result<JsonValue> parsed = ParseJson(json);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->U64("incident_id"), incident_id);
+  const JsonValue* edges = parsed->Find("edges");
+  ASSERT_NE(edges, nullptr);
+  EXPECT_EQ(edges->array().size(), g.edges.size());
+  std::string dot = g.ToDot();
+  EXPECT_NE(dot.find("txn" + std::to_string(carrier)), std::string::npos);
+  EXPECT_NE(dot.find("txn" + std::to_string(second)), std::string::npos);
+}
+
+// Crash-matrix × forensics: a bit flip inside a WAL batch is caught by the
+// frame CRC at the verifying reopen, which must file a wal_crc dossier.
+TEST(Forensics, WalBitFlipFilesWalCrcDossier) {
+  TempDir dir;
+  std::string case_dir = dir.path() + "/case";
+  crashharness::CaseSpec spec;
+  spec.point = "wal.flush.pwrite";
+  spec.mode = crashpoint::Mode::kBitFlip;
+  // Flip a later flush so a valid log prefix survives in front of the
+  // damaged frame (the dossier's lsn records that prefix).
+  spec.countdown = 3;
+  Result<crashharness::CaseResult> r = crashharness::RunCase(case_dir, spec);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+
+  std::vector<JsonValue> incidents = LoadIncidents(case_dir);
+  const JsonValue* inc = FindBySource(incidents, "wal_crc");
+  ASSERT_NE(inc, nullptr);
+  EXPECT_GT(inc->U64("lsn"), 0u);  // The surviving valid prefix.
+  EXPECT_NE(inc->Str("detail").find("WAL tail failed CRC"),
+            std::string::npos);
+}
+
+// The other §8 carve-out, inverted: a bit flip in a checkpoint page is
+// documented as NOT detected (certification audits the in-memory image;
+// the page write carries no disk checksum). Reopening from the flipped
+// image must succeed and must NOT fabricate an incident — no detection
+// path fired, so no dossier may claim one did.
+TEST(Forensics, UndetectedCheckpointPageFlipFilesNoDossier) {
+  TempDir dir;
+  DbPtr victim = 0;
+  {
+    Fixture f = Fixture::Build(dir.path(), ProtectionScheme::kDataCodeword);
+    ASSERT_NE(f.db, nullptr);
+    victim = f.db->image()->RecordOff(f.table, f.slots[1]);
+    ASSERT_OK(f.db->Close());
+  }
+
+  // Flip one bit of the committed record inside the *active* checkpoint
+  // image (page file offsets equal image offsets).
+  DbFiles files(dir.path());
+  std::string anchor;
+  ASSERT_OK(ReadFileToString(files.Anchor(), &anchor));
+  std::string image_path = files.CkptImage(anchor == "A" ? 0 : 1);
+  std::string bytes;
+  ASSERT_OK(ReadFileToString(image_path, &bytes));
+  ASSERT_GT(bytes.size(), victim);
+  bytes[victim] ^= 0x01;
+  ASSERT_OK(WriteFileAtomic(image_path, bytes));
+
+  auto db = Database::Open(
+      SmallDbOptions(dir.path(), ProtectionScheme::kDataCodeword));
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  EXPECT_TRUE((*db)->last_recovery_report().deleted_txns.empty());
+
+  std::vector<JsonValue> incidents = LoadIncidents(dir.path());
+  EXPECT_TRUE(incidents.empty())
+      << "false dossier: " << incidents[0].Str("source");
+}
+
+}  // namespace
+}  // namespace cwdb

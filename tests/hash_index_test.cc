@@ -94,7 +94,9 @@ TEST_F(HashIndexTest, CollisionChainsWithSingleBucket) {
   auto txn = db_->Begin();
   std::map<uint64_t, uint32_t> expected;
   for (uint64_t k = 0; k < 40; ++k) {
-    expected[k] = Put(*txn, k, "v" + std::to_string(k));
+    std::string val = "v";
+    val += std::to_string(k);
+    expected[k] = Put(*txn, k, val);
   }
   ASSERT_OK(db_->Commit(*txn));
 

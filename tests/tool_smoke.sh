@@ -1,10 +1,13 @@
 #!/bin/sh
 # Smoke test for cwdb_ctl: build a small database with the quickstart
-# example, then exercise every read-only subcommand plus recover.
+# example, then exercise every read-only subcommand plus recover. The
+# corruption_forensics example provides a directory with an incident
+# dossier and a recovery provenance graph for the forensics subcommands.
 set -e
 
 QUICKSTART="$1"
 CTL="$2"
+FORENSICS="$3"
 DIR=$(mktemp -d /dev/shm/cwdb_tool_smoke_XXXXXX)
 trap 'rm -rf "$DIR"' EXIT
 
@@ -20,6 +23,25 @@ trap 'rm -rf "$DIR"' EXIT
 # stats re-emits the metrics snapshot quickstart's Close() persisted.
 "$CTL" stats "$DIR/db" | grep -q '"txn.commits"'
 "$CTL" stats "$DIR/db" | grep -q '"txn.commit_latency_ns"'
+
+# trace decodes the flight-recorder events of the same snapshot.
+"$CTL" trace "$DIR/db" | grep -q "checkpoint"
+"$CTL" trace "$DIR/db" | grep -q "group_commit_flush"
+
+# A clean database has no dossiers.
+"$CTL" incidents "$DIR/db" | grep -q "no incidents recorded"
+
+# The forensics walkthrough leaves an incident dossier and a recovery
+# provenance graph behind; the forensics subcommands must decode both.
+if [ -n "$FORENSICS" ]; then
+  "$FORENSICS" "$DIR/fdb" > /dev/null
+  "$CTL" incidents "$DIR/fdb" | grep -q "source=audit"
+  "$CTL" incidents "$DIR/fdb" | grep -q "delta=0x"
+  "$CTL" explain-recovery "$DIR/fdb" | grep -q "deleted transactions:"
+  "$CTL" explain-recovery "$DIR/fdb" | grep -q "tainted by txn"
+  "$CTL" explain-recovery "$DIR/fdb" --dot \
+    | grep -q "digraph recovery_provenance"
+fi
 
 # Unknown command fails with usage.
 if "$CTL" bogus "$DIR/db" 2> /dev/null; then

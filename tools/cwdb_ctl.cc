@@ -11,6 +11,12 @@
 //   cwdb_ctl stats <dir>                 re-emit the metrics snapshot that
 //                                        Database::DumpMetrics()/Close()
 //                                        persisted (byte-identical JSON)
+//   cwdb_ctl trace <dir>                 decode the flight-recorder events
+//                                        of the persisted metrics snapshot
+//   cwdb_ctl incidents <dir>             render incidents.jsonl dossiers
+//   cwdb_ctl explain-recovery <dir> [--dot]
+//                                        per-deleted-txn implication chains
+//                                        from the last corruption recovery
 //
 // All subcommands except `recover` are read-only and work on a cold
 // directory without instantiating a Database.
@@ -24,8 +30,12 @@
 #include "ckpt/att_codec.h"
 #include "ckpt/checkpoint.h"
 #include "common/file_util.h"
+#include "common/json.h"
 #include "core/database.h"
+#include "obs/forensics.h"
+#include "obs/trace.h"
 #include "recovery/corrupt_note.h"
+#include "recovery/provenance.h"
 #include "storage/integrity.h"
 #include "wal/system_log.h"
 
@@ -34,8 +44,8 @@ namespace {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: cwdb_ctl <info|tables|check|logdump|recover|stats> "
-               "<dir> [args]\n");
+               "usage: cwdb_ctl <info|tables|check|logdump|recover|stats|"
+               "trace|incidents|explain-recovery> <dir> [args]\n");
   return 2;
 }
 
@@ -299,6 +309,222 @@ int CmdStats(const std::string& dir) {
   return 0;
 }
 
+int CmdTrace(const std::string& dir) {
+  DbFiles files(dir);
+  std::string json;
+  Status s = ReadFileToString(files.MetricsFile(), &json);
+  if (!s.ok()) {
+    std::fprintf(stderr, "no metrics snapshot at %s: %s\n",
+                 files.MetricsFile().c_str(), s.ToString().c_str());
+    return 1;
+  }
+  Result<JsonValue> doc = ParseJson(json);
+  if (!doc.ok()) {
+    std::fprintf(stderr, "cannot parse %s: %s\n", files.MetricsFile().c_str(),
+                 doc.status().ToString().c_str());
+    return 1;
+  }
+  const JsonValue* events = doc->Find("events");
+  if (events == nullptr || !events->is_array()) {
+    std::fprintf(stderr, "snapshot has no events array (schema %" PRIu64
+                 ")\n", doc->U64("schema_version"));
+    return 1;
+  }
+  const uint64_t boot_mono = doc->U64("boot_mono_ns");
+  std::printf("%-8s %-12s %-12s %-20s %-10s %s\n", "seq", "t+ms",
+              "wall", "type", "lsn", "detail");
+  for (const JsonValue& ev : events->array()) {
+    TraceEvent e;
+    e.seq = ev.U64("seq");
+    e.t_ns = ev.U64("t_ns");
+    e.lsn = ev.U64("lsn");
+    e.a = ev.U64("a");
+    e.b = ev.U64("b");
+    std::string type_name = ev.Str("type");
+    std::string detail;
+    if (TraceEventTypeFromName(type_name, &e.type)) {
+      detail = DescribeTraceEvent(e);
+    } else {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "a=%" PRIu64 " b=%" PRIu64, e.a, e.b);
+      detail = buf;
+    }
+    // Both time bases: milliseconds since registry boot (monotonic) and
+    // the wall-clock stamp the snapshot derived from its boot anchor.
+    const double rel_ms =
+        e.t_ns >= boot_mono
+            ? static_cast<double>(e.t_ns - boot_mono) / 1e6
+            : static_cast<double>(e.t_ns) / 1e6;
+    const uint64_t wall_ns = ev.U64("wall_ns");
+    char wall[32];
+    if (wall_ns != 0) {
+      std::snprintf(wall, sizeof(wall), "%.3fs",
+                    static_cast<double>(wall_ns % 1000000000000ull) / 1e9);
+    } else {
+      std::snprintf(wall, sizeof(wall), "-");
+    }
+    std::printf("%-8" PRIu64 " %-12.3f %-12s %-20s %-10" PRIu64 " %s\n",
+                e.seq, rel_ms, wall, type_name.c_str(), e.lsn,
+                detail.c_str());
+  }
+  return 0;
+}
+
+int CmdIncidents(const std::string& dir) {
+  DbFiles files(dir);
+  size_t skipped = 0;
+  Result<std::vector<JsonValue>> incidents =
+      LoadIncidentFile(files.IncidentsFile(), &skipped);
+  if (!incidents.ok()) {
+    std::fprintf(stderr, "%s\n", incidents.status().ToString().c_str());
+    return 1;
+  }
+  if (incidents->empty()) {
+    std::printf("no incidents recorded at %s\n",
+                files.IncidentsFile().c_str());
+    return 0;
+  }
+  for (const JsonValue& inc : *incidents) {
+    std::fputs(RenderIncident(inc).c_str(), stdout);
+    std::printf("\n");
+  }
+  if (skipped > 0) {
+    std::printf("(%zu unparseable line(s) skipped — torn tail?)\n", skipped);
+  }
+  return 0;
+}
+
+int CmdExplainRecovery(const std::string& dir, bool dot) {
+  DbFiles files(dir);
+  std::string json;
+  Status s = ReadFileToString(files.ProvenanceFile(), &json);
+  if (!s.ok()) {
+    std::fprintf(stderr,
+                 "no recovery provenance at %s (no corruption recovery has "
+                 "run): %s\n",
+                 files.ProvenanceFile().c_str(), s.ToString().c_str());
+    return 1;
+  }
+  if (dot) {
+    // Re-emit as Graphviz from the parsed JSON so the output always
+    // matches the persisted graph.
+    Result<JsonValue> doc = ParseJson(json);
+    if (!doc.ok()) {
+      std::fprintf(stderr, "cannot parse %s: %s\n",
+                   files.ProvenanceFile().c_str(),
+                   doc.status().ToString().c_str());
+      return 1;
+    }
+    ProvenanceGraph g;
+    g.incident_id = doc->U64("incident_id");
+    g.last_clean_audit_lsn = doc->U64("last_clean_audit_lsn");
+    if (const JsonValue* roots = doc->Find("roots"); roots != nullptr) {
+      for (const JsonValue& r : roots->array()) {
+        g.roots.push_back(CorruptRange{r.U64("off"), r.U64("len")});
+      }
+    }
+    if (const JsonValue* edges = doc->Find("edges"); edges != nullptr) {
+      for (const JsonValue& ej : edges->array()) {
+        ProvenanceEdge e;
+        e.txn = ej.U64("txn");
+        e.at_lsn = ej.U64("at_lsn");
+        e.via = CorruptRange{ej.U64("via_off"), ej.U64("via_len")};
+        e.from_txn = ej.U64("from_txn");
+        std::string reason = ej.Str("reason");
+        for (int i = 0;
+             i <= static_cast<int>(ProvenanceReason::kCommittedAfterLimit);
+             ++i) {
+          if (reason == ProvenanceReasonName(
+                            static_cast<ProvenanceReason>(i))) {
+            e.reason = static_cast<ProvenanceReason>(i);
+            break;
+          }
+        }
+        g.edges.push_back(e);
+      }
+    }
+    std::fputs(g.ToDot().c_str(), stdout);
+    return 0;
+  }
+
+  Result<JsonValue> doc = ParseJson(json);
+  if (!doc.ok()) {
+    std::fprintf(stderr, "cannot parse %s: %s\n",
+                 files.ProvenanceFile().c_str(),
+                 doc.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("incident %" PRIu64 ", last clean audit LSN %" PRIu64 "\n",
+              doc->U64("incident_id"), doc->U64("last_clean_audit_lsn"));
+
+  // The incident's root attribution (page/table/record), straight from the
+  // persisted graph.
+  const JsonValue* roots = doc->Find("roots");
+  if (roots != nullptr && !roots->array().empty()) {
+    std::printf("corrupt ranges:\n");
+    for (const JsonValue& r : roots->array()) {
+      std::printf("  [%" PRIu64 ", +%" PRIu64 ")", r.U64("off"),
+                  r.U64("len"));
+      if (const JsonValue* attr = r.Find("attribution"); attr != nullptr) {
+        for (const JsonValue& a : attr->array()) {
+          std::printf(" %s", a.Str("kind").c_str());
+          if (const JsonValue* tn = a.Find("table_name"); tn != nullptr) {
+            std::printf("(table %s", tn->string_value().c_str());
+            if (const JsonValue* fs = a.Find("first_slot"); fs != nullptr) {
+              std::printf(", slots %" PRIu64 "-%" PRIu64, fs->AsU64(),
+                          a.U64("last_slot"));
+            }
+            std::printf(")");
+          }
+        }
+      }
+      std::printf("\n");
+    }
+  }
+
+  // Reconstruct the graph to walk PathFor per deleted transaction.
+  ProvenanceGraph g;
+  if (const JsonValue* edges = doc->Find("edges"); edges != nullptr) {
+    for (const JsonValue& ej : edges->array()) {
+      ProvenanceEdge e;
+      e.txn = ej.U64("txn");
+      e.at_lsn = ej.U64("at_lsn");
+      e.via = CorruptRange{ej.U64("via_off"), ej.U64("via_len")};
+      e.from_txn = ej.U64("from_txn");
+      std::string reason = ej.Str("reason");
+      for (int i = 0;
+           i <= static_cast<int>(ProvenanceReason::kCommittedAfterLimit);
+           ++i) {
+        if (reason ==
+            ProvenanceReasonName(static_cast<ProvenanceReason>(i))) {
+          e.reason = static_cast<ProvenanceReason>(i);
+          break;
+        }
+      }
+      g.edges.push_back(e);
+    }
+  }
+  if (g.edges.empty()) {
+    std::printf("no transactions were implicated\n");
+    return 0;
+  }
+  std::printf("deleted transactions:\n");
+  for (const ProvenanceEdge& top : g.edges) {
+    std::printf("  txn %" PRIu64 ":\n", top.txn);
+    for (const ProvenanceEdge* e : g.PathFor(top.txn)) {
+      std::printf("    %s via [%" PRIu64 ", +%" PRIu64 ") at LSN %" PRIu64,
+                  ProvenanceReasonName(e->reason), e->via.off, e->via.len,
+                  e->at_lsn);
+      if (e->from_txn != 0) {
+        std::printf(" (tainted by txn %" PRIu64 ")\n", e->from_txn);
+      } else {
+        std::printf(" (rooted in the incident's corrupt ranges)\n");
+      }
+    }
+  }
+  return 0;
+}
+
 }  // namespace
 }  // namespace cwdb
 
@@ -318,5 +544,11 @@ int main(int argc, char** argv) {
     return CmdRecover(dir, argc > 3 ? argv[3] : "none");
   }
   if (cmd == "stats") return CmdStats(dir);
+  if (cmd == "trace") return CmdTrace(dir);
+  if (cmd == "incidents") return CmdIncidents(dir);
+  if (cmd == "explain-recovery") {
+    bool dot = argc > 3 && std::strcmp(argv[3], "--dot") == 0;
+    return CmdExplainRecovery(dir, dot);
+  }
   return Usage();
 }
