@@ -5,9 +5,12 @@
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
+#include <vector>
 
+#include "common/parallel.h"
 #include "common/status.h"
 #include "core/database.h"
 
@@ -19,6 +22,14 @@ namespace cwdb {
 /// region". Sweeps the database in slices on its own thread so detection
 /// latency is bounded without a stop-the-world pass, throttled to a
 /// configurable fraction of the region space per round.
+///
+/// The sweep is shard-aware: one cursor per engine shard (Database::
+/// shard_map), each round auditing one slice from every shard — fanned
+/// over a ThreadPool when `threads` > 1 — so detection latency shrinks
+/// with the shard count and each lane stays inside one shard's codeword
+/// table and latch stripes. A sweep completes when every shard's cursor
+/// has wrapped; Audit_SN advancement, the one-callback-per-bad-round
+/// contract and ascending-range reports are unchanged.
 ///
 /// On a failed audit the paper's protocol is to note the corrupt regions
 /// and crash; the auditor instead invokes a user callback (which may call
@@ -32,11 +43,12 @@ class BackgroundAuditor {
     std::chrono::milliseconds interval{10};
     /// Bytes audited per slice (rounded to whole regions).
     uint64_t slice_bytes = 1 << 20;
-    /// Sweep lanes per slice: each slice's region range is fanned across
-    /// the protection scheme's sweep pool (AuditRangeParallel), shrinking
-    /// detection latency without changing the cursor/LSN sweep semantics
-    /// or the corruption-callback contract (one callback per bad slice,
-    /// ranges in ascending order). 1 = sequential slices (the default);
+    /// Sweep lanes per round. With several shards the lanes run on the
+    /// auditor's ThreadPool, one shard slice per lane; with a single shard
+    /// the slice is fanned through the protection scheme's sweep pool
+    /// (AuditRangeParallel). Neither changes the cursor/LSN sweep
+    /// semantics or the corruption-callback contract (one callback per bad
+    /// round, ranges in ascending order). 1 = sequential (the default);
     /// 0 = one lane per hardware thread.
     size_t threads = 1;
   };
@@ -62,8 +74,11 @@ class BackgroundAuditor {
 
  private:
   void Loop();
-  /// Audits [cursor_, cursor_ + slice); returns true if corruption found.
+  /// Audits one slice from every shard's cursor; returns true if
+  /// corruption was found (after noting it and firing the callback).
   bool AuditSlice();
+  /// Lazily-built pool for fanning shard slices (nullptr = sequential).
+  ThreadPool* shard_pool();
 
   Database* db_;
   Options options_;
@@ -74,10 +89,16 @@ class BackgroundAuditor {
   std::condition_variable cv_;
   bool running_ = false;
   bool stop_ = false;
-  uint64_t cursor_ = 0;        ///< Next image offset to audit.
+  /// Per-shard sweep cursors: next offset to audit, relative to the
+  /// shard's start. A sweep is complete when every cursor has reached its
+  /// shard's length; all reset to zero together.
+  std::vector<uint64_t> cursors_;
   Lsn sweep_start_lsn_ = 0;    ///< Log position when the current sweep began.
   std::atomic<uint64_t> sweeps_completed_{0};
   std::atomic<bool> corruption_seen_{false};
+
+  std::once_flag pool_once_;
+  std::unique_ptr<ThreadPool> pool_;
 };
 
 }  // namespace cwdb

@@ -2,6 +2,7 @@
 
 #include <sys/stat.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cinttypes>
@@ -10,6 +11,7 @@
 
 #include "ckpt/archive.h"
 #include "common/file_util.h"
+#include "common/parallel.h"
 
 namespace cwdb {
 
@@ -61,12 +63,25 @@ void Database::MetricsFlusherLoop() {
 Status Database::OpenImpl() {
   CWDB_ASSIGN_OR_RETURN(
       image_, DbImage::Create(options_.arena_size, options_.page_size));
+  // One static partition of the arena drives every sharded component:
+  // spans are aligned to both the page and the protection region, so
+  // neither ever straddles a shard boundary. 0 = one shard per hardware
+  // thread; ShardMap clamps if the arena is too small for the request.
+  const uint64_t shard_align = std::max<uint64_t>(
+      options_.page_size, options_.protection.region_size);
+  size_t requested =
+      options_.shards == 0 ? EffectiveConcurrency(0) : options_.shards;
+  shard_map_ = ShardMap(options_.arena_size, requested, shard_align);
+  options_.protection.shards = shard_map_.shard_count();
+  options_.protection.shard_align = shard_align;
   CWDB_ASSIGN_OR_RETURN(
       protection_,
       ProtectionManager::Create(options_.protection, image_.get(), &metrics_));
-  CWDB_ASSIGN_OR_RETURN(log_, SystemLog::Open(files_.SystemLog(), &metrics_));
+  CWDB_ASSIGN_OR_RETURN(log_, SystemLog::Open(files_.SystemLog(), &metrics_,
+                                              shard_map_.shard_count()));
   txns_ = std::make_unique<TxnManager>(image_.get(), protection_.get(),
-                                       log_.get(), &metrics_);
+                                       log_.get(), &metrics_,
+                                       shard_map_.shard_count());
   checkpointer_ = std::make_unique<Checkpointer>(
       files_, image_.get(), txns_.get(), log_.get(), protection_.get(),
       &metrics_);

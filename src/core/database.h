@@ -23,6 +23,7 @@
 #include "recovery/recovery.h"
 #include "storage/db_image.h"
 #include "storage/integrity.h"
+#include "storage/shard_map.h"
 #include "txn/table_ops.h"
 #include "txn/txn_manager.h"
 #include "wal/system_log.h"
@@ -50,6 +51,14 @@ struct DatabaseOptions {
   /// Database page size (dirty tracking / checkpoint granularity). Must be
   /// a power of two and a multiple of the OS page size.
   uint32_t page_size = 8192;
+
+  /// Number of engine shards. The arena is partitioned into this many
+  /// contiguous page/region-aligned spans (ShardMap); the protection
+  /// latches and codeword tables, the lock-manager segments and the WAL
+  /// append staging are all instantiated per shard, so transactions on
+  /// disjoint shards share no hot state. 0 = one shard per hardware
+  /// thread; 1 = the pre-sharding single-shard layout.
+  size_t shards = 0;
 
   /// Corruption-protection scheme and region size (paper §3, Table 2).
   ProtectionOptions protection;
@@ -254,11 +263,19 @@ class Database {
   /// snapshot for post-mortem `cwdb_ctl stats`. Optional — destroying the
   /// Database without it is always safe (recovery replays the log) and is
   /// exactly what a crash looks like.
+  ///
+  /// Ordering matters: the log flush drains the group-commit queue (every
+  /// staged shard batch reaches the stable file), and the background
+  /// workers (stats server, metrics flusher) are stopped *before* the
+  /// final metrics dump — otherwise the flusher could overwrite the
+  /// shutdown snapshot with a stale capture, or the dump could miss flush
+  /// counters still being bumped by in-flight background work.
   Status Close() {
     CWDB_CHECK(txns_->att().empty())
         << "Close() with active transactions; commit or abort them first";
     CWDB_RETURN_IF_ERROR(Checkpoint());
     CWDB_RETURN_IF_ERROR(log_->Flush());
+    StopBackgroundWork();
     Result<std::string> snap = DumpMetrics();
     return snap.ok() ? Status::OK() : snap.status();
   }
@@ -296,6 +313,10 @@ class Database {
   uint8_t* UnsafeRawBase() { return image_->base(); }
   uint64_t arena_size() const { return image_->size(); }
 
+  /// The static shard partition of the arena (single-shard when
+  /// options.shards resolved to 1).
+  const ShardMap& shard_map() const { return shard_map_; }
+
   DbImage* image() { return image_.get(); }
   ProtectionManager* protection() { return protection_.get(); }
   TxnManager* txns() { return txns_.get(); }
@@ -319,6 +340,7 @@ class Database {
 
   DatabaseOptions options_;
   DbFiles files_;
+  ShardMap shard_map_;
   /// Declared before the components so it is destroyed after them — every
   /// component holds bare Counter*/Histogram* pointers into it.
   MetricsRegistry metrics_;

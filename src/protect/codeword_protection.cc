@@ -1,21 +1,64 @@
 #include "protect/codeword_protection.h"
 
 #include <algorithm>
+#include <bit>
 #include <cinttypes>
 #include <cstdio>
+#include <thread>
 
 #include "obs/forensics.h"
 
+// The optimistic (seqlock-validated) read path races plain image loads
+// against concurrent updaters by design; the epoch check discards every
+// torn result. ThreadSanitizer has no way to see that reasoning, so the
+// optimistic path is compiled out under TSan and prechecks always take the
+// protection latch there.
+#if defined(__SANITIZE_THREAD__)
+#define CWDB_TSAN_ENABLED 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define CWDB_TSAN_ENABLED 1
+#endif
+#endif
+#ifndef CWDB_TSAN_ENABLED
+#define CWDB_TSAN_ENABLED 0
+#endif
+
 namespace cwdb {
+
+namespace {
+
+/// Optimistic verify attempts before giving up and taking the latch.
+constexpr int kValidatedReadAttempts = 4;
+
+}  // namespace
 
 CodewordProtection::CodewordProtection(const ProtectionOptions& options,
                                        DbImage* image,
                                        MetricsRegistry* metrics)
     : ProtectionManager(options, image, metrics),
       exclusive_updates_(options.PrechecksReads()),
-      codewords_(image->size(), options.region_size),
-      protection_latches_(options.latch_stripes),
-      codeword_latches_(options.latch_stripes) {}
+      region_shift_(std::countr_zero(options.region_size)),
+      shard_map_(image->size(), options.shards,
+                 std::max<uint64_t>(options.shard_align, options.region_size)) {
+  size_t n = shard_map_.shard_count();
+  stripes_per_shard_ =
+      std::bit_floor(std::max<size_t>(1, options.latch_stripes / n));
+  shards_.reserve(n);
+  for (size_t s = 0; s < n; ++s) {
+    auto sh = std::make_unique<Shard>(shard_map_.ShardStart(s),
+                                      shard_map_.ShardLen(s),
+                                      options.region_size, stripes_per_shard_);
+    char name[48];
+    std::snprintf(name, sizeof(name), "protect.shard%zu.updates", s);
+    sh->updates = metrics_->counter(name);
+    std::snprintf(name, sizeof(name), "protect.shard%zu.prechecks", s);
+    sh->prechecks = metrics_->counter(name);
+    shards_.push_back(std::move(sh));
+  }
+  validated_reads_ = metrics_->counter("protect.validated_reads");
+  validated_fallbacks_ = metrics_->counter("protect.validated_fallbacks");
+}
 
 Result<std::unique_ptr<ProtectionManager>> CodewordProtection::Create(
     const ProtectionOptions& options, DbImage* image,
@@ -27,10 +70,29 @@ Result<std::unique_ptr<ProtectionManager>> CodewordProtection::Create(
   if (image->size() % options.region_size != 0) {
     return Status::InvalidArgument("arena size not a multiple of region size");
   }
+  if (options.shard_align != 0 &&
+      (options.shard_align & (options.shard_align - 1)) != 0) {
+    return Status::InvalidArgument("shard alignment must be a power of two");
+  }
   std::unique_ptr<CodewordProtection> p(
       new CodewordProtection(options, image, metrics));
-  p->codewords_.RebuildAll(image->base(), p->sweep_pool());
+  p->RebuildAllShards();
   return std::unique_ptr<ProtectionManager>(std::move(p));
+}
+
+void CodewordProtection::RebuildAllShards() {
+  // Each shard's table covers a disjoint slice; the pool (when any)
+  // partitions within a shard, so lanes still write disjoint slots.
+  ThreadPool* pool = sweep_pool();
+  for (auto& sh : shards_) {
+    sh->codewords.RebuildAll(image_->base(), pool);
+  }
+}
+
+uint64_t CodewordProtection::SpaceOverheadBytes() const {
+  uint64_t total = 0;
+  for (const auto& sh : shards_) total += sh->codewords.space_overhead_bytes();
+  return total;
 }
 
 ThreadPool* CodewordProtection::sweep_pool() {
@@ -44,11 +106,11 @@ ThreadPool* CodewordProtection::sweep_pool() {
 
 void CodewordProtection::StripesFor(DbPtr off, uint32_t len,
                                     std::vector<size_t>* stripes) const {
-  uint64_t first = codewords_.RegionOf(off);
-  uint64_t last = codewords_.RegionOf(off + (len == 0 ? 0 : len - 1));
+  uint64_t first = RegionOf(off);
+  uint64_t last = RegionOf(off + (len == 0 ? 0 : len - 1));
   stripes->clear();
   for (uint64_t r = first; r <= last; ++r) {
-    stripes->push_back(protection_latches_.StripeOf(r));
+    stripes->push_back(StripeOfRegion(r));
   }
   std::sort(stripes->begin(), stripes->end());
   stripes->erase(std::unique(stripes->begin(), stripes->end()),
@@ -62,12 +124,16 @@ Status CodewordProtection::BeginUpdate(DbPtr off, uint32_t len,
   StripesFor(off, len, &h->stripes);
   for (size_t s : h->stripes) {
     if (exclusive_updates_) {
-      protection_latches_.LatchAt(s).LockExclusive();
+      ProtectionLatchAt(s).LockExclusive();
+      // Odd epoch = update in flight: optimistic readers of this stripe
+      // back off or retry (the latch alone is invisible to them).
+      EpochAt(s).fetch_add(1, std::memory_order_release);
     } else {
-      protection_latches_.LatchAt(s).LockShared();
+      ProtectionLatchAt(s).LockShared();
     }
   }
   ins_.updates->Add();
+  shards_[shard_map_.ShardOf(off)]->updates->Add();
   return Status::OK();
 }
 
@@ -83,21 +149,38 @@ void CodewordProtection::EndUpdate(const UpdateHandle& h,
   const bool timed = (fold_sample++ & 63) == 0;
   const uint64_t t0 = timed ? NowNs() : 0;
   if (!exclusive_updates_) {
-    for (size_t s : h.stripes) codeword_latches_.LatchAt(s).LockExclusive();
+    for (size_t s : h.stripes) CodewordLatchAt(s).LockExclusive();
   }
-  codewords_.ApplyDelta(h.off, before, image_->At(h.off), h.len);
+  // A physical update may cross a shard boundary (spans are page/region
+  // aligned, update ranges are not); fold each shard's slice into its own
+  // table.
+  DbPtr pos = h.off;
+  const uint8_t* undo = before;
+  uint32_t remaining = h.len;
+  while (remaining > 0) {
+    size_t s = shard_map_.ShardOf(pos);
+    uint64_t shard_end = shard_map_.ShardStart(s) + shard_map_.ShardLen(s);
+    uint32_t chunk =
+        static_cast<uint32_t>(std::min<uint64_t>(remaining, shard_end - pos));
+    shards_[s]->codewords.ApplyDelta(pos, undo, image_->At(pos), chunk);
+    pos += chunk;
+    undo += chunk;
+    remaining -= chunk;
+  }
   ins_.codeword_folds->Add();
   if (timed) ins_.fold_latency_ns->Record(NowNs() - t0);
   if (!exclusive_updates_) {
     for (auto it = h.stripes.rbegin(); it != h.stripes.rend(); ++it) {
-      codeword_latches_.LatchAt(*it).UnlockExclusive();
+      CodewordLatchAt(*it).UnlockExclusive();
     }
   }
   for (auto it = h.stripes.rbegin(); it != h.stripes.rend(); ++it) {
     if (exclusive_updates_) {
-      protection_latches_.LatchAt(*it).UnlockExclusive();
+      // Even epoch again — bytes and codeword are consistent from here on.
+      EpochAt(*it).fetch_add(1, std::memory_order_release);
+      ProtectionLatchAt(*it).UnlockExclusive();
     } else {
-      protection_latches_.LatchAt(*it).UnlockShared();
+      ProtectionLatchAt(*it).UnlockShared();
     }
   }
 }
@@ -107,35 +190,58 @@ void CodewordProtection::AbortUpdate(const UpdateHandle& h) {
   // image (it is only advanced at EndUpdate), so just release latches.
   for (auto it = h.stripes.rbegin(); it != h.stripes.rend(); ++it) {
     if (exclusive_updates_) {
-      protection_latches_.LatchAt(*it).UnlockExclusive();
+      EpochAt(*it).fetch_add(1, std::memory_order_release);
+      ProtectionLatchAt(*it).UnlockExclusive();
     } else {
-      protection_latches_.LatchAt(*it).UnlockShared();
+      ProtectionLatchAt(*it).UnlockShared();
     }
   }
 }
 
+bool CodewordProtection::RegionCleanForRead(uint64_t region) {
+  size_t stripe = StripeOfRegion(region);
+#if !CWDB_TSAN_ENABLED
+  // Optimistic path: verify against the codeword with no latch, accept the
+  // verdict only if the stripe's epoch was even (no updater) and unchanged
+  // across the whole verify. A torn read can produce a bogus verdict, but
+  // the epoch check then rejects it, so correctness never depends on the
+  // racy loads.
+  std::atomic<uint64_t>& epoch = EpochAt(stripe);
+  for (int attempt = 0; attempt < kValidatedReadAttempts; ++attempt) {
+    uint64_t e1 = epoch.load(std::memory_order_acquire);
+    if ((e1 & 1) == 0) {
+      bool ok = VerifyRegion(region);
+      std::atomic_thread_fence(std::memory_order_acquire);
+      if (epoch.load(std::memory_order_relaxed) == e1) {
+        validated_reads_->Add();
+        return ok;
+      }
+    }
+    std::this_thread::yield();
+  }
+  validated_fallbacks_->Add();
+#endif
+  ExclusiveGuard guard(ProtectionLatchAt(stripe));
+  return VerifyRegion(region);
+}
+
 Status CodewordProtection::PrecheckRead(DbPtr off, uint32_t len) {
   if (!options_.PrechecksReads()) return Status::OK();
-  uint64_t first = codewords_.RegionOf(off);
-  uint64_t last = codewords_.RegionOf(off + (len == 0 ? 0 : len - 1));
-  thread_local std::vector<size_t> stripes;  // Reused: no hot-path alloc.
-  StripesFor(off, len, &stripes);
+  uint64_t first = RegionOf(off);
+  uint64_t last = RegionOf(off + (len == 0 ? 0 : len - 1));
   thread_local uint32_t precheck_sample = 0;
   const bool timed = (precheck_sample++ & 63) == 0;
   const uint64_t t0 = timed ? NowNs() : 0;
-  for (size_t s : stripes) protection_latches_.LatchAt(s).LockExclusive();
   bool clean = true;
   uint64_t bad_region = 0;
   for (uint64_t r = first; r <= last; ++r) {
     ins_.prechecks->Add();
-    if (!VerifyRegionLocked(r)) {
+    shards_[ShardOfRegion(r)]->prechecks->Add();
+    if (!RegionCleanForRead(r)) {
       clean = false;
       bad_region = r;
       break;
     }
-  }
-  for (auto it = stripes.rbegin(); it != stripes.rend(); ++it) {
-    protection_latches_.LatchAt(*it).UnlockExclusive();
   }
   if (timed) ins_.precheck_latency_ns->Record(NowNs() - t0);
   if (!clean) {
@@ -155,8 +261,7 @@ Status CodewordProtection::PrecheckRead(DbPtr off, uint32_t len) {
       forensics_->RecordIncident(
           IncidentSource::kReadPrecheck, /*lsn=*/0,
           /*last_clean_audit_lsn=*/0,
-          {CorruptRange{codewords_.RegionStart(bad_region),
-                        codewords_.region_size()}},
+          {CorruptRange{RegionStart(bad_region), options_.region_size}},
           detail);
     }
     return Status::Corruption("read precheck failed: codeword mismatch");
@@ -166,11 +271,11 @@ Status CodewordProtection::PrecheckRead(DbPtr off, uint32_t len) {
 
 bool CodewordProtection::RegionCodewords(DbPtr off, codeword_t* stored,
                                          codeword_t* computed) {
-  uint64_t region = codewords_.RegionOf(off);
-  size_t s = protection_latches_.StripeOf(region);
-  ExclusiveGuard guard(protection_latches_.LatchAt(s));
-  *stored = codewords_.Get(region);
-  *computed = codewords_.ComputeFromImage(image_->base(), region);
+  uint64_t region = RegionOf(off);
+  ExclusiveGuard guard(ProtectionLatchAt(StripeOfRegion(region)));
+  const CodewordTable& table = TableForRegion(region);
+  *stored = table.Get(region);
+  *computed = table.ComputeFromImage(image_->base(), region);
   return true;
 }
 
@@ -182,13 +287,11 @@ void CodewordProtection::AuditSpan(uint64_t first, uint64_t last,
     // (region, codeword) snapshot for the audit (§3.2). Holding at most
     // one latch at a time keeps concurrent sweep lanes deadlock-free even
     // when striping maps their regions onto the same latch.
-    size_t s = protection_latches_.StripeOf(r);
-    ExclusiveGuard guard(protection_latches_.LatchAt(s));
+    ExclusiveGuard guard(ProtectionLatchAt(StripeOfRegion(r)));
     ++counts->audited;
-    if (!VerifyRegionLocked(r)) {
+    if (!VerifyRegion(r)) {
       ++counts->failures;
-      corrupt->push_back(
-          CorruptRange{codewords_.RegionStart(r), codewords_.region_size()});
+      corrupt->push_back(CorruptRange{RegionStart(r), options_.region_size});
     }
   }
 }
@@ -196,8 +299,8 @@ void CodewordProtection::AuditSpan(uint64_t first, uint64_t last,
 Status CodewordProtection::AuditRegions(DbPtr off, uint64_t len, size_t width,
                                         std::vector<CorruptRange>* corrupt) {
   if (len == 0) return Status::OK();
-  uint64_t first = codewords_.RegionOf(off);
-  uint64_t last = codewords_.RegionOf(off + len - 1);
+  uint64_t first = RegionOf(off);
+  uint64_t last = RegionOf(off + len - 1);
   uint64_t n = last - first + 1;
 
   SweepCounts total;
@@ -252,18 +355,27 @@ Status CodewordProtection::AuditAll(std::vector<CorruptRange>* corrupt) {
 }
 
 Status CodewordProtection::ResetFromImage() {
-  codewords_.RebuildAll(image_->base(), sweep_pool());
+  RebuildAllShards();
   return Status::OK();
 }
 
 Status CodewordProtection::RecomputeRegions(DbPtr off, uint64_t len) {
   if (len == 0) return Status::OK();
-  uint64_t first = codewords_.RegionOf(off);
-  uint64_t last = codewords_.RegionOf(off + len - 1);
+  uint64_t first = RegionOf(off);
+  uint64_t last = RegionOf(off + len - 1);
   for (uint64_t r = first; r <= last; ++r) {
-    size_t s = protection_latches_.StripeOf(r);
-    ExclusiveGuard guard(protection_latches_.LatchAt(s));
-    codewords_.Set(r, codewords_.ComputeFromImage(image_->base(), r));
+    size_t stripe = StripeOfRegion(r);
+    ExclusiveGuard guard(ProtectionLatchAt(stripe));
+    // Epoch bump: an optimistic reader must not validate against a
+    // codeword this repair is in the middle of rewriting.
+    if (exclusive_updates_) {
+      EpochAt(stripe).fetch_add(1, std::memory_order_release);
+    }
+    CodewordTable& table = TableForRegion(r);
+    table.Set(r, table.ComputeFromImage(image_->base(), r));
+    if (exclusive_updates_) {
+      EpochAt(stripe).fetch_add(1, std::memory_order_release);
+    }
   }
   return Status::OK();
 }

@@ -1,6 +1,7 @@
 #ifndef CWDB_PROTECT_CODEWORD_PROTECTION_H_
 #define CWDB_PROTECT_CODEWORD_PROTECTION_H_
 
+#include <atomic>
 #include <memory>
 #include <mutex>
 #include <vector>
@@ -9,6 +10,7 @@
 #include "common/parallel.h"
 #include "protect/codeword_table.h"
 #include "protect/protection.h"
+#include "storage/shard_map.h"
 
 namespace cwdb {
 
@@ -21,15 +23,25 @@ namespace cwdb {
 ///
 /// Latching follows the paper:
 ///  * Read Prechecking (§3.1): the protection latch is held *exclusively*
-///    for the whole BeginUpdate..EndUpdate window, and readers take it
-///    exclusively while verifying the region against its codeword.
+///    for the whole BeginUpdate..EndUpdate window. Readers, however, do not
+///    take it on the happy path: each latch stripe carries a seqlock-style
+///    epoch (odd while an updater holds the stripe), and PrecheckRead
+///    verifies the region optimistically, accepting the result only when
+///    the epoch was even and unchanged across the verify. Contended or
+///    repeatedly-interrupted reads fall back to the exclusive latch.
 ///  * Data Codeword and the read-logging variants (§3.2): updaters hold the
 ///    protection latch in *shared* mode and serialize only the brief
 ///    codeword adjustment on a separate codeword latch; the auditor takes
 ///    the protection latch exclusively per region to obtain a consistent
 ///    (region, codeword) snapshot.
-/// Latches are striped (see StripedLatchTable); multi-stripe acquisitions
-/// are made in ascending stripe order to stay deadlock-free.
+///
+/// The arena is partitioned into shards (ShardMap): each shard owns its own
+/// codeword table, protection/codeword latch stripes, epochs and counters,
+/// so updates on different shards touch disjoint cache lines end to end.
+/// Region ids and latch-stripe indices stay *global* (stripe index =
+/// shard * stripes_per_shard + local stripe), so UpdateHandle and the
+/// ascending-order multi-stripe latch discipline are unchanged — ascending
+/// global stripe order is deadlock-free across shards too.
 class CodewordProtection : public ProtectionManager {
  public:
   static Result<std::unique_ptr<ProtectionManager>> Create(
@@ -49,27 +61,85 @@ class CodewordProtection : public ProtectionManager {
   Status RecomputeRegions(DbPtr off, uint64_t len) override;
   bool RegionCodewords(DbPtr off, codeword_t* stored,
                        codeword_t* computed) override;
-  uint64_t SpaceOverheadBytes() const override {
-    return codewords_.space_overhead_bytes();
+  uint64_t SpaceOverheadBytes() const override;
+
+  const ShardMap& shard_map() const { return shard_map_; }
+  /// Reads that verified a region without touching a latch / that gave up
+  /// and took the latch (tests, bench).
+  uint64_t validated_reads() const { return validated_reads_->Value(); }
+  uint64_t validated_fallbacks() const {
+    return validated_fallbacks_->Value();
   }
 
-  /// Direct access for tests and the auditor.
-  const CodewordTable& codeword_table() const { return codewords_; }
-  CodewordTable& mutable_codeword_table() { return codewords_; }
-
  private:
+  /// One shard's protection state. Padded so the hot latch/epoch state of
+  /// neighboring shards never shares a cache line.
+  struct alignas(64) Shard {
+    Shard(uint64_t base, uint64_t len, uint32_t region_size, size_t stripes)
+        : codewords(base, len, region_size),
+          protection(stripes),
+          codeword(stripes),
+          epochs(new std::atomic<uint64_t>[stripes]) {
+      for (size_t i = 0; i < stripes; ++i) epochs[i].store(0);
+    }
+    CodewordTable codewords;
+    StripedLatchTable protection;
+    StripedLatchTable codeword;
+    /// Seqlock epochs, one per protection-latch stripe: odd while an
+    /// exclusive updater holds the stripe (Precheck scheme only).
+    std::unique_ptr<std::atomic<uint64_t>[]> epochs;
+    Counter* updates = nullptr;     ///< Per-shard update windows.
+    Counter* prechecks = nullptr;   ///< Per-shard read prechecks.
+  };
+
   CodewordProtection(const ProtectionOptions& options, DbImage* image,
                      MetricsRegistry* metrics = nullptr);
 
-  /// Fills *stripes with the ascending unique latch stripes for the
+  // -- Shard/stripe geometry. Region ids and stripe indices are global. --
+
+  uint64_t RegionOf(DbPtr off) const { return off >> region_shift_; }
+  DbPtr RegionStart(uint64_t region) const {
+    return static_cast<DbPtr>(region) << region_shift_;
+  }
+  size_t ShardOfRegion(uint64_t region) const {
+    return shard_map_.ShardOf(RegionStart(region));
+  }
+  /// Global stripe index of a region's protection/codeword/epoch slot.
+  size_t StripeOfRegion(uint64_t region) const {
+    size_t s = ShardOfRegion(region);
+    return s * stripes_per_shard_ + shards_[s]->protection.StripeOf(region);
+  }
+  Shard& ShardAt(size_t stripe) const {
+    return *shards_[stripe / stripes_per_shard_];
+  }
+  Latch& ProtectionLatchAt(size_t stripe) const {
+    return ShardAt(stripe).protection.LatchAt(stripe % stripes_per_shard_);
+  }
+  Latch& CodewordLatchAt(size_t stripe) const {
+    return ShardAt(stripe).codeword.LatchAt(stripe % stripes_per_shard_);
+  }
+  std::atomic<uint64_t>& EpochAt(size_t stripe) const {
+    return ShardAt(stripe).epochs[stripe % stripes_per_shard_];
+  }
+  CodewordTable& TableForRegion(uint64_t region) const {
+    return shards_[ShardOfRegion(region)]->codewords;
+  }
+
+  /// Fills *stripes with the ascending unique global latch stripes for the
   /// regions covering [off, len). Reuses the vector's capacity — callers
   /// keep a long-lived vector so the hot path does not allocate.
   void StripesFor(DbPtr off, uint32_t len, std::vector<size_t>* stripes) const;
 
-  /// Audits one region, protection latch held by caller.
-  bool VerifyRegionLocked(uint64_t region) const {
-    return codewords_.Verify(image_->base(), region);
+  /// Audits one region, protection latch held by caller (or epoch-validated
+  /// by the caller on the optimistic read path).
+  bool VerifyRegion(uint64_t region) const {
+    return TableForRegion(region).Verify(image_->base(), region);
   }
+
+  /// Read Precheck verification of one region: optimistic epoch-validated
+  /// verify first (a few attempts), exclusive-latch fallback. Returns true
+  /// if the region's codeword matches.
+  bool RegionCleanForRead(uint64_t region);
 
   /// Per-lane tallies of a sweep span, merged into stats_ once per call so
   /// parallel lanes never race on the shared counters.
@@ -90,6 +160,9 @@ class CodewordProtection : public ProtectionManager {
   Status AuditRegions(DbPtr off, uint64_t len, size_t width,
                       std::vector<CorruptRange>* corrupt);
 
+  /// Rebuilds every shard's table from the image (Create/ResetFromImage).
+  void RebuildAllShards();
+
   /// Sweep pool for RebuildAll / AuditAll partitions, created on first use
   /// (never created when options.sweep_threads == 1). Lanes only ever run
   /// whole-region work under the region's own protection latch, so pool
@@ -98,9 +171,13 @@ class CodewordProtection : public ProtectionManager {
   ThreadPool* sweep_pool();
 
   const bool exclusive_updates_;  ///< True for the Precheck scheme.
-  CodewordTable codewords_;
-  StripedLatchTable protection_latches_;
-  StripedLatchTable codeword_latches_;
+  const int region_shift_;
+  ShardMap shard_map_;
+  size_t stripes_per_shard_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  Counter* validated_reads_;
+  Counter* validated_fallbacks_;
 
   std::once_flag sweep_pool_once_;
   std::unique_ptr<ThreadPool> sweep_pool_;

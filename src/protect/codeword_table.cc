@@ -4,14 +4,18 @@
 
 namespace cwdb {
 
-CodewordTable::CodewordTable(uint64_t arena_size, uint32_t region_size)
+CodewordTable::CodewordTable(uint64_t base_off, uint64_t len,
+                             uint32_t region_size)
     : region_size_(region_size) {
   CWDB_CHECK(region_size >= 8 && std::has_single_bit(region_size))
       << "region size must be a power of two >= 8, got " << region_size;
-  CWDB_CHECK(arena_size % region_size == 0)
-      << "arena size must be a multiple of the region size";
+  CWDB_CHECK(base_off % region_size == 0)
+      << "table base must be region-aligned";
+  CWDB_CHECK(len % region_size == 0)
+      << "table span must be a multiple of the region size";
   shift_ = std::countr_zero(region_size);
-  codewords_.assign(arena_size / region_size, 0);
+  base_region_ = base_off >> shift_;
+  codewords_.assign(len / region_size, 0);
 }
 
 void CodewordTable::ApplyDelta(DbPtr off, const uint8_t* before,
@@ -25,7 +29,7 @@ void CodewordTable::ApplyDelta(DbPtr off, const uint8_t* before,
         std::min<uint64_t>(len - done, region_end - cur));
     // The lane within the word is determined by the offset from the region
     // start; regions are word-aligned so (cur & 3) is the lane.
-    codewords_[region] ^=
+    codewords_[Index(region)] ^=
         CodewordDelta(cur & 3, before + done, after + done, chunk);
     done += chunk;
   }
@@ -38,8 +42,8 @@ codeword_t CodewordTable::ComputeFromImage(const uint8_t* arena_base,
 
 void CodewordTable::RebuildAll(const uint8_t* arena_base, ThreadPool* pool) {
   auto rebuild_span = [&](uint64_t first, uint64_t last) {
-    for (uint64_t r = first; r < last; ++r) {
-      codewords_[r] = ComputeFromImage(arena_base, r);
+    for (uint64_t i = first; i < last; ++i) {
+      codewords_[i] = ComputeFromImage(arena_base, base_region_ + i);
     }
   };
   if (pool == nullptr || pool->concurrency() <= 1) {

@@ -11,18 +11,28 @@
 
 namespace cwdb {
 
-/// One codeword per protection region of the database image. The table
-/// lives *outside* the protected arena, so a wild write into the database
-/// cannot silently fix up its own codeword. Synchronization is the caller's
-/// job (the ProtectionManager's protection / codeword latches).
+/// One codeword per protection region of a span of the database image. The
+/// table lives *outside* the protected arena, so a wild write into the
+/// database cannot silently fix up its own codeword. Synchronization is the
+/// caller's job (the ProtectionManager's protection / codeword latches).
+///
+/// A table may cover the whole arena (base 0) or one shard's span of it.
+/// Region ids are always *global* — `RegionOf(off)` is the same number no
+/// matter which shard's table answers — so shard-local tables slot into
+/// audit cursors, forensics dossiers and recovery without translation; only
+/// the backing vector is shard-local.
 ///
 /// Space overhead is sizeof(codeword_t) / region_size: 6.25% at 64 bytes,
 /// 0.78% at 512 bytes, 0.05% at 8K — the time/space tradeoff of Table 2.
 class CodewordTable {
  public:
-  /// `arena_size` must be a multiple of `region_size`; `region_size` must
-  /// be a power of two >= 8.
-  CodewordTable(uint64_t arena_size, uint32_t region_size);
+  /// Table covering [base_off, base_off + len) of the image. Both bounds
+  /// must be multiples of `region_size` (a power of two >= 8).
+  CodewordTable(uint64_t base_off, uint64_t len, uint32_t region_size);
+
+  /// Whole-arena table (base 0) — the pre-sharding constructor.
+  CodewordTable(uint64_t arena_size, uint32_t region_size)
+      : CodewordTable(0, arena_size, region_size) {}
 
   uint32_t region_size() const { return region_size_; }
   uint64_t region_count() const { return codewords_.size(); }
@@ -32,8 +42,11 @@ class CodewordTable {
     return static_cast<DbPtr>(region) << shift_;
   }
 
-  codeword_t Get(uint64_t region) const { return codewords_[region]; }
-  void Set(uint64_t region, codeword_t cw) { codewords_[region] = cw; }
+  /// First (global) region id this table covers.
+  uint64_t base_region() const { return base_region_; }
+
+  codeword_t Get(uint64_t region) const { return codewords_[Index(region)]; }
+  void Set(uint64_t region, codeword_t cw) { codewords_[Index(region)] = cw; }
 
   /// Folds the change (before -> after, len bytes at image offset off) into
   /// the codewords of every region the range covers. `before` and `after`
@@ -47,7 +60,7 @@ class CodewordTable {
 
   /// True if the stored codeword matches the image bytes.
   bool Verify(const uint8_t* arena_base, uint64_t region) const {
-    return ComputeFromImage(arena_base, region) == codewords_[region];
+    return ComputeFromImage(arena_base, region) == codewords_[Index(region)];
   }
 
   /// Recomputes every codeword from the image (after checkpoint load /
@@ -63,8 +76,17 @@ class CodewordTable {
   }
 
  private:
+  /// Backing-vector slot of a global region id.
+  size_t Index(uint64_t region) const {
+    CWDB_DCHECK(region >= base_region_ &&
+                region - base_region_ < codewords_.size())
+        << "region " << region << " outside this table's span";
+    return static_cast<size_t>(region - base_region_);
+  }
+
   uint32_t region_size_;
   int shift_;
+  uint64_t base_region_;
   std::vector<codeword_t> codewords_;
 };
 

@@ -42,8 +42,20 @@ struct ProtectionOptions {
   /// Table 2 uses 64, 512 and 8192.
   uint32_t region_size = 512;
 
-  /// Number of protection-latch (and codeword-latch) stripes.
+  /// Number of protection-latch (and codeword-latch) stripes, divided
+  /// evenly over the shards.
   size_t latch_stripes = 1024;
+
+  /// Number of protection shards. Each shard owns a contiguous span of the
+  /// arena with its own codeword table, latch stripes and read-validation
+  /// epochs, so transactions on disjoint shards share no protection state.
+  /// 1 = the pre-sharding layout.
+  size_t shards = 1;
+
+  /// Shard span alignment (power of two). 0 = region_size. The database
+  /// passes max(page size, region size) so protection shard boundaries
+  /// coincide with the storage shard map.
+  uint64_t shard_align = 0;
 
   /// Worker lanes for the bulk codeword sweeps — full-image rebuilds
   /// (checkpoint load / recovery) and AuditAll / parallel audit slices.

@@ -12,8 +12,8 @@ DbImage::DbImage(std::unique_ptr<Arena> arena, uint64_t arena_size,
       arena_size_(arena_size),
       page_size_(page_size) {
   uint64_t pages = arena_size_ / page_size_;
-  dirty_[0].assign(pages, false);
-  dirty_[1].assign(pages, false);
+  dirty_[0].Reset(pages);
+  dirty_[1].Reset(pages);
 }
 
 Result<std::unique_ptr<DbImage>> DbImage::Create(uint64_t arena_size,
@@ -120,30 +120,28 @@ void DbImage::MarkDirty(DbPtr off, uint64_t len) {
   uint64_t first = PageOf(off);
   uint64_t last = PageOf(off + len - 1);
   for (uint64_t p = first; p <= last; ++p) {
-    dirty_[0][p] = true;
-    dirty_[1][p] = true;
+    dirty_[0].Set(p);
+    dirty_[1].Set(p);
   }
 }
 
 std::vector<uint64_t> DbImage::DirtyPages(int which) const {
   std::vector<uint64_t> pages;
-  for (uint64_t p = 0; p < dirty_[which].size(); ++p) {
-    if (dirty_[which][p]) pages.push_back(p);
+  for (uint64_t p = 0; p < dirty_[which].pages(); ++p) {
+    if (dirty_[which].Test(p)) pages.push_back(p);
   }
   return pages;
 }
 
-void DbImage::ClearDirty(int which) {
-  std::fill(dirty_[which].begin(), dirty_[which].end(), false);
-}
+void DbImage::ClearDirty(int which) { dirty_[which].Fill(false); }
 
 void DbImage::MarkPagesDirty(int which, const std::vector<uint64_t>& pages) {
-  for (uint64_t p : pages) dirty_[which][p] = true;
+  for (uint64_t p : pages) dirty_[which].Set(p);
 }
 
 void DbImage::MarkAllDirty() {
-  std::fill(dirty_[0].begin(), dirty_[0].end(), true);
-  std::fill(dirty_[1].begin(), dirty_[1].end(), true);
+  dirty_[0].Fill(true);
+  dirty_[1].Fill(true);
 }
 
 }  // namespace cwdb

@@ -1,6 +1,7 @@
 #ifndef CWDB_STORAGE_DB_IMAGE_H_
 #define CWDB_STORAGE_DB_IMAGE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -91,10 +92,44 @@ class DbImage {
   void MarkPagesDirty(int which, const std::vector<uint64_t>& pages);
   void MarkAllDirty();
   bool IsDirty(int which, uint64_t page) const {
-    return dirty_[which][page];
+    return dirty_[which].Test(page);
   }
 
  private:
+  /// Bit-per-page dirty set over atomic words. Transactions in different
+  /// shards mark pages concurrently (under the shared side of the checkpoint
+  /// latch), and pages that share a 64-bit word must not race; fetch_or makes
+  /// the bit sets independent. Relaxed ordering suffices — visibility to the
+  /// checkpointer is ordered by the exclusive checkpoint latch acquisition.
+  class DirtyBitmap {
+   public:
+    void Reset(uint64_t pages) {
+      pages_ = pages;
+      words_ = std::make_unique<std::atomic<uint64_t>[]>((pages + 63) / 64);
+      Fill(false);
+    }
+    void Set(uint64_t page) {
+      words_[page / 64].fetch_or(1ull << (page % 64),
+                                 std::memory_order_relaxed);
+    }
+    bool Test(uint64_t page) const {
+      return (words_[page / 64].load(std::memory_order_relaxed) >>
+              (page % 64)) &
+             1u;
+    }
+    void Fill(bool value) {
+      uint64_t word_count = (pages_ + 63) / 64;
+      for (uint64_t w = 0; w < word_count; ++w) {
+        words_[w].store(value ? ~0ull : 0ull, std::memory_order_relaxed);
+      }
+    }
+    uint64_t pages() const { return pages_; }
+
+   private:
+    std::unique_ptr<std::atomic<uint64_t>[]> words_;
+    uint64_t pages_ = 0;
+  };
+
   DbImage(std::unique_ptr<Arena> arena, uint64_t arena_size,
           uint32_t page_size);
 
@@ -103,7 +138,7 @@ class DbImage {
   std::unique_ptr<Arena> arena_;
   uint64_t arena_size_;
   uint32_t page_size_;
-  std::vector<bool> dirty_[2];
+  DirtyBitmap dirty_[2];
   uint32_t alloc_hint_[kMaxTables] = {};
 };
 

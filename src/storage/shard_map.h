@@ -1,0 +1,75 @@
+#ifndef CWDB_STORAGE_SHARD_MAP_H_
+#define CWDB_STORAGE_SHARD_MAP_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/logging.h"
+#include "storage/layout.h"
+
+namespace cwdb {
+
+/// Static partition of the database image [0, arena_size) into N contiguous
+/// shards. Each shard owns a page- and region-aligned span of the arena;
+/// everything that scales with concurrency (protection latches, codeword
+/// tables, lock tables, WAL append staging, audit cursors) is instantiated
+/// per shard so unrelated transactions touch disjoint state.
+///
+/// The span is rounded up to `align` (the larger of the page size and the
+/// protection region size, both powers of two), so a protection region or a
+/// page never straddles a shard boundary — a range can be split at shard
+/// boundaries without splitting a region. The final shard absorbs the
+/// remainder. When the arena is too small for the requested shard count the
+/// count is clamped so every shard owns at least one aligned span.
+class ShardMap {
+ public:
+  ShardMap() : arena_size_(0), shards_(1), span_(0) {}
+
+  ShardMap(uint64_t arena_size, size_t shards, uint64_t align) {
+    CWDB_CHECK(align > 0 && (align & (align - 1)) == 0)
+        << "shard alignment must be a power of two";
+    CWDB_CHECK(arena_size % align == 0)
+        << "arena size must be a multiple of the shard alignment";
+    if (shards == 0) shards = 1;
+    arena_size_ = arena_size;
+    uint64_t spans = arena_size / align;
+    if (shards > spans && spans > 0) shards = static_cast<size_t>(spans);
+    shards_ = shards == 0 ? 1 : shards;
+    // Round the span up to the alignment; the last shard takes the slack.
+    uint64_t raw = arena_size / shards_;
+    span_ = (raw + align - 1) / align * align;
+    if (span_ == 0) span_ = align;
+  }
+
+  size_t shard_count() const { return shards_; }
+  uint64_t arena_size() const { return arena_size_; }
+  /// Nominal bytes per shard (the last shard may own more or fewer).
+  uint64_t span() const { return span_; }
+
+  /// Shard owning image offset `off`.
+  size_t ShardOf(DbPtr off) const {
+    size_t s = static_cast<size_t>(off / span_);
+    return s >= shards_ ? shards_ - 1 : s;
+  }
+
+  /// Start of shard `s`'s range.
+  uint64_t ShardStart(size_t s) const { return span_ * s; }
+
+  /// Length of shard `s`'s range. The final shard runs to the end of the
+  /// arena (which may be more than one span if rounding shrank the count,
+  /// or less if the arena is not an exact multiple).
+  uint64_t ShardLen(size_t s) const {
+    uint64_t start = ShardStart(s);
+    if (s + 1 == shards_) return arena_size_ - start;
+    return span_;
+  }
+
+ private:
+  uint64_t arena_size_;
+  size_t shards_;
+  uint64_t span_;
+};
+
+}  // namespace cwdb
+
+#endif  // CWDB_STORAGE_SHARD_MAP_H_

@@ -1,10 +1,54 @@
 #include "txn/lock_manager.h"
 
+#include <algorithm>
+#include <cstdio>
+
 #include "common/logging.h"
 
 namespace cwdb {
 
-bool LockManager::Compatible(const Entry& e, TxnId txn, LockMode mode) const {
+namespace {
+
+size_t NextPow2(size_t n) {
+  size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+LockManager::LockManager(size_t shards) {
+  size_t n = NextPow2(std::max<size_t>(shards, 1));
+  segments_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    segments_.push_back(std::make_unique<Segment>());
+  }
+  segment_mask_ = n - 1;
+}
+
+void LockManager::BindMetrics(MetricsRegistry* reg) {
+  lock_waits_ = reg->counter("txn.lock_waits");
+  deadlocks_ = reg->counter("txn.deadlocks");
+  lock_wait_ns_ = reg->histogram("txn.lock_wait_ns");
+  for (size_t i = 0; i < segments_.size(); ++i) {
+    char name[48];
+    std::snprintf(name, sizeof(name), "txn.lockshard%zu.waits", i);
+    segments_[i]->waits = reg->counter(name);
+  }
+}
+
+LockManager::Segment& LockManager::SegmentFor(LockId id) {
+  uint64_t key = (static_cast<uint64_t>(id.table) << 32) | id.slot;
+  size_t s = static_cast<size_t>((key * 0x9E3779B97F4A7C15ull) >> 32) &
+             segment_mask_;
+  return *segments_[s];
+}
+
+const LockManager::Segment& LockManager::SegmentFor(LockId id) const {
+  return const_cast<LockManager*>(this)->SegmentFor(id);
+}
+
+bool LockManager::Compatible(const Entry& e, TxnId txn, LockMode mode) {
   for (const auto& [holder, held_mode] : e.holders) {
     if (holder == txn) continue;  // Own holdings never conflict.
     if (mode == LockMode::kExclusive || held_mode == LockMode::kExclusive) {
@@ -14,39 +58,43 @@ bool LockManager::Compatible(const Entry& e, TxnId txn, LockMode mode) const {
   return true;
 }
 
-bool LockManager::WouldDeadlock(TxnId txn, const Entry& e,
-                                LockMode mode) const {
-  // DFS over waits-for: txn waits for the conflicting holders of `e`; each
-  // waiting transaction waits for the conflicting holders of the lock it is
-  // blocked on. mu_ is held by the caller.
-  std::vector<TxnId> frontier;
-  std::set<TxnId> visited;
+std::vector<TxnId> LockManager::ConflictingHolders(const Entry& e, TxnId txn,
+                                                   LockMode mode) {
+  std::vector<TxnId> out;
   for (const auto& [holder, held_mode] : e.holders) {
     if (holder == txn) continue;
     if (mode == LockMode::kExclusive || held_mode == LockMode::kExclusive) {
-      frontier.push_back(holder);
+      out.push_back(holder);
     }
   }
+  return out;
+}
+
+bool LockManager::CycleFrom(TxnId txn,
+                            const std::vector<TxnId>& blockers) const {
+  // DFS over the waits-for map only: every edge set was snapshotted under
+  // the blocker's segment mutex and is kept exact by the grant/release
+  // maintenance rules, so no segment mutex is needed here (and none may be
+  // taken: wf_mu_ is ordered after the segment mutexes).
+  std::vector<TxnId> frontier(blockers);
+  std::set<TxnId> visited;
   while (!frontier.empty()) {
     TxnId t = frontier.back();
     frontier.pop_back();
     if (t == txn) return true;
     if (!visited.insert(t).second) continue;
-    auto wit = waiting_for_.find(t);
-    if (wit == waiting_for_.end()) continue;
-    auto lit = locks_.find(wit->second);
-    if (lit == locks_.end()) continue;
-    for (const auto& [holder, held_mode] : lit->second.holders) {
-      (void)held_mode;
-      if (holder != t) frontier.push_back(holder);
-    }
+    auto wit = waiting_.find(t);
+    if (wit == waiting_.end()) continue;  // Running: no outgoing edges.
+    frontier.insert(frontier.end(), wit->second.blockers.begin(),
+                    wit->second.blockers.end());
   }
   return false;
 }
 
 Status LockManager::Acquire(TxnId txn, LockId id, LockMode mode) {
-  std::unique_lock<std::mutex> guard(mu_);
-  Entry& e = locks_[id];
+  Segment& seg = SegmentFor(id);
+  std::unique_lock<std::mutex> guard(seg.mu);
+  Entry& e = seg.locks[id];
   auto self = e.holders.find(txn);
   if (self != e.holders.end()) {
     if (self->second == LockMode::kExclusive || mode == LockMode::kShared) {
@@ -58,76 +106,143 @@ Status LockManager::Acquire(TxnId txn, LockId id, LockMode mode) {
   // whole blocked span, however many wakeups it takes.
   uint64_t wait_start = 0;
   while (!Compatible(e, txn, mode)) {
-    if (WouldDeadlock(txn, e, mode)) {
-      if (deadlocks_ != nullptr) deadlocks_->Add();
-      return Status::Deadlock("waits-for cycle acquiring lock");
+    std::vector<TxnId> blockers = ConflictingHolders(e, txn, mode);
+    {
+      std::lock_guard<std::mutex> wf(wf_mu_);
+      if (CycleFrom(txn, blockers)) {
+        if (deadlocks_ != nullptr) deadlocks_->Add();
+        return Status::Deadlock("waits-for cycle acquiring lock");
+      }
+      waiting_[txn] = Waiter{id, mode, std::move(blockers)};
     }
     if (wait_start == 0) {
       wait_start = NowNs();
       if (lock_waits_ != nullptr) lock_waits_->Add();
+      if (seg.waits != nullptr) seg.waits->Add();
     }
-    waiting_for_[txn] = id;
     ++e.waiters;
-    cv_.wait(guard);
+    seg.cv.wait(guard);
     --e.waiters;
-    waiting_for_.erase(txn);
+    {
+      std::lock_guard<std::mutex> wf(wf_mu_);
+      waiting_.erase(txn);
+    }
   }
   if (wait_start != 0 && lock_wait_ns_ != nullptr) {
     lock_wait_ns_->Record(NowNs() - wait_start);
   }
   e.holders[txn] = mode;
+  seg.held[txn].insert(id);
+  if (e.waiters > 0) {
+    // Granting past sleeping waiters (a shared grant on a lock with an
+    // exclusive waiter): no release will wake them to refresh their edge
+    // sets, so add the new edge here or a cycle through this grant would
+    // go unseen until the waiters' next wakeup.
+    std::lock_guard<std::mutex> wf(wf_mu_);
+    for (auto& [t, w] : waiting_) {
+      if (t == txn || !(w.id == id)) continue;
+      if (w.mode == LockMode::kExclusive || mode == LockMode::kExclusive) {
+        w.blockers.push_back(txn);
+      }
+    }
+  }
   return Status::OK();
 }
 
 void LockManager::Release(TxnId txn, LockId id) {
-  std::lock_guard<std::mutex> guard(mu_);
-  auto it = locks_.find(id);
-  if (it == locks_.end()) return;
+  Segment& seg = SegmentFor(id);
+  std::lock_guard<std::mutex> guard(seg.mu);
+  auto it = seg.locks.find(id);
+  if (it == seg.locks.end()) return;
   it->second.holders.erase(txn);
-  bool had_waiters = it->second.waiters > 0;
-  if (it->second.holders.empty() && it->second.waiters == 0) {
-    locks_.erase(it);
+  auto held = seg.held.find(txn);
+  if (held != seg.held.end()) {
+    held->second.erase(id);
+    if (held->second.empty()) seg.held.erase(held);
   }
-  if (had_waiters) cv_.notify_all();
+  bool had_waiters = it->second.waiters > 0;
+  if (had_waiters) {
+    // Drop this transaction from the blocker sets of the lock's waiters:
+    // they will re-snapshot when they wake, but until then a stale edge
+    // could fabricate a cycle for some third requester.
+    std::lock_guard<std::mutex> wf(wf_mu_);
+    for (auto& [t, w] : waiting_) {
+      if (!(w.id == id)) continue;
+      w.blockers.erase(std::remove(w.blockers.begin(), w.blockers.end(), txn),
+                       w.blockers.end());
+    }
+  }
+  if (it->second.holders.empty() && it->second.waiters == 0) {
+    seg.locks.erase(it);
+  }
+  if (had_waiters) seg.cv.notify_all();
 }
 
 void LockManager::ReleaseAll(TxnId txn) {
-  std::lock_guard<std::mutex> guard(mu_);
-  bool notify = false;
-  for (auto it = locks_.begin(); it != locks_.end();) {
-    it->second.holders.erase(txn);
-    notify = notify || it->second.waiters > 0;
-    if (it->second.holders.empty() && it->second.waiters == 0) {
-      it = locks_.erase(it);
-    } else {
-      ++it;
+  for (auto& segp : segments_) {
+    Segment& seg = *segp;
+    std::lock_guard<std::mutex> guard(seg.mu);
+    auto held = seg.held.find(txn);
+    if (held == seg.held.end()) continue;
+    bool notify = false;
+    bool any_waiters = false;
+    for (LockId id : held->second) {
+      auto it = seg.locks.find(id);
+      if (it == seg.locks.end()) continue;
+      it->second.holders.erase(txn);
+      if (it->second.waiters > 0) {
+        notify = true;
+        any_waiters = true;
+      }
+      if (it->second.holders.empty() && it->second.waiters == 0) {
+        seg.locks.erase(it);
+      }
     }
+    if (any_waiters) {
+      std::lock_guard<std::mutex> wf(wf_mu_);
+      for (auto& [t, w] : waiting_) {
+        if (held->second.find(w.id) == held->second.end()) continue;
+        w.blockers.erase(
+            std::remove(w.blockers.begin(), w.blockers.end(), txn),
+            w.blockers.end());
+      }
+    }
+    seg.held.erase(held);
+    if (notify) seg.cv.notify_all();
   }
-  if (notify) cv_.notify_all();
 }
 
 bool LockManager::Holds(TxnId txn, LockId id, LockMode mode) const {
-  std::lock_guard<std::mutex> guard(mu_);
-  auto it = locks_.find(id);
-  if (it == locks_.end()) return false;
+  const Segment& seg = SegmentFor(id);
+  std::lock_guard<std::mutex> guard(seg.mu);
+  auto it = seg.locks.find(id);
+  if (it == seg.locks.end()) return false;
   auto h = it->second.holders.find(txn);
   if (h == it->second.holders.end()) return false;
   return mode == LockMode::kShared || h->second == LockMode::kExclusive;
 }
 
 void LockManager::Clear() {
-  std::lock_guard<std::mutex> guard(mu_);
-  locks_.clear();
-  waiting_for_.clear();
-  cv_.notify_all();
+  for (auto& segp : segments_) {
+    Segment& seg = *segp;
+    std::lock_guard<std::mutex> guard(seg.mu);
+    seg.locks.clear();
+    seg.held.clear();
+    seg.cv.notify_all();
+  }
+  std::lock_guard<std::mutex> wf(wf_mu_);
+  waiting_.clear();
 }
 
 size_t LockManager::LockedCount() const {
-  std::lock_guard<std::mutex> guard(mu_);
   size_t n = 0;
-  for (const auto& [id, e] : locks_) {
-    (void)id;
-    if (!e.holders.empty()) ++n;
+  for (const auto& segp : segments_) {
+    const Segment& seg = *segp;
+    std::lock_guard<std::mutex> guard(seg.mu);
+    for (const auto& [id, e] : seg.locks) {
+      (void)id;
+      if (!e.holders.empty()) ++n;
+    }
   }
   return n;
 }

@@ -4,6 +4,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <set>
 #include <vector>
@@ -34,24 +35,41 @@ enum class LockMode : uint8_t { kShared, kExclusive };
 ///    ReleaseAll at commit/abort.
 ///  * Operation-duration locks (the "lower level locks" of multi-level
 ///    recovery, §2.1) — released explicitly when the operation commits.
-/// Both kinds live in the same table and the same waits-for graph.
 ///
-/// Deadlocks are detected at wait time by a cycle search over the waits-for
-/// graph; the *requesting* transaction is the victim and gets kDeadlock.
+/// The lock table is sharded: lock ids hash onto `shards` independent
+/// segments, each with its own mutex, condition variable, lock map and
+/// per-transaction held-lock index — so transactions touching disjoint
+/// data never contend on lock-manager state, and ReleaseAll walks only the
+/// locks the transaction actually holds instead of the whole table.
+///
+/// Deadlock detection stays global and *precise*: a single waits-for map
+/// (guarded by its own mutex, always acquired after a segment mutex, never
+/// before) records, for each waiting transaction, the snapshot of holders
+/// blocking it. The snapshot is kept exact by three maintenance rules:
+///  * a waiter (re)records its blockers under the segment mutex each time
+///    it is about to sleep;
+///  * a grant on a lock with waiters adds the grantee to the blocker set
+///    of every conflicting waiter (closing the shared-grant-while-waiting
+///    hole: no release, hence no wakeup, would otherwise refresh them);
+///  * a release on a lock with waiters removes the releasing transaction
+///    from those waiters' blocker sets (so no stale edge survives to
+///    manufacture a false cycle).
+/// The cycle search therefore never needs a segment mutex — it walks only
+/// the waits-for map. The *requesting* transaction is the victim and gets
+/// kDeadlock.
 class LockManager {
  public:
-  LockManager() = default;
+  /// `shards` = number of lock-table segments (rounded up to a power of
+  /// two, minimum 1). The default matches the engine's one-segment
+  /// pre-sharding behavior; the Database passes its shard count.
+  explicit LockManager(size_t shards = 1);
   LockManager(const LockManager&) = delete;
   LockManager& operator=(const LockManager&) = delete;
 
   /// Points the wait instruments at `reg` (TxnManager calls this once at
   /// construction, before any Acquire can run). Without it the manager
   /// simply does not report waits.
-  void BindMetrics(MetricsRegistry* reg) {
-    lock_waits_ = reg->counter("txn.lock_waits");
-    deadlocks_ = reg->counter("txn.deadlocks");
-    lock_wait_ns_ = reg->histogram("txn.lock_wait_ns");
-  }
+  void BindMetrics(MetricsRegistry* reg);
 
   /// Blocks until granted or deadlock. Re-entrant: a transaction already
   /// holding the lock in a mode >= `mode` is granted immediately; a shared
@@ -73,6 +91,8 @@ class LockManager {
   /// Drops all lock state (crash simulation: lock tables are volatile).
   void Clear();
 
+  size_t shard_count() const { return segments_.size(); }
+
  private:
   struct Entry {
     // Holders and their modes. Exclusive implies it is the only holder
@@ -81,15 +101,44 @@ class LockManager {
     int waiters = 0;
   };
 
-  bool Compatible(const Entry& e, TxnId txn, LockMode mode) const;
-  /// True if granting would deadlock: `txn` transitively waits for itself.
-  bool WouldDeadlock(TxnId txn, const Entry& e, LockMode mode) const;
+  /// One lock-table segment. Padded so neighboring segments' mutexes do
+  /// not share a cache line.
+  struct alignas(64) Segment {
+    mutable std::mutex mu;
+    std::condition_variable cv;
+    std::map<LockId, Entry> locks;
+    /// Per-transaction index of held lock ids in this segment, so
+    /// ReleaseAll is O(locks held), not O(locks in the table).
+    std::map<TxnId, std::set<LockId>> held;
+    Counter* waits = nullptr;  ///< Per-segment wait counter.
+  };
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::map<LockId, Entry> locks_;
-  /// txn -> lock id it is currently waiting for (at most one).
-  std::map<TxnId, LockId> waiting_for_;
+  /// A waiting transaction's edge set in the waits-for graph.
+  struct Waiter {
+    LockId id;
+    LockMode mode;
+    std::vector<TxnId> blockers;
+  };
+
+  Segment& SegmentFor(LockId id);
+  const Segment& SegmentFor(LockId id) const;
+
+  static bool Compatible(const Entry& e, TxnId txn, LockMode mode);
+  /// Conflicting holders of `e` from `txn`'s point of view.
+  static std::vector<TxnId> ConflictingHolders(const Entry& e, TxnId txn,
+                                               LockMode mode);
+  /// True if `txn`, blocked by `blockers`, transitively waits for itself.
+  /// wf_mu_ held by the caller.
+  bool CycleFrom(TxnId txn, const std::vector<TxnId>& blockers) const;
+
+  std::vector<std::unique_ptr<Segment>> segments_;
+  size_t segment_mask_;
+
+  /// Global waits-for graph. Lock order: segment.mu before wf_mu_; never
+  /// take a segment mutex while holding wf_mu_.
+  mutable std::mutex wf_mu_;
+  std::map<TxnId, Waiter> waiting_;
+
   Counter* lock_waits_ = nullptr;
   Counter* deadlocks_ = nullptr;
   Histogram* lock_wait_ns_ = nullptr;

@@ -8,11 +8,13 @@
 namespace cwdb {
 
 TxnManager::TxnManager(DbImage* image, ProtectionManager* protection,
-                       SystemLog* log, MetricsRegistry* metrics)
+                       SystemLog* log, MetricsRegistry* metrics,
+                       size_t lock_shards)
     : image_(image),
       protection_(protection),
       log_(log),
-      metrics_(FallbackRegistry(metrics, &own_metrics_)) {
+      metrics_(FallbackRegistry(metrics, &own_metrics_)),
+      locks_(lock_shards) {
   ins_.commits = metrics_->counter("txn.commits");
   ins_.aborts = metrics_->counter("txn.aborts");
   ins_.active = metrics_->gauge("txn.active");
@@ -35,9 +37,10 @@ Result<Transaction*> TxnManager::Begin() {
 }
 
 void TxnManager::MoveRedoToSystemLog(Transaction* txn) {
-  for (const std::string& payload : txn->local_redo_) {
-    log_->Append(payload);
-  }
+  // One batched staging call: a single LSN reservation for the whole local
+  // redo buffer, so an operation's records occupy contiguous LSNs and the
+  // append path touches its shard mutex once per operation commit.
+  log_->AppendAll(txn->local_redo_);
   txn->local_redo_.clear();
 }
 
@@ -48,7 +51,7 @@ Status TxnManager::BeginOp(Transaction* txn, OpCode opcode, TableId table,
   CWDB_CHECK(!txn->open_op_.has_value()) << "nested operation";
   CWDB_CHECK(!txn->update_active_);
   OpenOp op;
-  op.op_id = next_op_id_++;
+  op.op_id = next_op_id_.fetch_add(1, std::memory_order_relaxed);
   op.level = 1;
   op.opcode = opcode;
   op.op_lock = op_lock;
@@ -310,7 +313,10 @@ void TxnManager::ClearForCrash() {
 void TxnManager::BumpIds(TxnId txn_floor, uint32_t op_floor) {
   std::lock_guard<std::mutex> guard(att_mu_);
   if (txn_floor >= next_txn_id_) next_txn_id_ = txn_floor + 1;
-  if (op_floor >= next_op_id_) next_op_id_ = op_floor + 1;
+  uint32_t cur = next_op_id_.load(std::memory_order_relaxed);
+  if (op_floor >= cur) {
+    next_op_id_.store(op_floor + 1, std::memory_order_relaxed);
+  }
 }
 
 }  // namespace cwdb

@@ -1,6 +1,7 @@
 #ifndef CWDB_TXN_TXN_MANAGER_H_
 #define CWDB_TXN_TXN_MANAGER_H_
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -36,8 +37,10 @@ class TxnManager {
  public:
   /// Commit/abort counts and latencies are reported into `metrics`
   /// (nullptr = a private registry, for standalone construction in tests).
+  /// `lock_shards` sizes the lock manager's segment table (the Database
+  /// passes its shard count; 1 = the pre-sharding single-segment table).
   TxnManager(DbImage* image, ProtectionManager* protection, SystemLog* log,
-             MetricsRegistry* metrics = nullptr);
+             MetricsRegistry* metrics = nullptr, size_t lock_shards = 1);
 
   TxnManager(const TxnManager&) = delete;
   TxnManager& operator=(const TxnManager&) = delete;
@@ -177,7 +180,9 @@ class TxnManager {
   std::mutex att_mu_;
   std::map<TxnId, std::unique_ptr<Transaction>> att_;
   TxnId next_txn_id_ = 1;
-  uint32_t next_op_id_ = 1;
+  // BeginOp allocates operation ids outside att_mu_ (it runs on the caller's
+  // thread after locks are held), so the counter must be atomic.
+  std::atomic<uint32_t> next_op_id_{1};
   bool recovery_mode_ = false;
 };
 

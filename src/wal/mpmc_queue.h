@@ -1,0 +1,115 @@
+#ifndef CWDB_WAL_MPMC_QUEUE_H_
+#define CWDB_WAL_MPMC_QUEUE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+
+#include "common/logging.h"
+
+namespace cwdb {
+
+/// Bounded lock-free multi-producer/multi-consumer queue (Vyukov's bounded
+/// MPMC design): a power-of-two ring of cells, each carrying a sequence
+/// number that encodes whose turn the cell is.
+///
+/// Invariants (the memory-ordering argument, see DESIGN.md §10):
+///  * A producer claims cell `pos` when `cell.seq == pos` (the cell is
+///    empty and it is this lap's turn). It CASes enqueue_pos_ to own the
+///    claim, stores the value, then *releases* `cell.seq = pos + 1` —
+///    publishing the value to the consumer that observes the new seq with
+///    an *acquire* load.
+///  * A consumer claims cell `pos` when `cell.seq == pos + 1` (a value is
+///    present). After reading the value it releases `cell.seq = pos +
+///    capacity`, handing the cell to the producer of the next lap.
+///  * enqueue_pos_/dequeue_pos_ are claim tickets only; the seq handshake
+///    is what transfers the data, so no value is ever read before its
+///    store is visible, and no cell is reused before its value is taken.
+///
+/// TryPush/TryPop never block and never spin unboundedly: they fail when
+/// the queue is full/empty, and the caller decides (the WAL's group-commit
+/// path falls back to yielding, see system_log.cc).
+template <typename T>
+class MpmcQueue {
+ public:
+  explicit MpmcQueue(size_t capacity) : mask_(capacity - 1) {
+    CWDB_CHECK(capacity >= 2 && (capacity & mask_) == 0)
+        << "MpmcQueue capacity must be a power of two >= 2";
+    cells_.reset(new Cell[capacity]);
+    for (size_t i = 0; i < capacity; ++i) {
+      cells_[i].seq.store(i, std::memory_order_relaxed);
+    }
+  }
+
+  MpmcQueue(const MpmcQueue&) = delete;
+  MpmcQueue& operator=(const MpmcQueue&) = delete;
+
+  /// Enqueues `value`; false if the queue is full.
+  bool TryPush(T value) {
+    Cell* cell;
+    size_t pos = enqueue_pos_.load(std::memory_order_relaxed);
+    for (;;) {
+      cell = &cells_[pos & mask_];
+      size_t seq = cell->seq.load(std::memory_order_acquire);
+      intptr_t diff =
+          static_cast<intptr_t>(seq) - static_cast<intptr_t>(pos);
+      if (diff == 0) {
+        // Our turn: claim the ticket. Weak CAS — a spurious failure just
+        // re-reads pos and retries.
+        if (enqueue_pos_.compare_exchange_weak(pos, pos + 1,
+                                               std::memory_order_relaxed)) {
+          break;
+        }
+      } else if (diff < 0) {
+        return false;  // Cell still holds last lap's value: full.
+      } else {
+        pos = enqueue_pos_.load(std::memory_order_relaxed);
+      }
+    }
+    cell->value = std::move(value);
+    cell->seq.store(pos + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Dequeues into *value; false if the queue is empty.
+  bool TryPop(T* value) {
+    Cell* cell;
+    size_t pos = dequeue_pos_.load(std::memory_order_relaxed);
+    for (;;) {
+      cell = &cells_[pos & mask_];
+      size_t seq = cell->seq.load(std::memory_order_acquire);
+      intptr_t diff =
+          static_cast<intptr_t>(seq) - static_cast<intptr_t>(pos + 1);
+      if (diff == 0) {
+        if (dequeue_pos_.compare_exchange_weak(pos, pos + 1,
+                                               std::memory_order_relaxed)) {
+          break;
+        }
+      } else if (diff < 0) {
+        return false;  // Producer has not published this cell yet: empty.
+      } else {
+        pos = dequeue_pos_.load(std::memory_order_relaxed);
+      }
+    }
+    *value = std::move(cell->value);
+    cell->seq.store(pos + mask_ + 1, std::memory_order_release);
+    return true;
+  }
+
+ private:
+  /// Cache-line padding keeps the producer and consumer tickets (and each
+  /// cell's seq) off each other's lines — the queue is contended by design.
+  struct alignas(64) Cell {
+    std::atomic<size_t> seq;
+    T value;
+  };
+
+  const size_t mask_;
+  std::unique_ptr<Cell[]> cells_;
+  alignas(64) std::atomic<size_t> enqueue_pos_{0};
+  alignas(64) std::atomic<size_t> dequeue_pos_{0};
+};
+
+}  // namespace cwdb
+
+#endif  // CWDB_WAL_MPMC_QUEUE_H_

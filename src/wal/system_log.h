@@ -1,10 +1,13 @@
 #ifndef CWDB_WAL_SYSTEM_LOG_H_
 #define CWDB_WAL_SYSTEM_LOG_H_
 
+#include <atomic>
 #include <condition_variable>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/result.h"
@@ -12,6 +15,7 @@
 #include "common/status.h"
 #include "obs/metrics.h"
 #include "wal/log_record.h"
+#include "wal/mpmc_queue.h"
 
 namespace cwdb {
 
@@ -29,66 +33,127 @@ struct WalTailScan {
   uint64_t damage_off = 0;   ///< First bad frame offset when damaged.
 };
 
-/// The system log (paper §2.1): an in-memory tail plus a stable log file on
-/// disk. Redo records are appended to the tail when operations commit; the
-/// tail is flushed (written and fsync'd) at transaction commit and at
-/// checkpoints, under the system log latch. `end_of_stable_log` is the LSN
-/// up to which records are known durable.
+/// The system log (paper §2.1): in-memory append staging plus a stable log
+/// file on disk. Redo records are appended when operations commit; the
+/// staged frames are made durable at transaction commit and at checkpoints.
 ///
-/// Framing on disk and in the tail: [u32 payload_len][u32 crc32c][payload].
+/// Sharded append path: LSNs are assigned by a single fetch-and-add on the
+/// logical end of the log, but the encoded frames are staged in per-shard
+/// buffers (the calling thread picks a shard once and sticks to it), so
+/// concurrent appenders on different shards never touch the same mutex.
+/// This is sound because the transaction layer moves an operation's redo to
+/// the system log *before* releasing the operation's locks (§2.1): any two
+/// conflicting operations are already serialized when they append, so their
+/// LSN order equals their conflict order no matter which shard staged them.
+///
+/// Group commit: staged batches flow through a lock-free MPMC queue to one
+/// drainer thread, which reorders them by LSN, writes only the contiguous
+/// prefix of the log (so the on-disk file is always a valid prefix plus at
+/// most one torn frame) and issues a single fdatasync per round. Flush()
+/// registers a durability target and waits; every Flush caller that arrives
+/// while a round is in flight piggybacks on its fsync.
+///
+/// Framing on disk and in staging: [u32 payload_len][u32 crc32c][payload].
 /// The LSN of a record is the byte offset of its frame; a torn final frame
 /// after a crash is detected by the CRC and treated as the end of log.
 class SystemLog {
  public:
   /// Opens (creating if needed) the stable log at `path`. Scans existing
   /// contents to find the end of the valid prefix; a torn tail is truncated
-  /// logically (subsequent appends overwrite it). Flush latency, batch
-  /// sizes and append volume are reported into `metrics` (nullptr = a
-  /// private registry, for standalone construction in tests).
+  /// physically (appends continue from the valid prefix). Flush latency,
+  /// batch sizes and append volume are reported into `metrics` (nullptr = a
+  /// private registry, for standalone construction in tests). `shards` is
+  /// the number of append staging buffers (1 = a single buffer, the
+  /// pre-sharding behavior).
   static Result<std::unique_ptr<SystemLog>> Open(
-      const std::string& path, MetricsRegistry* metrics = nullptr);
+      const std::string& path, MetricsRegistry* metrics = nullptr,
+      size_t shards = 1);
 
   ~SystemLog();
   SystemLog(const SystemLog&) = delete;
   SystemLog& operator=(const SystemLog&) = delete;
 
-  /// Appends one encoded record payload to the in-memory tail. Returns the
-  /// record's LSN. Thread-safe.
+  /// Appends one encoded record payload to this thread's staging shard.
+  /// Returns the record's LSN. Thread-safe.
   Lsn Append(Slice payload);
 
+  /// Appends several payloads as one staging operation: one LSN reservation
+  /// and one shard-mutex acquisition for the lot, and the frames occupy
+  /// contiguous LSNs. Returns the LSN of the first payload (CurrentLsn()
+  /// when `payloads` is empty). Used by operation commit, which moves the
+  /// whole local redo buffer at once.
+  Lsn AppendAll(const std::vector<std::string>& payloads);
+
   /// Makes every record appended before this call durable. Group commit:
-  /// one caller writes and fsyncs the whole pending batch while the I/O
-  /// happens *outside* the latch (appends continue into a fresh tail);
-  /// concurrent flushers piggyback on the in-flight batch instead of
-  /// issuing their own fsync. (The paper commits every 500 operations
-  /// precisely to keep commit cost off the critical path — §5.2 fn. 3
-  /// avoids group commit in the *benchmark*; the engine supports it.)
+  /// the drainer thread writes the whole pending prefix and fsyncs once
+  /// per round while appenders keep running; concurrent flushers piggyback
+  /// on the in-flight round instead of issuing their own fsync. (The paper
+  /// commits every 500 operations precisely to keep commit cost off the
+  /// critical path — §5.2 fn. 3 avoids group commit in the *benchmark*;
+  /// the engine supports it.)
   Status Flush();
 
-  /// LSN one past the last appended record (tail included).
-  Lsn CurrentLsn() const;
+  /// LSN one past the last appended record (staged frames included).
+  Lsn CurrentLsn() const {
+    return logical_end_.load(std::memory_order_acquire);
+  }
 
   /// LSN up to which the log is durable.
-  Lsn end_of_stable_log() const;
+  Lsn end_of_stable_log() const {
+    return durable_.load(std::memory_order_acquire);
+  }
 
-  /// Crash simulation: discards the un-flushed tail, exactly what a process
-  /// failure would lose.
+  /// Crash simulation: discards everything not yet durable — staged
+  /// frames, queued batches, and written-but-unsynced bytes — exactly what
+  /// a process failure would lose. Requires external quiescence (no
+  /// concurrent Append/Flush).
   void DiscardTail();
 
   /// Classification of what Open() found at the end of the stable file
   /// (before truncating it back to the valid prefix).
   const WalTailScan& tail_scan() const { return tail_scan_; }
 
-  /// Total bytes appended to the tail since open (read-log volume studies).
+  /// Total bytes appended since open (read-log volume studies).
   uint64_t bytes_appended() const { return ins_.bytes_appended->Value(); }
   uint64_t flush_count() const { return ins_.flushes->Value(); }
-  /// Flushes that failed with an I/O error; the batch was restored to the
-  /// tail and the next Flush() covers it exactly once.
+  /// Flush rounds that failed with an I/O error; the frames stay staged at
+  /// their LSNs and the next Flush() covers them exactly once.
   uint64_t flush_failures() const { return ins_.flush_failures->Value(); }
 
  private:
+  /// One publication unit: frames staged by one shard, in LSN order.
+  using Batch = std::vector<std::pair<Lsn, std::string>>;
+
+  /// Per-shard append staging. Appenders on different shards share nothing
+  /// but the LSN counter (one fetch_add) and the lock-free queue.
+  struct alignas(64) AppendShard {
+    std::mutex mu;
+    Batch frames;
+    size_t bytes = 0;
+    Counter* appends = nullptr;
+  };
+
   SystemLog(std::string path, int fd, uint64_t stable_size,
-            MetricsRegistry* metrics);
+            MetricsRegistry* metrics, size_t shards);
+
+  /// The calling thread's staging shard (round-robin assignment at first
+  /// use, sticky thereafter).
+  size_t ShardIndex() const;
+
+  /// Stages one frame into `sh` (sh.mu held) and returns its LSN.
+  Lsn StageFrameLocked(AppendShard& sh, Slice payload);
+
+  /// Moves sh's staged frames into the MPMC queue (sh.mu held).
+  void PublishLocked(AppendShard& sh);
+
+  /// Drainer thread: merges queued batches, writes the contiguous prefix,
+  /// fsyncs on demand.
+  void DrainerLoop();
+
+  /// Zero-extends the stable file to `new_end` (drainer only). Writing real
+  /// zero blocks ahead of the frontier keeps block allocation and i_size
+  /// changes out of the per-round fdatasync, which then syncs pure data.
+  Status Preallocate(uint64_t new_end);
 
   struct Instruments {
     Counter* appends;
@@ -104,15 +169,39 @@ class SystemLog {
   std::string path_;
   int fd_;
   WalTailScan tail_scan_;
-  mutable std::mutex latch_;  ///< The paper's "system log latch".
-  std::condition_variable flush_cv_;
-  uint64_t stable_size_;        ///< Bytes of valid stable log.
-  uint64_t flushing_bytes_ = 0; ///< Bytes of the batch being written now.
-  bool flush_in_progress_ = false;
-  std::string tail_;            ///< Encoded frames not yet flushed.
   std::unique_ptr<MetricsRegistry> own_metrics_;
   MetricsRegistry* metrics_;
   Instruments ins_;
+
+  /// Next LSN to assign; advanced by fetch_add under the owning shard's mu
+  /// (the mu makes "LSN order == buffer order" hold within a shard).
+  std::atomic<uint64_t> logical_end_;
+  /// End of the durable prefix. Written by the drainer under drain_mu_,
+  /// read lock-free by CurrentLsn()/end_of_stable_log()/Append.
+  std::atomic<uint64_t> durable_;
+
+  std::vector<std::unique_ptr<AppendShard>> shards_;
+  MpmcQueue<Batch*> queue_;
+
+  /// Drainer state, guarded by drain_mu_.
+  mutable std::mutex drain_mu_;
+  std::condition_variable drain_cv_;  ///< Wakes the drainer.
+  std::condition_variable flush_cv_;  ///< Wakes Flush waiters.
+  std::map<Lsn, std::string> pending_;  ///< Reorder buffer, keyed by LSN.
+  uint64_t write_pos_;     ///< Bytes written (not necessarily synced).
+  uint64_t alloc_end_;     ///< Zero-preallocated file extent (drainer only).
+  uint64_t flush_target_ = 0;
+  uint64_t request_seq_ = 0;  ///< Bumped by every Flush() registration.
+  uint64_t last_latch_seq_ = 0;     ///< request_seq_ at the last round latch.
+  uint64_t last_round_reqs_ = 0;    ///< Registrations the last round absorbed.
+  uint64_t round_piggybacks_ = 0;   ///< Registrations during the open round.
+  uint64_t piggybacks_last_round_ = 0;  ///< ...and the previous round's count.
+  uint64_t error_seq_ = 0;    ///< request_seq_ when the last round failed.
+  uint64_t failed_req_ = 0;   ///< Retry only once a newer request arrives.
+  Status last_error_;
+  bool in_round_ = false;     ///< Drainer I/O in flight (latch released).
+  bool stop_ = false;
+  std::thread drainer_;
 };
 
 /// Sequential reader over the stable system log. Stops cleanly at the first

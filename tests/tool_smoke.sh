@@ -24,6 +24,10 @@ trap 'rm -rf "$DIR"' EXIT
 "$CTL" stats "$DIR/db" | grep -q '"txn.commits"'
 "$CTL" stats "$DIR/db" | grep -q '"txn.commit_latency_ns"'
 
+# --per-shard renders one row per engine shard from the same snapshot.
+"$CTL" stats "$DIR/db" --per-shard | grep -q "wal_appends"
+"$CTL" stats "$DIR/db" --per-shard | grep -q "^0 "
+
 # trace decodes the flight-recorder events of the same snapshot.
 "$CTL" trace "$DIR/db" | grep -q "checkpoint"
 "$CTL" trace "$DIR/db" | grep -q "group_commit_flush"

@@ -162,6 +162,7 @@ TEST_F(SystemLogTest, DiscardTailLosesUnflushed) {
 }
 
 TEST_F(SystemLogTest, TornTailIsTruncatedOnOpen) {
+  uint64_t good = 0;
   {
     auto log = SystemLog::Open(LogPath());
     ASSERT_TRUE(log.ok());
@@ -169,11 +170,14 @@ TEST_F(SystemLogTest, TornTailIsTruncatedOnOpen) {
     EncodeBeginTxn(&payload, 1);
     (*log)->Append(payload);
     ASSERT_OK((*log)->Flush());
+    good = (*log)->end_of_stable_log();
   }
-  // Append garbage simulating a torn write.
+  // Garbage at the write frontier simulating a torn write. (The file is
+  // longer than the stable prefix — preallocated zeros — so the frontier
+  // is end_of_stable_log, not the file size.)
   std::string contents;
   ASSERT_OK(ReadFileToString(LogPath(), &contents));
-  size_t good = contents.size();
+  contents.resize(good);
   contents += "\x10\x00\x00\x00TORN";
   ASSERT_OK(WriteFileAtomic(LogPath(), contents));
 
@@ -193,6 +197,7 @@ TEST_F(SystemLogTest, TornTailIsTruncatedOnOpen) {
 }
 
 TEST_F(SystemLogTest, CorruptMiddleFrameEndsLogThere) {
+  uint64_t stable = 0;
   {
     auto log = SystemLog::Open(LogPath());
     ASSERT_TRUE(log.ok());
@@ -202,10 +207,11 @@ TEST_F(SystemLogTest, CorruptMiddleFrameEndsLogThere) {
     (*log)->Append(p1);
     (*log)->Append(p2);
     ASSERT_OK((*log)->Flush());
+    stable = (*log)->end_of_stable_log();
   }
   std::string contents;
   ASSERT_OK(ReadFileToString(LogPath(), &contents));
-  contents[contents.size() / 2] ^= 0x01;  // Flip a bit mid-log.
+  contents[stable / 2] ^= 0x01;  // Flip a bit mid-frames.
   ASSERT_OK(WriteFileAtomic(LogPath(), contents));
 
   auto reader = LogReader::Open(LogPath(), 0, kInvalidLsn);
@@ -214,6 +220,40 @@ TEST_F(SystemLogTest, CorruptMiddleFrameEndsLogThere) {
   int n = 0;
   while ((*reader)->Next(&rec, nullptr)) ++n;
   EXPECT_LT(n, 2);  // CRC stops the scan at the corrupt frame.
+}
+
+TEST_F(SystemLogTest, PreallocatedZeroTailIsCleanEndOfLog) {
+  uint64_t stable = 0;
+  {
+    auto log = SystemLog::Open(LogPath());
+    ASSERT_TRUE(log.ok());
+    std::string p;
+    EncodeBeginTxn(&p, 1);
+    (*log)->Append(p);
+    ASSERT_OK((*log)->Flush());
+    stable = (*log)->end_of_stable_log();
+  }
+  // The drainer zero-extends past the frontier so steady-state fsyncs sync
+  // pure data; the file is therefore longer than the stable prefix.
+  std::string contents;
+  ASSERT_OK(ReadFileToString(LogPath(), &contents));
+  ASSERT_GT(contents.size(), stable);
+  EXPECT_EQ(contents.find_first_not_of('\0', stable), std::string::npos);
+
+  // Reopen reads the zero tail as clean preallocation: the stable end is
+  // exactly the frames, and nothing is classified as in-place damage.
+  auto log = SystemLog::Open(LogPath());
+  ASSERT_TRUE(log.ok());
+  EXPECT_EQ((*log)->end_of_stable_log(), stable);
+  EXPECT_FALSE((*log)->tail_scan().damaged);
+
+  auto reader = LogReader::Open(LogPath(), 0, kInvalidLsn);
+  ASSERT_TRUE(reader.ok());
+  LogRecord rec;
+  int n = 0;
+  while ((*reader)->Next(&rec, nullptr)) ++n;
+  EXPECT_EQ(n, 1);
+  EXPECT_EQ((*reader)->position(), stable);
 }
 
 TEST_F(SystemLogTest, ReaderHonorsStartAndLimit) {

@@ -8,9 +8,12 @@
 //   cwdb_ctl logdump <dir> [from-lsn]    decode the stable system log
 //   cwdb_ctl recover <dir> [scheme]      open the database (running restart
 //                                        or corruption recovery) and report
-//   cwdb_ctl stats <dir>                 re-emit the metrics snapshot that
+//   cwdb_ctl stats <dir> [--per-shard]   re-emit the metrics snapshot that
 //                                        Database::DumpMetrics()/Close()
-//                                        persisted (byte-identical JSON)
+//                                        persisted (byte-identical JSON);
+//                                        --per-shard renders the sharded
+//                                        counter families as a table
+//                                        (one row per engine shard)
 //   cwdb_ctl trace <dir>                 decode the flight-recorder events
 //                                        of the persisted metrics snapshot
 //   cwdb_ctl incidents <dir>             render incidents.jsonl dossiers
@@ -21,11 +24,15 @@
 // All subcommands except `recover` are read-only and work on a cold
 // directory without instantiating a Database.
 
+#include <array>
 #include <cinttypes>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <string>
+#include <string_view>
+#include <vector>
 
 #include "ckpt/att_codec.h"
 #include "ckpt/checkpoint.h"
@@ -177,11 +184,23 @@ int CmdCheck(const std::string& dir) {
     while ((*reader)->Next(&rec, nullptr)) ++n;
     std::string contents;
     (void)ReadFileToString(files.SystemLog(), &contents);
-    bool torn = (*reader)->position() != contents.size();
+    // Past the valid prefix: all-zero bytes are the group-commit drainer's
+    // preallocation (clean end of log); anything nonzero is a torn append.
+    const char* tail_note = "";
+    if ((*reader)->position() != contents.size()) {
+      bool all_zero = true;
+      for (size_t i = (*reader)->position(); i < contents.size(); ++i) {
+        if (contents[i] != '\0') {
+          all_zero = false;
+          break;
+        }
+      }
+      tail_note = all_zero ? " (+ preallocated tail)"
+                           : " (torn tail will be discarded)";
+    }
     std::printf("stable log       : %" PRIu64 " records, valid prefix %" PRIu64
                 "/%zu bytes%s\n",
-                n, (*reader)->position(), contents.size(),
-                torn ? " (torn tail will be discarded)" : "");
+                n, (*reader)->position(), contents.size(), tail_note);
   } else {
     ++failures;
     std::printf("stable log       : FAIL (%s)\n",
@@ -291,7 +310,72 @@ int CmdRecover(const std::string& dir, const std::string& scheme_name) {
   return 0;
 }
 
-int CmdStats(const std::string& dir) {
+/// Renders the per-shard counter families of the persisted snapshot as one
+/// row per shard. The families are the sharded hot paths: WAL append
+/// staging, protection updates/prechecks, lock-segment waits and audit
+/// slices. A skewed row is the first thing to look at when scaling
+/// disappoints — it means the workload (or the ShardMap) is not spreading.
+int CmdStatsPerShard(const JsonValue& doc) {
+  const JsonValue* counters = doc.Find("counters");
+  if (counters == nullptr || !counters->is_object()) {
+    std::fprintf(stderr, "snapshot has no counters object (schema %" PRIu64
+                 ")\n", doc.U64("schema_version"));
+    return 1;
+  }
+  struct Family {
+    const char* prefix;   ///< Counter name up to the shard number.
+    const char* suffix;   ///< Counter name after the shard number.
+    const char* heading;
+  };
+  static constexpr Family kFamilies[] = {
+      {"wal.shard", ".appends", "wal_appends"},
+      {"protect.shard", ".updates", "protect_updates"},
+      {"protect.shard", ".prechecks", "prechecks"},
+      {"txn.lockshard", ".waits", "lock_waits"},
+      {"audit.shard", ".slices", "audit_slices"},
+  };
+  constexpr size_t kNumFamilies = sizeof(kFamilies) / sizeof(kFamilies[0]);
+
+  // shard index -> per-family value; sized by the largest index seen.
+  std::vector<std::array<uint64_t, kNumFamilies>> rows;
+  for (const auto& [name, value] : counters->members()) {
+    for (size_t f = 0; f < kNumFamilies; ++f) {
+      const std::string_view prefix = kFamilies[f].prefix;
+      const std::string_view suffix = kFamilies[f].suffix;
+      if (name.size() <= prefix.size() + suffix.size()) continue;
+      if (name.compare(0, prefix.size(), prefix) != 0) continue;
+      if (name.compare(name.size() - suffix.size(), suffix.size(), suffix) !=
+          0) {
+        continue;
+      }
+      char* end = nullptr;
+      const char* digits = name.c_str() + prefix.size();
+      unsigned long shard = std::strtoul(digits, &end, 10);
+      if (end != name.c_str() + name.size() - suffix.size()) continue;
+      if (shard >= rows.size()) rows.resize(shard + 1, {});
+      rows[shard][f] = value.AsU64();
+    }
+  }
+  if (rows.empty()) {
+    std::fprintf(stderr,
+                 "snapshot has no per-shard counters (single-shard database "
+                 "or pre-shard snapshot)\n");
+    return 1;
+  }
+  std::printf("%-6s", "shard");
+  for (const Family& f : kFamilies) std::printf(" %15s", f.heading);
+  std::printf("\n");
+  for (size_t s = 0; s < rows.size(); ++s) {
+    std::printf("%-6zu", s);
+    for (size_t f = 0; f < kNumFamilies; ++f) {
+      std::printf(" %15" PRIu64, rows[s][f]);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}
+
+int CmdStats(const std::string& dir, bool per_shard) {
   DbFiles files(dir);
   std::string json;
   Status s = ReadFileToString(files.MetricsFile(), &json);
@@ -301,6 +385,16 @@ int CmdStats(const std::string& dir) {
                  "Close() first): %s\n",
                  files.MetricsFile().c_str(), s.ToString().c_str());
     return 1;
+  }
+  if (per_shard) {
+    Result<JsonValue> doc = ParseJson(json);
+    if (!doc.ok()) {
+      std::fprintf(stderr, "cannot parse %s: %s\n",
+                   files.MetricsFile().c_str(),
+                   doc.status().ToString().c_str());
+      return 1;
+    }
+    return CmdStatsPerShard(*doc);
   }
   // Verbatim: the contract is that this output is byte-identical to what
   // DumpMetrics() returned in-process.
@@ -543,7 +637,10 @@ int main(int argc, char** argv) {
   if (cmd == "recover") {
     return CmdRecover(dir, argc > 3 ? argv[3] : "none");
   }
-  if (cmd == "stats") return CmdStats(dir);
+  if (cmd == "stats") {
+    bool per_shard = argc > 3 && std::strcmp(argv[3], "--per-shard") == 0;
+    return CmdStats(dir, per_shard);
+  }
   if (cmd == "trace") return CmdTrace(dir);
   if (cmd == "incidents") return CmdIncidents(dir);
   if (cmd == "explain-recovery") {
