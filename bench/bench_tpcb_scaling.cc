@@ -17,6 +17,14 @@
 //             /var/tmp — a disk-backed filesystem; on tmpfs the fsync cost
 //             this bench studies mostly vanishes.
 //   --shards  engine shard count (default 4).
+//   --trace   after the measured passes, run one extra traced pass at the
+//             highest thread count (sample rate 1.0, fixed seed) and write
+//             tpcb_spans.json (Chrome/Perfetto trace-event JSON — load at
+//             https://ui.perfetto.dev) plus tpcb_attribution.json (the
+//             per-stage p50/p99 latency shares CI diffs for drift) into
+//             the --trace-out directory.
+//   --trace-out <path>  output directory for the --trace artifacts
+//             (default ".").
 
 #include <algorithm>
 #include <cinttypes>
@@ -31,6 +39,7 @@
 #include "bench/bench_util.h"
 #include "common/file_util.h"
 #include "core/database.h"
+#include "obs/trace_export.h"
 #include "workload/tpcb.h"
 
 namespace cwdb {
@@ -43,8 +52,15 @@ struct Point {
   uint64_t p99_commit_ns = 0;
 };
 
+/// Span artifacts of a traced pass (--trace).
+struct TraceArtifacts {
+  std::string chrome_json;       ///< Perfetto-loadable trace-event JSON.
+  std::string attribution_json;  ///< Per-stage p50/p99 shares.
+  size_t spans = 0;
+};
+
 Point RunPoint(const std::string& dir, int threads, size_t shards,
-               uint64_t txns) {
+               uint64_t txns, TraceArtifacts* trace_out = nullptr) {
   TpcbConfig cfg;
   cfg.accounts = 5000;
   cfg.tellers = 500;
@@ -63,6 +79,13 @@ Point RunPoint(const std::string& dir, int threads, size_t shards,
   opts.protection.scheme = ProtectionScheme::kDataCodeword;
   opts.protection.region_size = 512;
   opts.shards = shards;
+  if (trace_out != nullptr) {
+    // Trace every transaction of the traced pass under the default fixed
+    // seed, so two runs of the same binary sample identically and the
+    // attribution artifact is comparable across CI runs.
+    opts.trace_sample_rate = 1.0;
+    opts.trace_ring_capacity = 1 << 16;
+  }
   auto db = Database::Open(opts);
   if (!db.ok()) {
     std::fprintf(stderr, "open failed: %s\n", db.status().ToString().c_str());
@@ -89,6 +112,19 @@ Point RunPoint(const std::string& dir, int threads, size_t shards,
   p.txns_per_sec = *rate;  // ops/s == txn/s at one op per transaction.
   p.p99_commit_ns =
       (*db)->metrics()->histogram("txn.commit_latency_ns")->Capture().p99;
+  if (trace_out != nullptr) {
+    MetricsRegistry* metrics = (*db)->metrics();
+    SpanDump dump;
+    dump.captured_mono_ns = NowNs();
+    dump.captured_wall_ns = WallNowNs();
+    dump.boot_mono_ns = metrics->boot_mono_ns();
+    dump.boot_wall_ns = metrics->boot_wall_ns();
+    dump.spans = metrics->tracer()->Snapshot();
+    trace_out->spans = dump.spans.size();
+    trace_out->chrome_json = SpansToChromeJson(dump);
+    trace_out->attribution_json =
+        AttributionToJson(ComputeAttribution(dump.spans));
+  }
   DumpDbMetricsIfRequested(db->get());
   // Remove this point's database before the next one runs. The checkpoint
   // images are megabytes of dirty page cache per point; left on disk, their
@@ -107,11 +143,17 @@ int main(int argc, char** argv) {
   using namespace cwdb;
   const bool json = JsonMode(argc, argv);
   bool smoke = false;
+  bool trace = false;
   size_t shards = 4;
   int trials_override = 0;
   std::string parent = "/var/tmp";
+  std::string trace_out_dir = ".";
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strcmp(argv[i], "--trace") == 0) trace = true;
+    if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
+      trace_out_dir = argv[++i];
+    }
     if (std::strcmp(argv[i], "--dir") == 0 && i + 1 < argc) {
       parent = argv[++i];
     }
@@ -200,6 +242,29 @@ int main(int argc, char** argv) {
       std::printf("\n");
     }
     std::fflush(stdout);
+  }
+  if (trace) {
+    // One extra pass, fully traced, outside the measured trials (the span
+    // rings cost a little memory traffic; the timing points above stay
+    // untouched). The attribution artifact is what CI diffs for drift.
+    const int t = thread_counts.back();
+    TraceArtifacts artifacts;
+    std::string dir = std::string(base) + "/traced";
+    (void)RunPoint(dir, t, shards, txns_per_thread * t, &artifacts);
+    Status s1 = WriteFileAtomic(trace_out_dir + "/tpcb_spans.json",
+                                artifacts.chrome_json);
+    Status s2 = WriteFileAtomic(trace_out_dir + "/tpcb_attribution.json",
+                                artifacts.attribution_json);
+    if (!s1.ok() || !s2.ok()) {
+      std::fprintf(stderr, "trace artifacts: %s / %s\n",
+                   s1.ToString().c_str(), s2.ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr,
+                 "traced pass: %zu spans -> %s/tpcb_spans.json, "
+                 "attribution -> %s/tpcb_attribution.json\n",
+                 artifacts.spans, trace_out_dir.c_str(),
+                 trace_out_dir.c_str());
   }
   std::string cleanup = std::string("rm -rf '") + base + "'";
   (void)std::system(cleanup.c_str());

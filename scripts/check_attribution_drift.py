@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Compare a fresh tpcb_attribution.json against a checked-in baseline.
+
+The attribution artifact (bench_tpcb_scaling --trace) reports, per pipeline
+stage, the share of total commit latency that stage's self time accounts
+for in the fast (<= median) and slow (>= p99) commit cohorts. The p99
+shares are the fingerprint of where tail latency lives; when a change moves
+that fingerprint — fsync share collapsing because commits stopped batching,
+queue-wait share exploding because the drainer fell behind — this check
+surfaces it in CI before anyone has to eyeball a trace.
+
+Usage:
+  check_attribution_drift.py <fresh.json> <baseline.json> [--threshold PCT]
+      [--strict]
+
+A stage drifts when its p99 share moves by more than --threshold
+(default 20) percentage points in either direction, or when a stage
+appears/disappears with a share above the threshold. Drift prints GitHub
+warning annotations and, with --strict, fails the job; without it the
+check is advisory (CI runners have unpredictable fsync behaviour, so the
+default gate is a human reading the warning).
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_shares(path):
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    stages = doc.get("stages", {})
+    shares = {name: float(s.get("p99_share", 0.0)) for name, s in stages.items()}
+    return int(doc.get("traces", 0)), shares
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("fresh", help="attribution JSON from this run")
+    ap.add_argument("baseline", help="checked-in reference attribution JSON")
+    ap.add_argument("--threshold", type=float, default=20.0,
+                    help="allowed p99 share drift in percentage points "
+                         "(default: 20)")
+    ap.add_argument("--strict", action="store_true",
+                    help="exit nonzero on drift instead of warning")
+    args = ap.parse_args()
+
+    fresh_traces, fresh = load_shares(args.fresh)
+    base_traces, base = load_shares(args.baseline)
+    if fresh_traces == 0:
+        print(f"::warning::{args.fresh} contains no traces; "
+              "was the bench run with --trace?")
+        return 1
+
+    limit = args.threshold / 100.0
+    drifted = []
+    for stage in sorted(set(fresh) | set(base)):
+        f, b = fresh.get(stage, 0.0), base.get(stage, 0.0)
+        delta = f - b
+        if abs(delta) > limit:
+            drifted.append((stage, b, f, delta))
+
+    print(f"p99 latency attribution: {fresh_traces} fresh traces vs "
+          f"{base_traces} baseline traces, threshold "
+          f"{args.threshold:.0f} share points")
+    for stage in sorted(set(fresh) | set(base)):
+        f, b = fresh.get(stage, 0.0), base.get(stage, 0.0)
+        mark = " <-- drift" if any(d[0] == stage for d in drifted) else ""
+        print(f"  {stage:24s} baseline {b:6.1%}  fresh {f:6.1%}{mark}")
+
+    if not drifted:
+        print("no stage drifted beyond the threshold")
+        return 0
+    for stage, b, f, delta in drifted:
+        print(f"::warning title=p99 attribution drift::{stage} p99 share "
+              f"moved {delta:+.1%} ({b:.1%} -> {f:.1%}); the tail latency "
+              "profile changed — inspect tpcb_spans.json in Perfetto")
+    return 1 if args.strict else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -56,6 +56,12 @@ Status Checkpointer::WriteCheckpointTo(int which, bool certify,
                                        std::vector<CorruptRange>* corrupt) {
   const uint32_t page_size = image_->page_size();
   const uint64_t t0 = NowNs();
+  in_flight_.store(true, std::memory_order_release);
+  // Checkpoints are rare and each one is interesting: trace every pass
+  // (forced; unsampled context when the tracer is off).
+  Tracer* tracer = metrics_->tracer();
+  uint64_t root_span = 0;
+  SpanContext ctx = tracer->StartForcedTrace(&root_span);
 
   // --- Copy phase, under the exclusive checkpoint latch: no physical
   // update is in flight and no local log is mid-mutation, so the copied
@@ -82,10 +88,20 @@ Status Checkpointer::WriteCheckpointTo(int which, bool certify,
     image_->ClearDirty(which);
   }
   pages_written_last_ = pages.size();
+  if (ctx.sampled()) {
+    tracer->Record(ctx, SpanKind::kCheckpointCopy, t0, NowNs(), pages.size(),
+                   page_size);
+  }
 
   // --- Durability phase, off the critical path. ---
   Status s = WriteDurable(which, pages, page_bytes, ck_end,
-                          std::move(att_blob), certify, corrupt);
+                          std::move(att_blob), certify, corrupt, ctx);
+  if (ctx.sampled()) {
+    tracer->RecordWithId(ctx.Under(0), root_span, SpanKind::kCheckpoint, t0,
+                         NowNs(), pages.size(),
+                         static_cast<uint64_t>(which));
+  }
+  in_flight_.store(false, std::memory_order_release);
   if (!s.ok()) {
     // Nothing certified: the anchor still names the previous image. Put
     // the captured pages back in the dirty set (under the latch — the
@@ -108,10 +124,14 @@ Status Checkpointer::WriteDurable(int which,
                                   const std::string& page_bytes,
                                   Lsn ck_end, std::string att_blob,
                                   bool certify,
-                                  std::vector<CorruptRange>* corrupt) {
+                                  std::vector<CorruptRange>* corrupt,
+                                  const SpanContext& trace) {
   const uint32_t page_size = image_->page_size();
+  Tracer* tracer = metrics_->tracer();
+  const bool traced = trace.sampled();
   CWDB_RETURN_IF_ERROR(log_->Flush());
 
+  const uint64_t t_write = traced ? NowNs() : 0;
   int fd = ::open(files_.CkptImage(which).c_str(), O_WRONLY);
   if (fd < 0) {
     return Status::IoError("open " + files_.CkptImage(which) + ": " +
@@ -126,9 +146,17 @@ Status Checkpointer::WriteDurable(int which,
       return s;
     }
   }
+  if (traced) {
+    tracer->Record(trace, SpanKind::kCheckpointWrite, t_write, NowNs(),
+                   page_bytes.size(), pages.size());
+  }
+  const uint64_t t_fsync = traced ? NowNs() : 0;
   Status s = crashpoint::Check("ckpt.image.fsync");
   if (s.ok()) s = FsyncFd(fd);
   ::close(fd);
+  if (traced) {
+    tracer->Record(trace, SpanKind::kCheckpointFsync, t_fsync, NowNs());
+  }
   CWDB_RETURN_IF_ERROR(s);
 
   // --- Certification audit (paper §4.2): after the checkpoint is written,
@@ -136,7 +164,12 @@ Status Checkpointer::WriteDurable(int which,
   // checkpoint is free of direct AND indirect corruption. The anchor is
   // only toggled on a clean audit. ---
   if (certify) {
+    const uint64_t t_cert = traced ? NowNs() : 0;
     Status audit = protection_->AuditAll(corrupt);
+    if (traced) {
+      tracer->Record(trace, SpanKind::kCheckpointCertify, t_cert, NowNs(),
+                     corrupt != nullptr ? corrupt->size() : 0);
+    }
     if (!audit.ok()) return audit;
   }
 

@@ -1,6 +1,7 @@
 #ifndef CWDB_CKPT_CHECKPOINT_H_
 #define CWDB_CKPT_CHECKPOINT_H_
 
+#include <atomic>
 #include <string>
 #include <vector>
 
@@ -37,6 +38,9 @@ struct DbFiles {
   std::string ProvenanceFile() const {
     return dir_ + "/recovery_provenance.json";
   }
+  /// Span dump written by Database::DumpMetrics / Close when tracing is
+  /// enabled; `cwdb_ctl trace-export` / `spans` read it back.
+  std::string SpansFile() const { return dir_ + "/spans.json"; }
   const std::string& dir() const { return dir_; }
 
  private:
@@ -98,16 +102,22 @@ class Checkpointer {
   uint64_t checkpoints_taken() const { return ins_.checkpoints->Value(); }
   uint64_t pages_written_last() const { return pages_written_last_; }
 
+  /// True while a checkpoint pass is running — the watchdog's checkpoint
+  /// probe pairs this with checkpoints_taken() as the progress value.
+  bool in_flight() const { return in_flight_.load(std::memory_order_acquire); }
+
  private:
   Status WriteCheckpointTo(int which, bool certify,
                            std::vector<CorruptRange>* corrupt);
   /// The durability half of a checkpoint: log flush, page writes, fsync,
   /// certification audit, metadata, anchor toggle. On failure the caller
-  /// restores the cleared dirty bits.
+  /// restores the cleared dirty bits. `trace` carries the pass's span
+  /// context (unsampled when the tracer is off).
   Status WriteDurable(int which, const std::vector<uint64_t>& pages,
                       const std::string& page_bytes, Lsn ck_end,
                       std::string att_blob, bool certify,
-                      std::vector<CorruptRange>* corrupt);
+                      std::vector<CorruptRange>* corrupt,
+                      const SpanContext& trace);
   Status WriteMeta(int which, const CheckpointMeta& meta);
   Result<CheckpointMeta> ReadMeta(int which) const;
 
@@ -126,6 +136,7 @@ class Checkpointer {
   MetricsRegistry* metrics_;
   Instruments ins_;
   uint64_t pages_written_last_ = 0;
+  std::atomic<bool> in_flight_{false};
 };
 
 }  // namespace cwdb

@@ -12,11 +12,24 @@ BackgroundAuditor::BackgroundAuditor(Database* db, const Options& options,
 BackgroundAuditor::~BackgroundAuditor() { Stop(); }
 
 void BackgroundAuditor::Start() {
-  std::lock_guard<std::mutex> guard(mu_);
-  if (running_) return;
-  running_ = true;
-  stop_ = false;
-  thread_ = std::thread([this] { Loop(); });
+  {
+    std::lock_guard<std::mutex> guard(mu_);
+    if (running_) return;
+    running_ = true;
+    stop_ = false;
+    thread_ = std::thread([this] { Loop(); });
+  }
+  if (Watchdog* wd = db_->watchdog(); wd != nullptr) {
+    // Progress = rounds run. After a corruption verdict the loop idles
+    // deliberately, so the probe goes inactive rather than reading as a
+    // stall.
+    WatchdogProbe probe;
+    probe.name = "auditor";
+    probe.active = [this] { return !corruption_seen_.load(); };
+    probe.progress = [this] { return slices_.load(); };
+    probe.stall_ns = db_->options().watchdog.auditor_stall_ms * 1'000'000ull;
+    watchdog_probe_ = wd->AddProbe(std::move(probe));
+  }
 }
 
 void BackgroundAuditor::Stop() {
@@ -24,6 +37,12 @@ void BackgroundAuditor::Stop() {
     std::lock_guard<std::mutex> guard(mu_);
     if (!running_) return;
     stop_ = true;
+  }
+  if (watchdog_probe_ != 0) {
+    if (Watchdog* wd = db_->watchdog(); wd != nullptr) {
+      wd->RemoveProbe(watchdog_probe_);
+    }
+    watchdog_probe_ = 0;
   }
   cv_.notify_all();
   thread_.join();
@@ -68,6 +87,10 @@ bool BackgroundAuditor::AuditSlice() {
   std::vector<Span> spans(n);
   Lsn sweep_begin_lsn = 0;
   bool wrapped = false;
+  Tracer* tracer = db_->metrics()->tracer();
+  SpanContext sweep_ctx;
+  uint64_t sweep_root = 0;
+  uint64_t sweep_t0 = 0;
   {
     std::lock_guard<std::mutex> guard(mu_);
     if (cursors_.size() != n) cursors_.assign(n, 0);
@@ -79,6 +102,9 @@ bool BackgroundAuditor::AuditSlice() {
       sweep_start_lsn_ = db_->log()->CurrentLsn();
       db_->metrics()->trace().Record(TraceEventType::kAuditPassBegin,
                                      sweep_start_lsn_, 0, 0);
+      // Every sweep gets a (forced) trace: rare and each one interesting.
+      sweep_ctx_ = tracer->StartForcedTrace(&sweep_root_span_);
+      sweep_start_ns_ = NowNs();
     }
     wrapped = true;
     for (size_t s = 0; s < n; ++s) {
@@ -92,7 +118,11 @@ bool BackgroundAuditor::AuditSlice() {
     }
     if (wrapped) std::fill(cursors_.begin(), cursors_.end(), 0);
     sweep_begin_lsn = sweep_start_lsn_;
+    sweep_ctx = sweep_ctx_;
+    sweep_root = sweep_root_span_;
+    sweep_t0 = sweep_start_ns_;
   }
+  const uint64_t slice_t0 = sweep_ctx.sampled() ? NowNs() : 0;
 
   std::vector<CorruptRange> corrupt;
   bool bad = false;
@@ -122,6 +152,18 @@ bool BackgroundAuditor::AuditSlice() {
     });
   } else {
     for (size_t s = 0; s < n; ++s) audit_shard(s);
+  }
+  slices_.fetch_add(1);
+  if (slice_t0 != 0) {
+    uint64_t round_bytes = 0;
+    for (const Span& sp : spans) round_bytes += sp.len;
+    tracer->Record(sweep_ctx, SpanKind::kAuditSlice, slice_t0, NowNs(),
+                   round_bytes, n);
+  }
+  if (wrapped && sweep_ctx.sampled()) {
+    tracer->RecordWithId(sweep_ctx.Under(0), sweep_root,
+                         SpanKind::kAuditSweep, sweep_t0, NowNs(),
+                         sweep_begin_lsn, bad ? 1 : 0);
   }
 
   if (bad) {

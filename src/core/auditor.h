@@ -71,6 +71,9 @@ class BackgroundAuditor {
 
   uint64_t sweeps_completed() const { return sweeps_completed_.load(); }
   bool corruption_seen() const { return corruption_seen_.load(); }
+  /// Audit rounds run (monotone; the watchdog's auditor probe reads this as
+  /// its progress value).
+  uint64_t slices() const { return slices_.load(); }
 
  private:
   void Loop();
@@ -94,8 +97,15 @@ class BackgroundAuditor {
   /// shard's length; all reset to zero together.
   std::vector<uint64_t> cursors_;
   Lsn sweep_start_lsn_ = 0;    ///< Log position when the current sweep began.
+  /// Span context of the current sweep's (forced) trace; set when a fresh
+  /// sweep begins, its root recorded when the sweep wraps. Guarded by mu_.
+  SpanContext sweep_ctx_;
+  uint64_t sweep_root_span_ = 0;
+  uint64_t sweep_start_ns_ = 0;
   std::atomic<uint64_t> sweeps_completed_{0};
+  std::atomic<uint64_t> slices_{0};
   std::atomic<bool> corruption_seen_{false};
+  uint64_t watchdog_probe_ = 0;  ///< Probe id while registered, else 0.
 
   std::once_flag pool_once_;
   std::unique_ptr<ThreadPool> pool_;

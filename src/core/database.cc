@@ -12,8 +12,24 @@
 #include "ckpt/archive.h"
 #include "common/file_util.h"
 #include "common/parallel.h"
+#include "obs/trace_export.h"
 
 namespace cwdb {
+
+namespace {
+
+/// Live span rings + the registry's clock anchors, ready for export.
+SpanDump CaptureSpans(MetricsRegistry* metrics) {
+  SpanDump dump;
+  dump.captured_mono_ns = NowNs();
+  dump.captured_wall_ns = WallNowNs();
+  dump.boot_mono_ns = metrics->boot_mono_ns();
+  dump.boot_wall_ns = metrics->boot_wall_ns();
+  dump.spans = metrics->tracer()->Snapshot();
+  return dump;
+}
+
+}  // namespace
 
 Database::Database(const DatabaseOptions& options)
     : options_(options), files_(options.path) {}
@@ -32,6 +48,7 @@ Result<std::unique_ptr<Database>> Database::Open(
 Database::~Database() { StopBackgroundWork(); }
 
 void Database::StopBackgroundWork() {
+  if (watchdog_ != nullptr) watchdog_->Stop();
   if (stats_server_ != nullptr) stats_server_->Stop();
   {
     std::lock_guard<std::mutex> guard(flusher_mu_);
@@ -61,6 +78,16 @@ void Database::MetricsFlusherLoop() {
 }
 
 Status Database::OpenImpl() {
+  // Tracing is configured before any component exists: every subsystem
+  // caches metrics_.tracer() freely, and with a zero rate the tracer stays
+  // un-Configured — enabled() is one relaxed load of false everywhere.
+  if (options_.trace_sample_rate > 0.0) {
+    TracerOptions topts;
+    topts.sample_rate = options_.trace_sample_rate;
+    topts.seed = options_.trace_seed;
+    topts.ring_capacity = options_.trace_ring_capacity;
+    metrics_.tracer()->Configure(topts);
+  }
   CWDB_ASSIGN_OR_RETURN(
       image_, DbImage::Create(options_.arena_size, options_.page_size));
   // One static partition of the arena drives every sharded component:
@@ -134,6 +161,38 @@ Status Database::OpenImpl() {
   // (recovery and formatting write the image directly).
   CWDB_RETURN_IF_ERROR(protection_->ReprotectAll());
 
+  if (options_.watchdog.enabled) {
+    watchdog_ = std::make_unique<Watchdog>(
+        &metrics_, forensics_.get(),
+        [this] { return log_->end_of_stable_log(); });
+    // Drainer: a requested flush whose stable frontier stops advancing.
+    WatchdogProbe drainer;
+    drainer.name = "wal.drainer";
+    drainer.active = [this] { return log_->flush_pending(); };
+    drainer.progress = [this] { return log_->end_of_stable_log(); };
+    drainer.stall_ns = options_.watchdog.drainer_stall_ms * 1'000'000ull;
+    watchdog_->AddProbe(std::move(drainer));
+    // Checkpoint: a pass exceeding its SLO (progress = passes completed,
+    // which only moves when one finishes).
+    WatchdogProbe ckpt;
+    ckpt.name = "checkpoint";
+    ckpt.active = [this] { return checkpointer_->in_flight(); };
+    ckpt.progress = [this] { return checkpointer_->checkpoints_taken(); };
+    ckpt.stall_ns = options_.watchdog.checkpoint_slo_ms * 1'000'000ull;
+    watchdog_->AddProbe(std::move(ckpt));
+    // Oldest open transaction (opt-in): ids ascend, so the lowest active
+    // id is unchanged exactly as long as that transaction stays open.
+    if (options_.watchdog.txn_age_limit_ms > 0) {
+      WatchdogProbe txn;
+      txn.name = "txn.oldest";
+      txn.active = [this] { return txns_->OldestActiveTxn() != 0; };
+      txn.progress = [this] { return txns_->OldestActiveTxn(); };
+      txn.stall_ns = options_.watchdog.txn_age_limit_ms * 1'000'000ull;
+      watchdog_->AddProbe(std::move(txn));
+    }
+    watchdog_->Start(options_.watchdog.poll_interval_ms);
+  }
+
   if (options_.metrics.flush_interval_ms > 0) {
     metrics_flusher_ = std::thread([this] { MetricsFlusherLoop(); });
   }
@@ -151,6 +210,13 @@ Status Database::OpenImpl() {
       return body;
     };
     hooks.healthy = [this] { return !FileExists(files_.CorruptNote()); };
+    hooks.spans_json = [this] {
+      return SpansToChromeJson(CaptureSpans(&metrics_));
+    };
+    hooks.degraded = [this] {
+      return watchdog_ != nullptr ? watchdog_->DegradedReason()
+                                  : std::string();
+    };
     CWDB_RETURN_IF_ERROR(
         stats_server_->Start(options_.stats_server, std::move(hooks)));
   }
@@ -293,7 +359,8 @@ Status Database::NoteCorruption(const std::vector<CorruptRange>& ranges,
   for (const CorruptRange& r : ranges) {
     metrics_.NoteDetection(r.off, r.len);
     metrics_.trace().Record(TraceEventType::kCorruptionDetected,
-                            log_->CurrentLsn(), r.off, r.len);
+                            log_->CurrentLsn(), r.off, r.len,
+                            shard_map_.ShardOf(r.off));
   }
   metrics_.counter("audit.corruptions_noted")->Add(ranges.size());
   CorruptionNote note;
@@ -399,6 +466,12 @@ Result<std::string> Database::DumpMetrics() {
   MetricsSnapshot snap = metrics_.Capture();
   std::string json = snap.ToJson();
   CWDB_RETURN_IF_ERROR(WriteFileAtomic(files_.MetricsFile(), json));
+  if (metrics_.tracer()->enabled()) {
+    // The span dump rides along so post-mortem `cwdb_ctl trace-export` /
+    // `spans` work on a closed database directory.
+    CWDB_RETURN_IF_ERROR(WriteFileAtomic(
+        files_.SpansFile(), SpansToJson(CaptureSpans(&metrics_))));
+  }
   return json;
 }
 

@@ -18,6 +18,7 @@
 #include "obs/forensics.h"
 #include "obs/metrics.h"
 #include "obs/stats_server.h"
+#include "obs/watchdog.h"
 #include "protect/options.h"
 #include "protect/protection.h"
 #include "recovery/recovery.h"
@@ -75,6 +76,26 @@ struct DatabaseOptions {
 
   /// Periodic metrics flushing (see MetricsOptions).
   MetricsOptions metrics;
+
+  /// Span tracing (src/obs/tracer.h). Fraction of transactions whose whole
+  /// commit pipeline — begin, lock waits, read prechecks, codeword folds,
+  /// WAL staging, the cross-thread group-commit hop, fsync, ack — is
+  /// recorded as a span tree. 0 (the default) compiles the hot path down to
+  /// one relaxed load per instrumentation site; 1.0 traces everything.
+  /// Checkpoints, audit sweeps and recovery are always traced while the
+  /// rate is nonzero (forced roots — rare and each one interesting).
+  double trace_sample_rate = 0.0;
+  /// Seed for the deterministic sampler: the same seed and rate pick the
+  /// same transactions on every run (reproducible traces).
+  uint64_t trace_seed = 0x9e3779b97f4a7c15ull;
+  /// Capacity (spans) of each thread's lock-free span ring.
+  size_t trace_ring_capacity = 4096;
+
+  /// Stall watchdog over the commit pipeline (see WatchdogOptions). Off by
+  /// default; when enabled it watches the group-commit drainer, the
+  /// background auditor, checkpoint wall time and (opt-in) transaction age,
+  /// filing a stall dossier into incidents.jsonl and degrading /healthz.
+  WatchdogOptions watchdog;
 
   /// Serve GET /metrics, /incidents and /healthz on 127.0.0.1 from a
   /// background thread (see StatsServer). The bound port is available from
@@ -300,6 +321,10 @@ class Database {
   /// detection path files into <dir>/incidents.jsonl through it).
   ForensicsRecorder* forensics() { return forensics_.get(); }
 
+  /// Stall watchdog, or nullptr when options.watchdog.enabled is false.
+  /// Components (the background auditor) register probes against it.
+  Watchdog* watchdog() { return watchdog_.get(); }
+
   /// Port of the live stats endpoint, or 0 when serve_stats is off.
   uint16_t stats_port() const {
     return stats_server_ != nullptr ? stats_server_->port() : 0;
@@ -352,6 +377,10 @@ class Database {
   std::unique_ptr<SystemLog> log_;
   std::unique_ptr<TxnManager> txns_;
   std::unique_ptr<Checkpointer> checkpointer_;
+  /// After the components it probes (destroyed first, so no probe callback
+  /// can outlive its target); probes hold bare pointers into log_/
+  /// checkpointer_/txns_.
+  std::unique_ptr<Watchdog> watchdog_;
   RecoveryReport last_report_;
 
   std::unique_ptr<StatsServer> stats_server_;

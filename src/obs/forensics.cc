@@ -67,6 +67,7 @@ const char* IncidentSourceName(IncidentSource s) {
     case IncidentSource::kWalCrc: return "wal_crc";
     case IncidentSource::kCheckpointMeta: return "checkpoint_meta";
     case IncidentSource::kOperator: return "operator";
+    case IncidentSource::kStallWatchdog: return "stall_watchdog";
   }
   return "unknown";
 }

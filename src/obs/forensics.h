@@ -31,6 +31,7 @@ enum class IncidentSource : uint8_t {
   kWalCrc = 4,          ///< A complete WAL frame failed its CRC at open.
   kCheckpointMeta = 5,  ///< Checkpoint meta/image unusable at recovery.
   kOperator = 6,        ///< Filed manually (cwdb_ctl / API).
+  kStallWatchdog = 7,   ///< Watchdog: a pipeline stage stopped progressing.
 };
 
 const char* IncidentSourceName(IncidentSource s);

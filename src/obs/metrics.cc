@@ -239,9 +239,13 @@ std::string MetricsSnapshot::ToJson() const {
     Appendf(&out,
             "%s\n    {\"seq\": %" PRIu64 ", \"t_ns\": %" PRIu64
             ", \"wall_ns\": %" PRIu64 ", \"type\": \"%s\", \"lsn\": %" PRIu64
-            ", \"a\": %" PRIu64 ", \"b\": %" PRIu64 "}",
+            ", \"a\": %" PRIu64 ", \"b\": %" PRIu64,
             first ? "" : ",", e.seq, e.t_ns, WallFromMono(e.t_ns),
             TraceEventTypeName(e.type), e.lsn, e.a, e.b);
+    if (e.shard != kNoTraceShard) {
+      Appendf(&out, ", \"shard\": %" PRIu64, e.shard);
+    }
+    out += "}";
     first = false;
   }
   out += first ? "]\n" : "\n  ]\n";

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "obs/trace.h"
+#include "obs/tracer.h"
 
 namespace cwdb {
 
@@ -137,8 +138,9 @@ struct HistogramSnapshot {
 /// snapshots of the same state serialize identically.
 struct MetricsSnapshot {
   /// Version of the JSON schema ToJson emits. Bumped to 2 when the
-  /// timestamp block and per-event wall_ns were added.
-  static constexpr uint32_t kSchemaVersion = 2;
+  /// timestamp block and per-event wall_ns were added; to 3 when events
+  /// gained the optional per-shard attribution word.
+  static constexpr uint32_t kSchemaVersion = 3;
 
   /// When this snapshot was taken, in both time bases, plus the registry's
   /// boot anchor pair that converts any monotonic stamp in `events` to wall
@@ -197,6 +199,11 @@ class MetricsRegistry {
   Histogram* histogram(std::string_view name);
   EventTrace& trace() { return trace_; }
 
+  /// The database's span tracer. Disabled (and allocation-free) until the
+  /// owner calls tracer()->Configure with a nonzero sample rate; components
+  /// cache the pointer like any instrument.
+  Tracer* tracer() { return &tracer_; }
+
   MetricsSnapshot Capture() const;
 
   /// Boot-time anchor pair sampled once at construction: the same instant
@@ -249,6 +256,7 @@ class MetricsRegistry {
   std::vector<PendingFault> pending_faults_;
 
   EventTrace trace_;
+  Tracer tracer_;
 };
 
 /// Returns `reg` when the caller was given one (the Database's registry);

@@ -1,0 +1,54 @@
+#include "obs/span.h"
+
+namespace cwdb {
+
+namespace {
+
+struct KindName {
+  SpanKind kind;
+  const char* name;
+};
+
+constexpr KindName kKindNames[] = {
+    {SpanKind::kTxn, "txn"},
+    {SpanKind::kTxnBegin, "txn.begin"},
+    {SpanKind::kLockWait, "lock.wait"},
+    {SpanKind::kReadPrecheck, "read.precheck"},
+    {SpanKind::kCodewordFold, "codeword.fold"},
+    {SpanKind::kWalStage, "wal.stage"},
+    {SpanKind::kFlushWait, "wal.flush_wait"},
+    {SpanKind::kQueueWait, "wal.queue_wait"},
+    {SpanKind::kDrainBatch, "wal.drain_batch"},
+    {SpanKind::kFsync, "wal.fsync"},
+    {SpanKind::kCommitAck, "commit.ack"},
+    {SpanKind::kCheckpoint, "ckpt"},
+    {SpanKind::kCheckpointCopy, "ckpt.copy"},
+    {SpanKind::kCheckpointWrite, "ckpt.write"},
+    {SpanKind::kCheckpointFsync, "ckpt.fsync"},
+    {SpanKind::kCheckpointCertify, "ckpt.certify"},
+    {SpanKind::kAuditSweep, "audit.sweep"},
+    {SpanKind::kAuditSlice, "audit.slice"},
+    {SpanKind::kRecovery, "recovery"},
+    {SpanKind::kRecoveryPhase, "recovery.phase"},
+};
+
+}  // namespace
+
+const char* SpanKindName(SpanKind kind) {
+  for (const KindName& k : kKindNames) {
+    if (k.kind == kind) return k.name;
+  }
+  return "unknown";
+}
+
+bool SpanKindFromName(const std::string& name, SpanKind* kind) {
+  for (const KindName& k : kKindNames) {
+    if (name == k.name) {
+      *kind = k.kind;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace cwdb

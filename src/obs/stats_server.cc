@@ -82,10 +82,23 @@ std::string RenderPrometheus(const MetricsSnapshot& snap) {
     std::string p = PromName(hs.name);
     Appendf(&out, "# HELP %s cwdb histogram %s\n", p.c_str(),
             hs.name.c_str());
-    Appendf(&out, "# TYPE %s summary\n", p.c_str());
-    Appendf(&out, "%s{quantile=\"0.5\"} %" PRIu64 "\n", p.c_str(), hs.h.p50);
-    Appendf(&out, "%s{quantile=\"0.95\"} %" PRIu64 "\n", p.c_str(), hs.h.p95);
-    Appendf(&out, "%s{quantile=\"0.99\"} %" PRIu64 "\n", p.c_str(), hs.h.p99);
+    Appendf(&out, "# TYPE %s histogram\n", p.c_str());
+    // Native histogram series from the log2 buckets: cumulative counts at
+    // each power-of-two upper bound up to the highest populated bucket,
+    // then +Inf. Grafana heatmaps and arbitrary histogram_quantile()
+    // queries work on these where the old summary quantiles could not.
+    size_t top = 0;
+    for (size_t i = 0; i < Histogram::kBuckets; ++i) {
+      if (hs.h.buckets[i] != 0) top = i;
+    }
+    uint64_t cum = 0;
+    for (size_t i = 0; i <= top && hs.h.count != 0; ++i) {
+      cum += hs.h.buckets[i];
+      Appendf(&out, "%s_bucket{le=\"%" PRIu64 "\"} %" PRIu64 "\n", p.c_str(),
+              Histogram::BucketUpperBound(i), cum);
+    }
+    Appendf(&out, "%s_bucket{le=\"+Inf\"} %" PRIu64 "\n", p.c_str(),
+            hs.h.count);
     Appendf(&out, "%s_sum %" PRIu64 "\n", p.c_str(), hs.h.sum);
     Appendf(&out, "%s_count %" PRIu64 "\n", p.c_str(), hs.h.count);
   }
@@ -210,12 +223,22 @@ void StatsServer::HandleConnection(int fd) {
     std::string body =
         hooks_.incidents_jsonl ? hooks_.incidents_jsonl() : std::string();
     SendResponse(fd, 200, "OK", "application/jsonl", body);
+  } else if (path == "/spans") {
+    // Always a valid (possibly empty) Chrome trace document, even when
+    // tracing was never enabled.
+    std::string body = hooks_.spans_json ? hooks_.spans_json() : std::string();
+    if (body.empty()) body = "{\"traceEvents\":[]}\n";
+    SendResponse(fd, 200, "OK", "application/json", body);
   } else if (path == "/healthz") {
     bool ok = hooks_.healthy ? hooks_.healthy() : true;
-    if (ok) {
-      SendResponse(fd, 200, "OK", "text/plain", "ok\n");
-    } else {
+    std::string stalled = hooks_.degraded ? hooks_.degraded() : std::string();
+    if (!ok) {
       SendResponse(fd, 503, "Service Unavailable", "text/plain", "corrupt\n");
+    } else if (!stalled.empty()) {
+      SendResponse(fd, 503, "Service Unavailable", "text/plain",
+                   "stalled: " + stalled + "\n");
+    } else {
+      SendResponse(fd, 200, "OK", "text/plain", "ok\n");
     }
   } else {
     SendResponse(fd, 404, "Not Found", "text/plain", "not found\n");

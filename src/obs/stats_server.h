@@ -14,9 +14,10 @@
 namespace cwdb {
 
 /// Renders a MetricsSnapshot in Prometheus text exposition format 0.0.4:
-/// counters as `cwdb_<name>_total`, gauges as gauges, histograms as
-/// summaries (p50/p95/p99 quantiles + _sum + _count). Metric-name dots
-/// become underscores; every series gets HELP/TYPE lines exactly once.
+/// counters as `cwdb_<name>_total`, gauges as gauges, histograms as native
+/// histogram series (cumulative `_bucket{le="2^i"}` from the log2 buckets,
+/// plus `_sum`/`_count`). Metric-name dots become underscores; every
+/// series gets HELP/TYPE lines exactly once.
 std::string RenderPrometheus(const MetricsSnapshot& snap);
 
 struct StatsServerOptions {
@@ -31,7 +32,10 @@ struct StatsServerOptions {
 ///
 ///   GET /metrics    Prometheus text from a fresh registry capture
 ///   GET /incidents  raw incidents.jsonl (application/jsonl)
-///   GET /healthz    200 "ok" / 503 "corrupt" per the health hook
+///   GET /spans      Chrome/Perfetto trace-event JSON of the live span
+///                   rings ({"traceEvents":[]} when tracing is off)
+///   GET /healthz    200 "ok" / 503 "corrupt" or "stalled: ..." per the
+///                   health and degraded hooks
 ///
 /// One connection is served at a time (close-after-response); this is an
 /// operator/scraper endpoint, not a data path. Stop() is prompt: the accept
@@ -42,6 +46,11 @@ class StatsServer {
     std::function<MetricsSnapshot()> snapshot;       ///< Required.
     std::function<std::string()> incidents_jsonl;    ///< May be empty.
     std::function<bool()> healthy;                   ///< Empty = always ok.
+    /// Chrome trace JSON of the live spans. Empty hook = tracing not wired;
+    /// /spans still answers with a valid empty document.
+    std::function<std::string()> spans_json;
+    /// Stall description ("" = not degraded). Empty hook = no watchdog.
+    std::function<std::string()> degraded;
   };
 
   StatsServer() = default;

@@ -87,7 +87,13 @@ std::string DescribeTraceEvent(const TraceEvent& e) {
                     static_cast<unsigned long long>(e.a),
                     static_cast<unsigned long long>(e.b));
   }
-  return buf;
+  std::string out = buf;
+  if (e.shard != kNoTraceShard) {
+    std::snprintf(buf, sizeof(buf), " shard=%llu",
+                  static_cast<unsigned long long>(e.shard));
+    out += buf;
+  }
+  return out;
 }
 
 const char* RecoveryPhaseName(RecoveryPhase phase) {
@@ -107,7 +113,7 @@ EventTrace::EventTrace(size_t capacity) : slots_(capacity) {
 }
 
 void EventTrace::Record(TraceEventType type, uint64_t lsn, uint64_t a,
-                        uint64_t b) {
+                        uint64_t b, uint64_t shard) {
   uint64_t seq = head_.fetch_add(1, std::memory_order_relaxed);
   Slot& s = slots_[seq & (slots_.size() - 1)];
   s.ticket.store(2 * seq + 1, std::memory_order_release);
@@ -115,6 +121,7 @@ void EventTrace::Record(TraceEventType type, uint64_t lsn, uint64_t a,
   s.lsn.store(lsn, std::memory_order_relaxed);
   s.a.store(a, std::memory_order_relaxed);
   s.b.store(b, std::memory_order_relaxed);
+  s.shard.store(shard, std::memory_order_relaxed);
   s.type.store(static_cast<uint8_t>(type), std::memory_order_relaxed);
   s.ticket.store(2 * seq + 2, std::memory_order_release);
 }
@@ -131,6 +138,7 @@ std::vector<TraceEvent> EventTrace::Snapshot() const {
     e.lsn = s.lsn.load(std::memory_order_relaxed);
     e.a = s.a.load(std::memory_order_relaxed);
     e.b = s.b.load(std::memory_order_relaxed);
+    e.shard = s.shard.load(std::memory_order_relaxed);
     e.type = static_cast<TraceEventType>(s.type.load(std::memory_order_relaxed));
     // A writer may have lapped us mid-copy; keep the event only if the
     // slot still belongs to the seq we started reading.

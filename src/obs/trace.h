@@ -44,16 +44,22 @@ enum class RecoveryPhase : uint8_t {
 
 const char* RecoveryPhaseName(RecoveryPhase phase);
 
+/// Shard payload value meaning "not attributed to any shard" (events from
+/// cross-shard paths: group commit, sweep-wide audit marks).
+inline constexpr uint64_t kNoTraceShard = UINT64_MAX;
+
 /// One recorded event. `seq` is a process-lifetime ordinal (older events
 /// are overwritten in place once the ring wraps); `t_ns` is NowNs() at
 /// record time; `lsn` is the log position the event is anchored to (0 when
-/// not applicable).
+/// not applicable); `shard` is the engine shard the event attributes to
+/// (kNoTraceShard when the path is not shard-local).
 struct TraceEvent {
   uint64_t seq = 0;
   uint64_t t_ns = 0;
   uint64_t lsn = 0;
   uint64_t a = 0;
   uint64_t b = 0;
+  uint64_t shard = kNoTraceShard;
   TraceEventType type = TraceEventType::kFaultInjected;
 };
 
@@ -76,7 +82,7 @@ class EventTrace {
   EventTrace& operator=(const EventTrace&) = delete;
 
   void Record(TraceEventType type, uint64_t lsn = 0, uint64_t a = 0,
-              uint64_t b = 0);
+              uint64_t b = 0, uint64_t shard = kNoTraceShard);
 
   /// Consistent events currently resident in the ring, ascending seq.
   std::vector<TraceEvent> Snapshot() const;
@@ -95,6 +101,7 @@ class EventTrace {
     std::atomic<uint64_t> lsn{0};
     std::atomic<uint64_t> a{0};
     std::atomic<uint64_t> b{0};
+    std::atomic<uint64_t> shard{kNoTraceShard};
     std::atomic<uint8_t> type{0};
   };
 

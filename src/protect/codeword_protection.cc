@@ -250,7 +250,8 @@ Status CodewordProtection::PrecheckRead(DbPtr off, uint32_t len) {
     // accounting and the flight recorder.
     ins_.precheck_failures->Add();
     metrics_->NoteDetection(off, len);
-    metrics_->trace().Record(TraceEventType::kPrecheckFailed, 0, off, len);
+    metrics_->trace().Record(TraceEventType::kPrecheckFailed, 0, off, len,
+                             ShardOfRegion(bad_region));
     if (forensics_ != nullptr) {
       // Filed after the latches are released: the dossier's codeword probe
       // re-takes the failing region's latch.

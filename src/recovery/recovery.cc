@@ -179,9 +179,27 @@ Result<RecoveryReport> RecoveryDriver::Run(const RecoveryOptions& options) {
   MetricsRegistry* metrics = txns_->metrics();
   EventTrace& trace = metrics->trace();
   const uint64_t t0 = NowNs();
+  // Every recovery run is traced (forced): each phase transition closes the
+  // previous phase's span under a kRecovery root recorded at the end.
+  Tracer* tracer = metrics->tracer();
+  uint64_t rec_root = 0;
+  SpanContext rec_ctx = tracer->StartForcedTrace(&rec_root);
+  uint64_t phase_start_ns = t0;
+  RecoveryPhase prev_phase = RecoveryPhase::kLoadCheckpoint;
+  bool phase_open = false;
   auto enter_phase = [&](RecoveryPhase p, Lsn at) {
     trace.Record(TraceEventType::kRecoveryPhase, at,
                  static_cast<uint64_t>(p), 0);
+    if (rec_ctx.sampled()) {
+      const uint64_t now = NowNs();
+      if (phase_open) {
+        tracer->Record(rec_ctx, SpanKind::kRecoveryPhase, phase_start_ns,
+                       now, static_cast<uint64_t>(prev_phase), at);
+      }
+      phase_start_ns = now;
+      prev_phase = p;
+      phase_open = p != RecoveryPhase::kDone;
+    }
   };
 
   txns_->set_recovery_mode(true);
@@ -539,6 +557,11 @@ Result<RecoveryReport> RecoveryDriver::Run(const RecoveryOptions& options) {
   metrics->counter("recovery.rolled_back_txns")
       ->Add(report.rolled_back_txns.size());
   metrics->histogram("recovery.duration_ns")->Record(NowNs() - t0);
+  if (rec_ctx.sampled()) {
+    tracer->RecordWithId(rec_ctx.Under(0), rec_root, SpanKind::kRecovery, t0,
+                         NowNs(), report.deleted_txns.size(),
+                         report.rolled_back_txns.size());
+  }
   return report;
 }
 

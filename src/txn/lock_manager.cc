@@ -4,6 +4,7 @@
 #include <cstdio>
 
 #include "common/logging.h"
+#include "obs/tracer.h"
 
 namespace cwdb {
 
@@ -128,8 +129,15 @@ Status LockManager::Acquire(TxnId txn, LockId id, LockMode mode) {
       waiting_.erase(txn);
     }
   }
-  if (wait_start != 0 && lock_wait_ns_ != nullptr) {
-    lock_wait_ns_->Record(NowNs() - wait_start);
+  if (wait_start != 0) {
+    if (lock_wait_ns_ != nullptr) lock_wait_ns_->Record(NowNs() - wait_start);
+    // Acquire takes a TxnId, not a Transaction*, so a sampled caller leaves
+    // its context in TLS (table_ops::AcquireLock) for the blocked span.
+    SpanContext ctx = Tracer::Current();
+    if (ctx.sampled()) {
+      ctx.tracer->Record(ctx, SpanKind::kLockWait, wait_start, NowNs(),
+                         id.table, id.slot);
+    }
   }
   e.holders[txn] = mode;
   seg.held[txn].insert(id);

@@ -32,6 +32,9 @@ Status ValidateTable(const DbImage& image, TableId table,
 Status AcquireLock(TxnManager& mgr, Transaction* txn, LockId id,
                    LockMode mode) {
   if (mgr.recovery_mode()) return Status::OK();
+  // The lock manager sees only the TxnId; park the transaction's span
+  // context in TLS so its blocking path can attach lock-wait spans.
+  ScopedSpanContext ambient(txn->trace_ctx());
   while (true) {
     Status s = mgr.locks().Acquire(txn->id(), id, mode);
     if (s.ok() || !s.IsDeadlock() || !txn->in_rollback()) return s;

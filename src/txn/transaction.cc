@@ -62,9 +62,14 @@ Status Transaction::EndUpdate() {
   local_redo_.push_back(std::move(payload));
 
   mgr_->image()->MarkDirty(off, len);
+  const uint64_t fold_t0 = trace_ctx_.sampled() ? NowNs() : 0;
   mgr_->protection()->EndUpdate(
       update_handle_,
       reinterpret_cast<const uint8_t*>(update_before_.data()));
+  if (fold_t0 != 0) {
+    trace_ctx_.tracer->Record(trace_ctx_, SpanKind::kCodewordFold, fold_t0,
+                              NowNs(), off, len);
+  }
   if (update_undo_idx_ != SIZE_MAX) {
     undo_[update_undo_idx_].codeword_applied = false;
   }
@@ -87,7 +92,13 @@ Status Transaction::Read(DbPtr off, void* out, uint32_t len) {
     return Status::InvalidArgument("read range out of bounds");
   }
   if (!mgr_->recovery_mode()) {
-    CWDB_RETURN_IF_ERROR(mgr_->protection()->PrecheckRead(off, len));
+    const uint64_t precheck_t0 = trace_ctx_.sampled() ? NowNs() : 0;
+    Status prechecked = mgr_->protection()->PrecheckRead(off, len);
+    if (precheck_t0 != 0) {
+      trace_ctx_.tracer->Record(trace_ctx_, SpanKind::kReadPrecheck,
+                                precheck_t0, NowNs(), off, len);
+    }
+    CWDB_RETURN_IF_ERROR(prechecked);
   }
   std::memcpy(out, mgr_->image()->At(off), len);
   const ProtectionOptions& po = mgr_->protection()->options();

@@ -8,6 +8,7 @@
 
 #include "common/result.h"
 #include "common/status.h"
+#include "obs/span.h"
 #include "protect/protection.h"
 #include "storage/layout.h"
 #include "txn/lock_manager.h"
@@ -103,6 +104,10 @@ class Transaction {
   /// Recovery-only: restart rebuilds undo logs directly.
   std::vector<UndoRecord>& mutable_undo_log() { return undo_; }
 
+  /// This transaction's span context (unsampled unless the tracer picked
+  /// it at Begin). Pipeline stages record their spans under it.
+  const SpanContext& trace_ctx() const { return trace_ctx_; }
+
  private:
   friend class TxnManager;
   friend class Checkpointer;
@@ -133,6 +138,13 @@ class Transaction {
   /// Set while this transaction is being rolled back: compensating actions
   /// must not grow the undo log being consumed.
   bool in_rollback_ = false;
+
+  /// Tracing state, set at Begin when this transaction is sampled: the
+  /// context child spans attach to, the pre-allocated root span id (the
+  /// root is recorded when the transaction retires), and the root's start.
+  SpanContext trace_ctx_;
+  uint64_t trace_root_span_ = 0;
+  uint64_t trace_start_ns_ = 0;
 };
 
 }  // namespace cwdb

@@ -24,10 +24,21 @@ TxnManager::TxnManager(DbImage* image, ProtectionManager* protection,
 }
 
 Result<Transaction*> TxnManager::Begin() {
+  Tracer* tracer = metrics_->tracer();
+  const uint64_t t0 = tracer->enabled() ? NowNs() : 0;
   std::lock_guard<std::mutex> guard(att_mu_);
   TxnId id = next_txn_id_++;
   auto txn = std::unique_ptr<Transaction>(new Transaction(this, id));
   Transaction* raw = txn.get();
+  if (t0 != 0 && !recovery_mode_) {
+    uint64_t root_span = 0;
+    raw->trace_ctx_ = tracer->MaybeStartTrace(&root_span);
+    if (raw->trace_ctx_.sampled()) {
+      raw->trace_root_span_ = root_span;
+      raw->trace_start_ns_ = t0;
+      tracer->Record(raw->trace_ctx_, SpanKind::kTxnBegin, t0, NowNs(), id);
+    }
+  }
   std::string payload;
   EncodeBeginTxn(&payload, id);
   raw->local_redo_.push_back(std::move(payload));
@@ -36,11 +47,12 @@ Result<Transaction*> TxnManager::Begin() {
   return raw;
 }
 
-void TxnManager::MoveRedoToSystemLog(Transaction* txn) {
+void TxnManager::MoveRedoToSystemLog(Transaction* txn,
+                                     const SpanContext* trace) {
   // One batched staging call: a single LSN reservation for the whole local
   // redo buffer, so an operation's records occupy contiguous LSNs and the
   // append path touches its shard mutex once per operation commit.
-  log_->AppendAll(txn->local_redo_);
+  log_->AppendAll(txn->local_redo_, trace);
   txn->local_redo_.clear();
 }
 
@@ -234,21 +246,50 @@ Status TxnManager::Commit(Transaction* txn) {
   CWDB_CHECK(!txn->open_op_.has_value() && !txn->update_active_)
       << "commit with an operation or update in flight";
   const uint64_t t0 = NowNs();
+  Tracer* tracer = metrics_->tracer();
+  const SpanContext ctx = txn->trace_ctx_;
+  const bool traced = ctx.sampled();
+  // The flush-wait span id is allocated up front: the drainer-side spans
+  // (queue wait, batch write, fsync) parent to it via the WalTraceTag even
+  // though the span itself is only recorded after Flush returns.
+  SpanContext flush_ctx;
+  uint64_t flush_span = 0;
+  if (traced) {
+    flush_span = tracer->NewSpanId();
+    flush_ctx = ctx.Under(flush_span);
+  }
   std::string payload;
   EncodeCommitTxn(&payload, txn->id_);
   txn->local_redo_.push_back(std::move(payload));
+  uint64_t t_stage_end = 0;
   {
     SharedGuard guard(ckpt_latch_);
-    MoveRedoToSystemLog(txn);
+    MoveRedoToSystemLog(txn, traced ? &flush_ctx : nullptr);
+    if (traced) t_stage_end = NowNs();
     txn->undo_.clear();
     txn->state_ = Transaction::State::kCommitted;
   }
+  if (traced) tracer->Record(ctx, SpanKind::kWalStage, t0, t_stage_end);
   // Group side effects: flush through the commit record, then release locks.
-  CWDB_RETURN_IF_ERROR(log_->Flush());
+  const uint64_t t_flush = traced ? NowNs() : 0;
+  Status flushed = log_->Flush();
+  if (traced) {
+    tracer->RecordWithId(ctx, flush_span, SpanKind::kFlushWait, t_flush,
+                         NowNs());
+  }
+  CWDB_RETURN_IF_ERROR(flushed);
+  const uint64_t t_ack = traced ? NowNs() : 0;
   locks_.ReleaseAll(txn->id_);
   ins_.commits->Add();
   ins_.active->Sub(1);
   ins_.commit_latency_ns->Record(NowNs() - t0);
+  if (traced) {
+    const uint64_t now = NowNs();
+    tracer->Record(ctx, SpanKind::kCommitAck, t_ack, now);
+    // Root span last: parentless, spanning Begin through ack.
+    tracer->RecordWithId(ctx.Under(0), txn->trace_root_span_, SpanKind::kTxn,
+                         txn->trace_start_ns_, now, txn->id_, 0);
+  }
   std::lock_guard<std::mutex> guard(att_mu_);
   att_.erase(txn->id_);  // Destroys txn.
   return Status::OK();
@@ -256,11 +297,18 @@ Status TxnManager::Commit(Transaction* txn) {
 
 Status TxnManager::Abort(Transaction* txn) {
   const uint64_t t0 = NowNs();
+  const SpanContext ctx = txn->trace_ctx_;
   CWDB_RETURN_IF_ERROR(Rollback(txn));
   locks_.ReleaseAll(txn->id_);
   ins_.aborts->Add();
   ins_.active->Sub(1);
   ins_.abort_latency_ns->Record(NowNs() - t0);
+  if (ctx.sampled()) {
+    // b=1 marks an aborted root so the exporter can tell the outcomes apart.
+    ctx.tracer->RecordWithId(ctx.Under(0), txn->trace_root_span_,
+                             SpanKind::kTxn, txn->trace_start_ns_, NowNs(),
+                             txn->id_, 1);
+  }
   std::lock_guard<std::mutex> guard(att_mu_);
   att_.erase(txn->id_);  // Destroys txn.
   return Status::OK();

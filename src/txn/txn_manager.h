@@ -129,6 +129,14 @@ class TxnManager {
   /// corruption dossier).
   std::vector<TxnId> ActiveTxnIds();
 
+  /// Lowest active transaction id, 0 when none. Ids ascend, so the
+  /// watchdog's oldest-txn probe reads this as its progress value: it only
+  /// changes when the oldest transaction retires.
+  TxnId OldestActiveTxn() {
+    std::lock_guard<std::mutex> guard(att_mu_);
+    return att_.empty() ? 0 : att_.begin()->first;
+  }
+
   /// Ensures future transaction / operation ids do not collide with
   /// recovered ones.
   void BumpIds(TxnId txn_floor, uint32_t op_floor);
@@ -150,8 +158,11 @@ class TxnManager {
 
   /// Appends every pending local-redo payload of `txn` to the system log
   /// tail (the paper's "redo log records are moved from the local redo log
-  /// to the system log tail").
-  void MoveRedoToSystemLog(Transaction* txn);
+  /// to the system log tail"). `trace`, when sampled, rides the staged
+  /// frames to the drainer so its spans join the commit's trace (Commit
+  /// passes the flush-wait context; mid-transaction moves pass nothing).
+  void MoveRedoToSystemLog(Transaction* txn,
+                           const SpanContext* trace = nullptr);
 
   /// Physically restores `before` at `off` as a logged compensation.
   Status ApplyCompensation(Transaction* txn, DbPtr off, const std::string& before);

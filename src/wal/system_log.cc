@@ -228,9 +228,17 @@ Lsn SystemLog::StageFrameLocked(AppendShard& sh, Slice payload) {
 
 void SystemLog::PublishLocked(AppendShard& sh) {
   if (sh.frames.empty()) return;
-  auto batch = std::make_unique<Batch>(std::move(sh.frames));
+  auto batch = std::make_unique<Batch>();
+  batch->frames = std::move(sh.frames);
+  batch->tags = std::move(sh.tags);
   sh.frames.clear();
+  sh.tags.clear();
   sh.bytes = 0;
+  // The queue-wait clock starts now: the tag is in flight to the drainer.
+  if (!batch->tags.empty()) {
+    const uint64_t now = NowNs();
+    for (WalTraceTag& tag : batch->tags) tag.publish_ns = now;
+  }
   // The queue is bounded; when it is full the drainer is far behind, so
   // yielding to it is the right (and rare) backpressure.
   while (!queue_.TryPush(batch.get())) std::this_thread::yield();
@@ -250,14 +258,20 @@ Lsn SystemLog::Append(Slice payload) {
   return lsn;
 }
 
-Lsn SystemLog::AppendAll(const std::vector<std::string>& payloads) {
+Lsn SystemLog::AppendAll(const std::vector<std::string>& payloads,
+                         const SpanContext* trace) {
   if (payloads.empty()) return CurrentLsn();
   AppendShard& sh = *shards_[ShardIndex()];
   std::lock_guard<std::mutex> guard(sh.mu);
   Lsn first = kInvalidLsn;
+  Lsn end = 0;
   for (const std::string& payload : payloads) {
     Lsn lsn = StageFrameLocked(sh, payload);
     if (first == kInvalidLsn) first = lsn;
+    end = lsn + kFrameHeaderBytes + payload.size();
+  }
+  if (trace != nullptr && trace->sampled()) {
+    sh.tags.push_back(WalTraceTag{*trace, 0, end});
   }
   ins_.appends->Add(payloads.size());
   sh.appends->Add(payloads.size());
@@ -345,12 +359,24 @@ void SystemLog::DrainerLoop() {
       }
     }
 
-    // Merge everything queued so far into the reorder buffer.
+    // Merge everything queued so far into the reorder buffer. Trace tags
+    // close their queue-wait span here (publish -> pop is the cross-thread
+    // hop) and park in traced_ until the durable frontier passes them.
     bool popped = false;
     Batch* batch = nullptr;
     while (queue_.TryPop(&batch)) {
       popped = true;
-      for (auto& f : *batch) pending_.emplace(f.first, std::move(f.second));
+      for (auto& f : batch->frames) {
+        pending_.emplace(f.first, std::move(f.second));
+      }
+      if (!batch->tags.empty()) {
+        const uint64_t now = NowNs();
+        for (WalTraceTag& tag : batch->tags) {
+          tag.ctx.tracer->Record(tag.ctx, SpanKind::kQueueWait, tag.publish_ns,
+                                 now, tag.end_lsn, 0);
+          traced_.push_back(tag);
+        }
+      }
       delete batch;
     }
 
@@ -405,6 +431,7 @@ void SystemLog::DrainerLoop() {
                                       chunk.size(), base);
       wrote_ok = io.ok();
     }
+    const uint64_t t_write_end = NowNs();
     if (io.ok() && do_sync) {
       io = crashpoint::Check("wal.flush.fdatasync");
       if (io.ok() && ::fdatasync(fd_) != 0) {
@@ -412,6 +439,7 @@ void SystemLog::DrainerLoop() {
                              std::strerror(errno));
       }
     }
+    const uint64_t t_sync_end = NowNs();
 
     guard.lock();
     in_round_ = false;
@@ -433,6 +461,26 @@ void SystemLog::DrainerLoop() {
             logical_end_.load(std::memory_order_relaxed) - write_pos_));
         metrics_->trace().Record(TraceEventType::kGroupCommitFlush,
                                  write_pos_, advance, 0);
+        if (!traced_.empty()) {
+          // Tags whose frames this round made durable get their drainer-side
+          // write and fsync spans (children of the originating commit's
+          // flush-wait span) and retire; tags beyond the frontier wait for
+          // a later round.
+          auto keep = traced_.begin();
+          for (auto it = traced_.begin(); it != traced_.end(); ++it) {
+            if (it->end_lsn > write_pos_) {
+              *keep++ = *it;
+              continue;
+            }
+            if (!chunk.empty()) {
+              it->ctx.tracer->Record(it->ctx, SpanKind::kDrainBatch, t0,
+                                     t_write_end, chunk.size(), 0);
+            }
+            it->ctx.tracer->Record(it->ctx, SpanKind::kFsync, t_write_end,
+                                   t_sync_end, advance, 0);
+          }
+          traced_.erase(keep, traced_.end());
+        }
       }
     } else {
       // One failure per round, however many waiters it disappoints; the
@@ -452,6 +500,7 @@ void SystemLog::DiscardTail() {
   for (auto& shard : shards_) {
     std::lock_guard<std::mutex> guard(shard->mu);
     shard->frames.clear();
+    shard->tags.clear();
     shard->bytes = 0;
   }
   std::unique_lock<std::mutex> guard(drain_mu_);
@@ -462,6 +511,7 @@ void SystemLog::DiscardTail() {
   Batch* batch = nullptr;
   while (queue_.TryPop(&batch)) delete batch;
   pending_.clear();
+  traced_.clear();
   const uint64_t durable = durable_.load(std::memory_order_relaxed);
   if (write_pos_ > durable || alloc_end_ > durable) {
     CWDB_CHECK(::ftruncate(fd_, static_cast<off_t>(durable)) == 0)

@@ -14,10 +14,23 @@
 #include "common/slice.h"
 #include "common/status.h"
 #include "obs/metrics.h"
+#include "obs/span.h"
 #include "wal/log_record.h"
 #include "wal/mpmc_queue.h"
 
 namespace cwdb {
+
+/// Trace tag riding a published batch through the group-commit queue (the
+/// cross-thread hop of a sampled commit's trace): the commit's span
+/// context — already re-parented at the client-side flush-wait span — the
+/// publish timestamp, and the LSN one past the tagged frames, so the
+/// drainer can attach queue-wait / write / fsync spans to the originating
+/// trace and fire them when the durable frontier passes `end_lsn`.
+struct WalTraceTag {
+  SpanContext ctx;
+  uint64_t publish_ns = 0;
+  Lsn end_lsn = 0;
+};
 
 /// What SystemLog::Open found past the valid frame prefix. A clean shutdown
 /// or an ordinary crash leaves `valid_bytes == file_bytes` or a *torn* tail
@@ -81,8 +94,11 @@ class SystemLog {
   /// and one shard-mutex acquisition for the lot, and the frames occupy
   /// contiguous LSNs. Returns the LSN of the first payload (CurrentLsn()
   /// when `payloads` is empty). Used by operation commit, which moves the
-  /// whole local redo buffer at once.
-  Lsn AppendAll(const std::vector<std::string>& payloads);
+  /// whole local redo buffer at once. When `trace` is a sampled span
+  /// context, a WalTraceTag rides the staged frames through the
+  /// group-commit queue so the drainer-side spans attach to the trace.
+  Lsn AppendAll(const std::vector<std::string>& payloads,
+                const SpanContext* trace = nullptr);
 
   /// Makes every record appended before this call durable. Group commit:
   /// the drainer thread writes the whole pending prefix and fsyncs once
@@ -103,6 +119,15 @@ class SystemLog {
     return durable_.load(std::memory_order_acquire);
   }
 
+  /// True while a requested flush has not yet reached durability. This is
+  /// the watchdog's drainer-probe gate: staged bytes with no flush request
+  /// are not "pending" (nothing is waiting on them), so only a stuck
+  /// requested round reads as a stall.
+  bool flush_pending() const {
+    std::lock_guard<std::mutex> guard(drain_mu_);
+    return flush_target_ > durable_.load(std::memory_order_relaxed);
+  }
+
   /// Crash simulation: discards everything not yet durable — staged
   /// frames, queued batches, and written-but-unsynced bytes — exactly what
   /// a process failure would lose. Requires external quiescence (no
@@ -121,14 +146,19 @@ class SystemLog {
   uint64_t flush_failures() const { return ins_.flush_failures->Value(); }
 
  private:
-  /// One publication unit: frames staged by one shard, in LSN order.
-  using Batch = std::vector<std::pair<Lsn, std::string>>;
+  /// One publication unit: frames staged by one shard, in LSN order, plus
+  /// the trace tags of any sampled commits among them.
+  struct Batch {
+    std::vector<std::pair<Lsn, std::string>> frames;
+    std::vector<WalTraceTag> tags;
+  };
 
   /// Per-shard append staging. Appenders on different shards share nothing
   /// but the LSN counter (one fetch_add) and the lock-free queue.
   struct alignas(64) AppendShard {
     std::mutex mu;
-    Batch frames;
+    std::vector<std::pair<Lsn, std::string>> frames;
+    std::vector<WalTraceTag> tags;
     size_t bytes = 0;
     Counter* appends = nullptr;
   };
@@ -188,6 +218,10 @@ class SystemLog {
   std::condition_variable drain_cv_;  ///< Wakes the drainer.
   std::condition_variable flush_cv_;  ///< Wakes Flush waiters.
   std::map<Lsn, std::string> pending_;  ///< Reorder buffer, keyed by LSN.
+  /// Tags popped from the queue, waiting for the durable frontier to pass
+  /// their end_lsn (at which point the drainer emits their write/fsync
+  /// spans and retires them). Guarded by drain_mu_.
+  std::vector<WalTraceTag> traced_;
   uint64_t write_pos_;     ///< Bytes written (not necessarily synced).
   uint64_t alloc_end_;     ///< Zero-preallocated file extent (drainer only).
   uint64_t flush_target_ = 0;

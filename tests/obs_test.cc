@@ -191,7 +191,7 @@ TEST(MetricsRegistryTest, SnapshotAndJsonAreStable) {
   again.captured_mono_ns = snap.captured_mono_ns;
   again.captured_wall_ns = snap.captured_wall_ns;
   EXPECT_EQ(json, again.ToJson());
-  EXPECT_NE(json.find("\"schema_version\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"schema_version\": 3"), std::string::npos);
   EXPECT_NE(json.find("\"boot_wall_ns\""), std::string::npos);
   EXPECT_NE(json.find("\"a.count\": 1"), std::string::npos);
   EXPECT_NE(json.find("\"g.depth\": -3"), std::string::npos);

@@ -187,27 +187,36 @@ TEST(ShardedLockManager, CrossSegmentDeadlockIsDetected) {
   ASSERT_OK(lm.Acquire(1, a, LockMode::kExclusive));
   ASSERT_OK(lm.Acquire(2, b, LockMode::kExclusive));
 
+  // The victim is whichever acquire closes the cycle: usually txn 1 below,
+  // but if this thread parks on b before t2 probes a, the detector kills
+  // txn 2 instead. Either way exactly one side must see kDeadlock and the
+  // other must be granted — asserting a specific victim would race.
   Status second;
+  std::atomic<bool> t2_done{false};
   std::thread t2([&] {
-    // Blocks on a (held by txn 1) until txn 1 is killed as the deadlock
-    // victim and releases, or is granted if the victim call unwinds first.
     second = lm.Acquire(2, a, LockMode::kExclusive);
     lm.ReleaseAll(2);
+    t2_done.store(true, std::memory_order_release);
   });
-  // Give t2 time to park in the waiter queue, then close the cycle.
+  Status first;
   while (true) {
     std::this_thread::sleep_for(std::chrono::milliseconds(1));
-    Status s = lm.Acquire(1, b, LockMode::kExclusive);
-    if (!s.ok()) {
-      EXPECT_TRUE(s.IsDeadlock()) << s.ToString();
-      break;
-    }
-    // Granted: t2 had not parked yet — undo and retry the cycle.
+    first = lm.Acquire(1, b, LockMode::kExclusive);
+    if (!first.ok()) break;  // Txn 1 chosen as victim.
     lm.Release(1, b);
+    // Granted can also mean txn 2 was killed and released b; once t2 has
+    // finished no further cycle can form, so stop retrying.
+    if (t2_done.load(std::memory_order_acquire)) break;
   }
-  lm.ReleaseAll(1);  // Victim aborts; t2's acquire is granted.
+  lm.ReleaseAll(1);  // If txn 1 was the victim, this unblocks t2.
   t2.join();
-  EXPECT_OK(second);
+  EXPECT_NE(first.ok(), second.ok());
+  if (!first.ok()) {
+    EXPECT_TRUE(first.IsDeadlock()) << first.ToString();
+  }
+  if (!second.ok()) {
+    EXPECT_TRUE(second.IsDeadlock()) << second.ToString();
+  }
   EXPECT_EQ(lm.LockedCount(), 0u);
 }
 

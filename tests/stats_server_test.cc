@@ -87,10 +87,10 @@ void ValidateExposition(const std::string& text) {
       EXPECT_EQ(name.compare(0, 5, "cwdb_"), 0) << line;
       sample_count[line]++;
       EXPECT_EQ(sample_count[line], 1) << "duplicate sample: " << line;
-      // The declared family: quantile/sum/count samples of a summary
-      // declare under the base name.
+      // The declared family: quantile/bucket/sum/count samples of a
+      // summary or histogram declare under the base name.
       std::string family = name;
-      for (const char* suffix : {"_sum", "_count"}) {
+      for (const char* suffix : {"_bucket", "_sum", "_count"}) {
         size_t len = std::strlen(suffix);
         if (family.size() > len &&
             family.compare(family.size() - len, len, suffix) == 0 &&
@@ -123,9 +123,11 @@ TEST(RenderPrometheus, ValidExposition) {
   EXPECT_NE(text.find("# TYPE cwdb_txn_commits_total counter\n"),
             std::string::npos);
   EXPECT_NE(text.find("cwdb_txn_active 3\n"), std::string::npos);
-  EXPECT_NE(text.find("# TYPE cwdb_txn_commit_latency_ns summary\n"),
+  EXPECT_NE(text.find("# TYPE cwdb_txn_commit_latency_ns histogram\n"),
             std::string::npos);
-  EXPECT_NE(text.find("cwdb_txn_commit_latency_ns{quantile=\"0.5\"}"),
+  EXPECT_NE(text.find("cwdb_txn_commit_latency_ns_bucket{le=\""),
+            std::string::npos);
+  EXPECT_NE(text.find("cwdb_txn_commit_latency_ns_bucket{le=\"+Inf\"} 4\n"),
             std::string::npos);
   EXPECT_NE(text.find("cwdb_txn_commit_latency_ns_count 4\n"),
             std::string::npos);

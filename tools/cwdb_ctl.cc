@@ -16,6 +16,15 @@
 //                                        (one row per engine shard)
 //   cwdb_ctl trace <dir>                 decode the flight-recorder events
 //                                        of the persisted metrics snapshot
+//   cwdb_ctl trace-export <dir>          emit the persisted span dump as
+//                                        Chrome/Perfetto trace-event JSON
+//                                        (load at https://ui.perfetto.dev);
+//                                        a database that never traced
+//                                        yields the valid empty document
+//   cwdb_ctl spans <dir> [--attribute]   list the persisted spans grouped
+//                                        by trace; --attribute renders the
+//                                        per-stage latency shares of the
+//                                        p50/p99 commit cohorts instead
 //   cwdb_ctl incidents <dir>             render incidents.jsonl dossiers
 //   cwdb_ctl explain-recovery <dir> [--dot]
 //                                        per-deleted-txn implication chains
@@ -41,6 +50,7 @@
 #include "core/database.h"
 #include "obs/forensics.h"
 #include "obs/trace.h"
+#include "obs/trace_export.h"
 #include "recovery/corrupt_note.h"
 #include "recovery/provenance.h"
 #include "storage/integrity.h"
@@ -52,7 +62,8 @@ namespace {
 int Usage() {
   std::fprintf(stderr,
                "usage: cwdb_ctl <info|tables|check|logdump|recover|stats|"
-               "trace|incidents|explain-recovery> <dir> [args]\n");
+               "trace|trace-export|spans|incidents|explain-recovery> "
+               "<dir> [args]\n");
   return 2;
 }
 
@@ -434,6 +445,9 @@ int CmdTrace(const std::string& dir) {
     e.lsn = ev.U64("lsn");
     e.a = ev.U64("a");
     e.b = ev.U64("b");
+    if (const JsonValue* sh = ev.Find("shard"); sh != nullptr) {
+      e.shard = sh->AsU64();
+    }
     std::string type_name = ev.Str("type");
     std::string detail;
     if (TraceEventTypeFromName(type_name, &e.type)) {
@@ -461,6 +475,47 @@ int CmdTrace(const std::string& dir) {
                 e.seq, rel_ms, wall, type_name.c_str(), e.lsn,
                 detail.c_str());
   }
+  return 0;
+}
+
+/// Loads <dir>/spans.json. A directory that never traced (file absent) is
+/// not an error: every consumer of the dump renders a valid empty document
+/// from the default SpanDump.
+Result<SpanDump> LoadSpanDump(const std::string& dir) {
+  DbFiles files(dir);
+  std::string json;
+  CWDB_RETURN_IF_ERROR(ReadFileToString(files.SpansFile(), &json,
+                                        MissingFile::kTreatAsEmpty));
+  if (json.empty()) return SpanDump{};
+  return ParseSpansJson(json);
+}
+
+int CmdTraceExport(const std::string& dir) {
+  Result<SpanDump> dump = LoadSpanDump(dir);
+  if (!dump.ok()) {
+    std::fprintf(stderr, "cannot load spans: %s\n",
+                 dump.status().ToString().c_str());
+    return 1;
+  }
+  std::string chrome = SpansToChromeJson(*dump);
+  std::fwrite(chrome.data(), 1, chrome.size(), stdout);
+  if (chrome.empty() || chrome.back() != '\n') std::printf("\n");
+  return 0;
+}
+
+int CmdSpans(const std::string& dir, bool attribute) {
+  Result<SpanDump> dump = LoadSpanDump(dir);
+  if (!dump.ok()) {
+    std::fprintf(stderr, "cannot load spans: %s\n",
+                 dump.status().ToString().c_str());
+    return 1;
+  }
+  if (attribute) {
+    std::fputs(RenderAttribution(ComputeAttribution(dump->spans)).c_str(),
+               stdout);
+    return 0;
+  }
+  std::fputs(RenderSpanList(*dump).c_str(), stdout);
   return 0;
 }
 
@@ -642,6 +697,11 @@ int main(int argc, char** argv) {
     return CmdStats(dir, per_shard);
   }
   if (cmd == "trace") return CmdTrace(dir);
+  if (cmd == "trace-export") return CmdTraceExport(dir);
+  if (cmd == "spans") {
+    bool attribute = argc > 3 && std::strcmp(argv[3], "--attribute") == 0;
+    return CmdSpans(dir, attribute);
+  }
   if (cmd == "incidents") return CmdIncidents(dir);
   if (cmd == "explain-recovery") {
     bool dot = argc > 3 && std::strcmp(argv[3], "--dot") == 0;
