@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Validate an slo_report.json produced by a cwdb run.
+
+The SLO engine (src/obs/slo.*) persists its evaluation state to
+slo_report.json on every metrics-history flush: one entry per declared
+objective with the configured windows, the live multi-window burn rates,
+and the episode history. CI runs the traced TPC-B smoke with --history and
+feeds the resulting report through this script so a change that silently
+breaks SLO evaluation — an empty report, NaN burn rates, a vanished
+objective — fails loudly instead of shipping a dead dashboard.
+
+Usage:
+  check_slo_report.py <slo_report.json> [--expect NAME]... [--strict]
+
+Structural problems (missing file, malformed JSON, empty "slos" array,
+missing keys, non-finite burn rates) always fail. An objective still
+burning at the end of the run prints a GitHub warning annotation and, with
+--strict, fails the job; without it that part is advisory (a cold CI
+runner can legitimately blow a latency objective).
+"""
+
+import argparse
+import json
+import math
+import sys
+
+REQUIRED_KEYS = ("name", "kind", "windows", "burning", "burn_episodes",
+                 "budget_remaining_pct")
+KINDS = ("latency_quantile", "max_scrub_age", "counter_budget")
+
+
+def fail(msg):
+    print(f"::error title=slo report invalid::{msg}")
+    return 1
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("report", help="slo_report.json from the run under test")
+    ap.add_argument("--expect", action="append", default=[],
+                    help="objective name that must be present "
+                         "(repeatable)")
+    ap.add_argument("--strict", action="store_true",
+                    help="fail if any objective is still burning")
+    args = ap.parse_args()
+
+    try:
+        with open(args.report, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        return fail(f"{args.report}: {e}")
+
+    slos = doc.get("slos")
+    if not isinstance(slos, list) or not slos:
+        return fail(f"{args.report} has no objectives; was the run "
+                    "started with slo.enabled?")
+
+    names = set()
+    burning = []
+    for slo in slos:
+        missing = [k for k in REQUIRED_KEYS if k not in slo]
+        if missing:
+            return fail(f"objective {slo.get('name', '?')!r} is missing "
+                        f"keys: {', '.join(missing)}")
+        name = slo["name"]
+        names.add(name)
+        if slo["kind"] not in KINDS:
+            return fail(f"{name}: unknown kind {slo['kind']!r}")
+        if not slo["windows"]:
+            return fail(f"{name}: no evaluation windows")
+        for w in slo["windows"]:
+            burn = w.get("burn")
+            if not isinstance(burn, (int, float)) or not math.isfinite(burn):
+                return fail(f"{name}: non-finite burn rate {burn!r} in "
+                            f"{w.get('window_ms')}ms window")
+        if not math.isfinite(slo["budget_remaining_pct"]):
+            return fail(f"{name}: non-finite budget_remaining_pct")
+        if slo["burning"]:
+            peak = max(w["burn"] for w in slo["windows"])
+            burning.append((name, peak, slo["burn_episodes"]))
+
+    for want in args.expect:
+        if want not in names:
+            return fail(f"expected objective {want!r} not in report "
+                        f"(found: {', '.join(sorted(names))})")
+
+    print(f"slo report: {len(slos)} objectives "
+          f"({', '.join(sorted(names))})")
+    for slo in slos:
+        worst = max((w["burn"] for w in slo["windows"]), default=0.0)
+        state = "BURNING" if slo["burning"] else "ok"
+        print(f"  {slo['name']:24s} {state:8s} worst burn {worst:6.2f}x  "
+              f"episodes {slo['burn_episodes']}  budget "
+              f"{slo['budget_remaining_pct']:.1f}%")
+
+    if not burning:
+        return 0
+    for name, peak, episodes in burning:
+        print(f"::warning title=slo burning at end of run::{name} finished "
+              f"the run burning at {peak:.2f}x (episode #{episodes}); "
+              "a latency or scrub-age objective is blown — inspect the "
+              "metrics_history.bin artifact with `cwdb_ctl top`")
+    return 1 if args.strict else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

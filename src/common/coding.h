@@ -32,6 +32,28 @@ inline void PutLengthPrefixed(std::string* dst, Slice value) {
   dst->append(value.data(), value.size());
 }
 
+/// LEB128 varint: 7 value bits per byte, high bit = continuation. Used by
+/// the delta-encoded metrics-history records, where successive samples of a
+/// counter differ by small amounts and fixed64 would waste 7 bytes each.
+inline void PutVarint64(std::string* dst, uint64_t v) {
+  while (v >= 0x80) {
+    dst->push_back(static_cast<char>(v | 0x80));
+    v >>= 7;
+  }
+  dst->push_back(static_cast<char>(v));
+}
+
+/// Zigzag-mapped signed varint (0,-1,1,-2,... -> 0,1,2,3,...), so small
+/// negative deltas (a gauge dipping, a counter reset) stay one byte.
+inline void PutVarintSigned(std::string* dst, int64_t v) {
+  PutVarint64(dst, (static_cast<uint64_t>(v) << 1) ^
+                       static_cast<uint64_t>(v >> 63));
+}
+
+inline int64_t ZigzagDecode(uint64_t u) {
+  return static_cast<int64_t>((u >> 1) ^ (~(u & 1) + 1));
+}
+
 inline uint16_t DecodeFixed16(const char* p) {
   uint16_t v;
   std::memcpy(&v, p, sizeof(v));
@@ -80,6 +102,18 @@ class Decoder {
     p_ += 8;
     return v;
   }
+  uint64_t GetVarint64() {
+    uint64_t v = 0;
+    for (int shift = 0; shift < 64; shift += 7) {
+      if (!Require(1)) return 0;
+      uint8_t byte = static_cast<uint8_t>(*p_++);
+      v |= static_cast<uint64_t>(byte & 0x7f) << shift;
+      if ((byte & 0x80) == 0) return v;
+    }
+    ok_ = false;  // Continuation bit past 64 value bits: malformed.
+    return 0;
+  }
+  int64_t GetVarintSigned() { return ZigzagDecode(GetVarint64()); }
   Slice GetLengthPrefixed() {
     uint32_t n = GetFixed32();
     if (!Require(n)) return Slice();

@@ -83,6 +83,8 @@ bool BackgroundAuditor::AuditSlice() {
   struct Span {
     uint64_t off = 0;
     uint64_t len = 0;
+    uint64_t cursor_after = 0;  ///< In-shard cursor once this slice lands.
+    bool completes_pass = false;
   };
   std::vector<Span> spans(n);
   Lsn sweep_begin_lsn = 0;
@@ -111,8 +113,11 @@ bool BackgroundAuditor::AuditSlice() {
       uint64_t shard_len = shards.ShardLen(s);
       if (cursors_[s] < shard_len) {
         uint64_t take = std::min(slice, shard_len - cursors_[s]);
-        spans[s] = Span{shards.ShardStart(s) + cursors_[s], take};
+        spans[s].off = shards.ShardStart(s) + cursors_[s];
+        spans[s].len = take;
         cursors_[s] += take;
+        spans[s].cursor_after = cursors_[s];
+        spans[s].completes_pass = cursors_[s] >= shard_len;
       }
       if (cursors_[s] < shard_len) wrapped = false;
     }
@@ -154,6 +159,21 @@ bool BackgroundAuditor::AuditSlice() {
     for (size_t s = 0; s < n; ++s) audit_shard(s);
   }
   slices_.fetch_add(1);
+  db_->metrics()->counter("auditor.slices")->Add();
+  if (!bad) {
+    // Publish sweep progress into the coverage map: cursor position per
+    // slice; pass completion certifies the shard as of the sweep's begin
+    // LSN. A bad round publishes nothing — corrupt data certifies nothing.
+    ScrubMap* scrub = db_->scrub();
+    if (scrub != nullptr) {
+      for (size_t s = 0; s < n; ++s) {
+        if (spans[s].len == 0) continue;
+        scrub->NoteSlice(s, spans[s].cursor_after, sweep_begin_lsn);
+        if (spans[s].completes_pass)
+          scrub->NotePassComplete(s, sweep_begin_lsn);
+      }
+    }
+  }
   if (slice_t0 != 0) {
     uint64_t round_bytes = 0;
     for (const Span& sp : spans) round_bytes += sp.len;
@@ -190,6 +210,10 @@ bool BackgroundAuditor::AuditSlice() {
     // certified. Advance the durable Audit_SN.
     (void)db_->RecordCleanAudit(sweep_begin_lsn);
     db_->metrics()->counter("audit.background_sweeps")->Add();
+    db_->metrics()->counter("auditor.sweeps_completed")->Add();
+    db_->metrics()
+        ->histogram("auditor.sweep_duration_ns")
+        ->Record(NowNs() - sweep_t0);
     db_->metrics()->trace().Record(TraceEventType::kAuditPassEnd,
                                    sweep_begin_lsn, arena / region, 0);
     sweeps_completed_.fetch_add(1);

@@ -48,6 +48,9 @@ Result<std::unique_ptr<Database>> Database::Open(
 Database::~Database() { StopBackgroundWork(); }
 
 void Database::StopBackgroundWork() {
+  // The history sampler first: its tick hooks call into the SLO engine and
+  // scrub map, so no hook may run once teardown proceeds past here.
+  if (history_ != nullptr) history_->Stop();
   if (watchdog_ != nullptr) watchdog_->Stop();
   if (stats_server_ != nullptr) stats_server_->Stop();
   {
@@ -68,7 +71,18 @@ void Database::MetricsFlusherLoop() {
     // Identical to DumpMetrics(), but a failure (full disk) only counts —
     // a background flusher must never take the database down.
     MetricsSnapshot snap = metrics_.Capture();
-    if (!WriteFileAtomic(files_.MetricsFile(), snap.ToJson()).ok()) {
+    bool failed = !WriteFileAtomic(files_.MetricsFile(), snap.ToJson()).ok();
+    // The history ring and SLO report ride the same cadence so `cwdb_ctl
+    // top` on a live directory is at most one flush interval stale.
+    if (history_->size() > 0 &&
+        !history_->SaveTo(files_.MetricsHistoryFile()).ok()) {
+      failed = true;
+    }
+    if (slo_ != nullptr &&
+        !WriteFileAtomic(files_.SloReportFile(), slo_->ReportJson()).ok()) {
+      failed = true;
+    }
+    if (failed) {
       metrics_.counter("obs.metrics_flush_failures")->Add();
     } else {
       metrics_.counter("obs.metrics_flushes")->Add();
@@ -193,6 +207,32 @@ Status Database::OpenImpl() {
     watchdog_->Start(options_.watchdog.poll_interval_ms);
   }
 
+  // Integrity coverage map: one entry per shard, published into scrub.*
+  // gauges by the auditor and full audits.
+  {
+    std::vector<uint64_t> shard_lens(shard_map_.shard_count());
+    for (size_t s = 0; s < shard_lens.size(); ++s)
+      shard_lens[s] = shard_map_.ShardLen(s);
+    scrub_ = std::make_unique<ScrubMap>(&metrics_, shard_lens);
+  }
+
+  // Metrics history: reload the previous incarnation's ring (tolerant of
+  // torn/truncated files — a bad tail just shortens the history), then
+  // refresh the scrub gauges and evaluate SLOs on every sample tick.
+  history_ = std::make_unique<MetricsHistory>(&metrics_, options_.history);
+  CWDB_RETURN_IF_ERROR(history_->LoadFrom(files_.MetricsHistoryFile()));
+  history_->AddTickHook(
+      [this](uint64_t now_mono) { scrub_->UpdateGauges(now_mono); });
+  if (options_.slo.enabled) {
+    slo_ = std::make_unique<SloEngine>(&metrics_, history_.get(),
+                                       scrub_.get(), forensics_.get(),
+                                       BuildDefaultSlos(options_.slo));
+    slo_->set_lsn_fn([this] { return log_->end_of_stable_log(); });
+    history_->AddTickHook(
+        [this](uint64_t now_mono) { slo_->EvaluateOnce(now_mono); });
+  }
+  history_->Start();
+
   if (options_.metrics.flush_interval_ms > 0) {
     metrics_flusher_ = std::thread([this] { MetricsFlusherLoop(); });
   }
@@ -216,6 +256,12 @@ Status Database::OpenImpl() {
     hooks.degraded = [this] {
       return watchdog_ != nullptr ? watchdog_->DegradedReason()
                                   : std::string();
+    };
+    hooks.query = [this](std::string_view query) {
+      return history_->QueryJson(query);
+    };
+    hooks.slo = [this] {
+      return slo_ != nullptr ? slo_->BurnReason() : std::string();
     };
     CWDB_RETURN_IF_ERROR(
         stats_server_->Start(options_.stats_server, std::move(hooks)));
@@ -348,6 +394,8 @@ Result<AuditReport> Database::Audit() {
   CWDB_RETURN_IF_ERROR(s);
   report.clean = true;
   metrics_.counter("audit.clean_passes")->Add();
+  // A clean full audit certifies every shard as of its begin LSN.
+  if (scrub_ != nullptr) scrub_->NoteFullAudit(report.audit_lsn);
   CWDB_RETURN_IF_ERROR(WriteAuditMeta(files_.AuditMeta(), report.audit_lsn));
   return report;
 }
@@ -471,6 +519,15 @@ Result<std::string> Database::DumpMetrics() {
     // `spans` work on a closed database directory.
     CWDB_RETURN_IF_ERROR(WriteFileAtomic(
         files_.SpansFile(), SpansToJson(CaptureSpans(&metrics_))));
+  }
+  // The history ring and SLO report persist alongside so `cwdb_ctl top` /
+  // `scrub-map` work on a closed directory.
+  if (history_ != nullptr && history_->size() > 0) {
+    CWDB_RETURN_IF_ERROR(history_->SaveTo(files_.MetricsHistoryFile()));
+  }
+  if (slo_ != nullptr) {
+    CWDB_RETURN_IF_ERROR(
+        WriteFileAtomic(files_.SloReportFile(), slo_->ReportJson()));
   }
   return json;
 }

@@ -16,7 +16,9 @@
 #include "common/slice.h"
 #include "common/status.h"
 #include "obs/forensics.h"
+#include "obs/history.h"
 #include "obs/metrics.h"
+#include "obs/slo.h"
 #include "obs/stats_server.h"
 #include "obs/watchdog.h"
 #include "protect/options.h"
@@ -76,6 +78,17 @@ struct DatabaseOptions {
 
   /// Periodic metrics flushing (see MetricsOptions).
   MetricsOptions metrics;
+
+  /// Metrics time-series history (src/obs/history.h): with a nonzero
+  /// interval a background sampler scrapes the registry into an in-process
+  /// ring, persisted to <dir>/metrics_history.bin on flush/Close and
+  /// reloaded on reopen — what `cwdb_ctl top` and GET /query serve.
+  HistoryOptions history;
+
+  /// Declarative SLO engine (src/obs/slo.h): when enabled, evaluates
+  /// multi-window burn rates on every history tick, files kSloBurn
+  /// dossiers and degrades /healthz to `503 slo: ...` while burning.
+  SloOptions slo;
 
   /// Span tracing (src/obs/tracer.h). Fraction of transactions whose whole
   /// commit pipeline — begin, lock waits, read prechecks, codeword folds,
@@ -325,6 +338,18 @@ class Database {
   /// Components (the background auditor) register probes against it.
   Watchdog* watchdog() { return watchdog_.get(); }
 
+  /// Integrity coverage map: per-shard last-audited LSN/wall-time and the
+  /// live sweep cursor (always present; the background auditor and full
+  /// audits publish into it).
+  ScrubMap* scrub() { return scrub_.get(); }
+
+  /// Metrics time-series history (always present; the sampler thread only
+  /// runs when options.history.interval_ms > 0).
+  MetricsHistory* history() { return history_.get(); }
+
+  /// SLO engine, or nullptr when options.slo.enabled is false.
+  SloEngine* slo() { return slo_.get(); }
+
   /// Port of the live stats endpoint, or 0 when serve_stats is off.
   uint16_t stats_port() const {
     return stats_server_ != nullptr ? stats_server_->port() : 0;
@@ -381,6 +406,13 @@ class Database {
   /// can outlive its target); probes hold bare pointers into log_/
   /// checkpointer_/txns_.
   std::unique_ptr<Watchdog> watchdog_;
+  /// Coverage map, history ring and SLO engine, in dependency order: the
+  /// SLO engine reads the history and scrub map, and the history's tick
+  /// hooks call into both — all are stopped (StopBackgroundWork joins the
+  /// sampler) before any is destroyed.
+  std::unique_ptr<ScrubMap> scrub_;
+  std::unique_ptr<MetricsHistory> history_;
+  std::unique_ptr<SloEngine> slo_;
   RecoveryReport last_report_;
 
   std::unique_ptr<StatsServer> stats_server_;

@@ -68,6 +68,7 @@ const char* IncidentSourceName(IncidentSource s) {
     case IncidentSource::kCheckpointMeta: return "checkpoint_meta";
     case IncidentSource::kOperator: return "operator";
     case IncidentSource::kStallWatchdog: return "stall_watchdog";
+    case IncidentSource::kSloBurn: return "slo_burn";
   }
   return "unknown";
 }

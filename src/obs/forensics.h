@@ -32,6 +32,7 @@ enum class IncidentSource : uint8_t {
   kCheckpointMeta = 5,  ///< Checkpoint meta/image unusable at recovery.
   kOperator = 6,        ///< Filed manually (cwdb_ctl / API).
   kStallWatchdog = 7,   ///< Watchdog: a pipeline stage stopped progressing.
+  kSloBurn = 8,         ///< SLO engine: an error budget is burning.
 };
 
 const char* IncidentSourceName(IncidentSource s);

@@ -1,0 +1,258 @@
+#include "obs/slo.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+#include "common/json.h"
+
+namespace cwdb {
+
+std::vector<SloSpec> BuildDefaultSlos(const SloOptions& options) {
+  std::vector<SloSpec> specs;
+  if (options.commit_p99_ns > 0) {
+    SloSpec s;
+    s.name = "commit_p99";
+    s.kind = SloKind::kLatencyQuantile;
+    s.metric = "txn.commit_latency_ns";
+    s.threshold_ns = options.commit_p99_ns;
+    s.objective = 0.99;
+    specs.push_back(std::move(s));
+  }
+  if (options.detection_p99_ns > 0) {
+    SloSpec s;
+    s.name = "detection_p99";
+    s.kind = SloKind::kLatencyQuantile;
+    s.metric = "protect.detection_latency_ns";
+    s.threshold_ns = options.detection_p99_ns;
+    s.objective = 0.99;
+    specs.push_back(std::move(s));
+  }
+  if (options.max_scrub_age_ms > 0) {
+    SloSpec s;
+    s.name = "scrub_age";
+    s.kind = SloKind::kMaxScrubAge;
+    s.max_age_ms = options.max_scrub_age_ms;
+    specs.push_back(std::move(s));
+  }
+  if (options.stall_budget > 0) {
+    SloSpec s;
+    s.name = "watchdog_stalls";
+    s.kind = SloKind::kCounterBudget;
+    s.metric = "watchdog.stalls";
+    s.budget = options.stall_budget;
+    specs.push_back(std::move(s));
+  }
+  for (const SloSpec& extra : options.extra) specs.push_back(extra);
+  for (SloSpec& s : specs)
+    if (s.windows.empty()) s.windows = options.windows;
+  return specs;
+}
+
+SloEngine::SloEngine(MetricsRegistry* metrics, MetricsHistory* history,
+                     ScrubMap* scrub, ForensicsRecorder* forensics,
+                     std::vector<SloSpec> specs)
+    : metrics_(metrics),
+      history_(history),
+      scrub_(scrub),
+      forensics_(forensics) {
+  for (SloSpec& spec : specs) {
+    SloState st;
+    st.spec = std::move(spec);
+    st.burn.assign(st.spec.windows.size(), 0);
+    Instruments ins;
+    const std::string prefix = "slo." + st.spec.name;
+    ins.burning = metrics_->gauge(prefix + ".burning");
+    ins.burn_rate_x1000 = metrics_->gauge(prefix + ".burn_rate_x1000");
+    ins.budget_remaining_pct =
+        metrics_->gauge(prefix + ".budget_remaining_pct");
+    ins.budget_remaining_pct->Set(100);
+    ins.burn_episodes = metrics_->counter(prefix + ".burn_episodes");
+    states_.push_back(std::move(st));
+    instruments_.push_back(ins);
+  }
+}
+
+double SloEngine::BurnRate(const SloSpec& spec, const SloWindow& window,
+                           uint64_t now_mono) const {
+  uint64_t window_ns = window.window_ms * 1000000ull;
+  switch (spec.kind) {
+    case SloKind::kLatencyQuantile: {
+      MetricsHistory::WindowedHist wh;
+      if (!history_->Windowed(spec.metric, window_ns, now_mono, &wh) ||
+          wh.count == 0)
+        return 0;
+      double bad_fraction = static_cast<double>(wh.CountAbove(
+                                spec.threshold_ns)) /
+                            static_cast<double>(wh.count);
+      double allowed = 1.0 - spec.objective;
+      return allowed > 0 ? bad_fraction / allowed : 0;
+    }
+    case SloKind::kMaxScrubAge: {
+      if (scrub_ == nullptr || spec.max_age_ms == 0) return 0;
+      double age_ms =
+          static_cast<double>(scrub_->MaxAgeNs(now_mono)) / 1e6;
+      // Staleness is a level, not an event stream: the window doesn't
+      // change what "too old" means, so burn is simply age over ceiling.
+      return age_ms / static_cast<double>(spec.max_age_ms);
+    }
+    case SloKind::kCounterBudget: {
+      std::vector<MetricsHistory::Point> pts =
+          history_->Series(spec.metric, window_ns, now_mono);
+      if (pts.size() < 2 || spec.budget <= 0) return 0;
+      double increase = pts.back().value - pts.front().value;
+      return increase / spec.budget;
+    }
+  }
+  return 0;
+}
+
+void SloEngine::EvaluateOnce(uint64_t now_mono) {
+  struct Fired {
+    std::string name;
+    std::string detail;
+  };
+  std::vector<Fired> fired;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (size_t i = 0; i < states_.size(); ++i) {
+      SloState& st = states_[i];
+      const SloSpec& spec = st.spec;
+      bool all_over = true;
+      double slow_burn = 0, slow_max = 1;
+      for (size_t w = 0; w < spec.windows.size(); ++w) {
+        st.burn[w] = BurnRate(spec, spec.windows[w], now_mono);
+        if (st.burn[w] <= spec.windows[w].max_burn) all_over = false;
+      }
+      // Budget remaining tracks the last (longest) window.
+      if (!spec.windows.empty()) {
+        slow_burn = st.burn.back();
+        slow_max = spec.windows.back().max_burn;
+      }
+      st.budget_remaining_pct = std::clamp(
+          100.0 * (1.0 - slow_burn / std::max(slow_max, 1e-9)), 0.0, 100.0);
+
+      bool was_burning = st.burning;
+      if (!was_burning && all_over && !spec.windows.empty()) {
+        st.burning = true;
+        st.burn_episodes++;
+        instruments_[i].burn_episodes->Add();
+        char buf[256];
+        std::snprintf(buf, sizeof(buf),
+                      "slo %s burning: burn %.2fx over %" PRIu64
+                      "ms window (max %.2fx)%s%s",
+                      spec.name.c_str(), st.burn.back(),
+                      spec.windows.back().window_ms,
+                      spec.windows.back().max_burn,
+                      spec.metric.empty() ? "" : " metric=",
+                      spec.metric.c_str());
+        fired.push_back({spec.name, buf});
+      } else if (was_burning) {
+        // Recover with hysteresis: every window must drop below 90% of its
+        // firing threshold so a burn flickering around the line doesn't
+        // file a dossier per tick.
+        bool all_under = true;
+        for (size_t w = 0; w < spec.windows.size(); ++w)
+          if (st.burn[w] > 0.9 * spec.windows[w].max_burn) all_under = false;
+        if (all_under) st.burning = false;
+      }
+      instruments_[i].burning->Set(st.burning ? 1 : 0);
+      instruments_[i].burn_rate_x1000->Set(
+          static_cast<int64_t>(slow_burn * 1000));
+      instruments_[i].budget_remaining_pct->Set(
+          static_cast<int64_t>(st.budget_remaining_pct));
+    }
+  }
+  // File dossiers outside mu_: the recorder takes its own lock and probes
+  // engine state.
+  for (const Fired& f : fired) {
+    if (forensics_ == nullptr) continue;
+    uint64_t lsn = lsn_fn_ ? lsn_fn_() : 0;
+    uint64_t id = forensics_->RecordIncident(IncidentSource::kSloBurn, lsn,
+                                             0, {}, f.detail);
+    std::lock_guard<std::mutex> lock(mu_);
+    for (SloState& st : states_)
+      if (st.spec.name == f.name) st.last_incident_id = id;
+  }
+}
+
+bool SloEngine::AnyBurning() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const SloState& st : states_)
+    if (st.burning) return true;
+  return false;
+}
+
+std::string SloEngine::BurnReason() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const SloState& st : states_) {
+    if (!st.burning) continue;
+    if (!out.empty()) out += ", ";
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "%s burn %.1fx", st.spec.name.c_str(),
+                  st.burn.empty() ? 0.0 : st.burn.back());
+    out += buf;
+  }
+  return out.empty() ? out : "slo: " + out;
+}
+
+std::vector<SloEngine::SloState> SloEngine::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return states_;
+}
+
+std::string SloEngine::ReportJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{\n  \"slos\": [";
+  char buf[200];
+  for (size_t i = 0; i < states_.size(); ++i) {
+    const SloState& st = states_[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "    {\"name\": " + JsonQuote(st.spec.name);
+    const char* kind = st.spec.kind == SloKind::kLatencyQuantile
+                           ? "latency_quantile"
+                           : (st.spec.kind == SloKind::kMaxScrubAge
+                                  ? "max_scrub_age"
+                                  : "counter_budget");
+    out += std::string(", \"kind\": \"") + kind + "\"";
+    if (!st.spec.metric.empty())
+      out += ", \"metric\": " + JsonQuote(st.spec.metric);
+    if (st.spec.kind == SloKind::kLatencyQuantile) {
+      std::snprintf(buf, sizeof(buf),
+                    ", \"threshold_ns\": %" PRIu64 ", \"objective\": %g",
+                    st.spec.threshold_ns, st.spec.objective);
+      out += buf;
+    } else if (st.spec.kind == SloKind::kMaxScrubAge) {
+      std::snprintf(buf, sizeof(buf), ", \"max_age_ms\": %" PRIu64,
+                    st.spec.max_age_ms);
+      out += buf;
+    } else {
+      std::snprintf(buf, sizeof(buf), ", \"budget\": %g", st.spec.budget);
+      out += buf;
+    }
+    out += ", \"windows\": [";
+    for (size_t w = 0; w < st.spec.windows.size(); ++w) {
+      std::snprintf(buf, sizeof(buf),
+                    "%s{\"window_ms\": %" PRIu64 ", \"max_burn\": %g"
+                    ", \"burn\": %.6g}",
+                    w == 0 ? "" : ", ", st.spec.windows[w].window_ms,
+                    st.spec.windows[w].max_burn,
+                    w < st.burn.size() ? st.burn[w] : 0.0);
+      out += buf;
+    }
+    out += "]";
+    std::snprintf(buf, sizeof(buf),
+                  ", \"burning\": %s, \"burn_episodes\": %" PRIu64
+                  ", \"budget_remaining_pct\": %.1f, \"last_incident_id\": "
+                  "%" PRIu64 "}",
+                  st.burning ? "true" : "false", st.burn_episodes,
+                  st.budget_remaining_pct, st.last_incident_id);
+    out += buf;
+  }
+  out += states_.empty() ? "]\n" : "\n  ]\n";
+  out += "}\n";
+  return out;
+}
+
+}  // namespace cwdb

@@ -1,0 +1,138 @@
+#ifndef CWDB_OBS_SLO_H_
+#define CWDB_OBS_SLO_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/forensics.h"
+#include "obs/history.h"
+#include "obs/metrics.h"
+
+namespace cwdb {
+
+/// What an SloSpec measures.
+enum class SloKind : uint8_t {
+  /// A latency histogram against a threshold: the bad-event fraction is the
+  /// share of window samples in buckets strictly above the threshold's
+  /// bucket, the burn rate that fraction over the allowed (1 - objective).
+  kLatencyQuantile = 0,
+  /// The scrub map's max staleness against a ceiling: burn = age / ceiling.
+  kMaxScrubAge = 1,
+  /// A counter against an absolute per-window budget: burn = increase /
+  /// budget (watchdog stalls: any stall burns the whole budget).
+  kCounterBudget = 2,
+};
+
+/// One evaluation window with its firing threshold, SRE-multiwindow style:
+/// a spec fires only when EVERY window's burn rate exceeds its max_burn —
+/// the short window proves the problem is still happening, the long one
+/// that enough budget is gone to matter.
+struct SloWindow {
+  uint64_t window_ms = 60000;
+  double max_burn = 6.0;
+};
+
+/// A declarative objective the engine evaluates continuously.
+struct SloSpec {
+  std::string name;          ///< Metric-safe slug ("commit_p99").
+  SloKind kind = SloKind::kLatencyQuantile;
+  std::string metric;        ///< Histogram or counter being judged.
+  uint64_t threshold_ns = 0; ///< kLatencyQuantile: the latency bound.
+  double objective = 0.99;   ///< kLatencyQuantile: good-event target.
+  uint64_t max_age_ms = 0;   ///< kMaxScrubAge: staleness ceiling.
+  double budget = 1;         ///< kCounterBudget: events allowed per window.
+  std::vector<SloWindow> windows;  ///< Empty = SloOptions defaults.
+};
+
+struct SloOptions {
+  bool enabled = false;
+  /// Thresholds for the four built-in objectives (0 disables that SLO).
+  uint64_t commit_p99_ns = 100ull * 1000 * 1000;       ///< 100 ms.
+  uint64_t detection_p99_ns = 5ull * 1000 * 1000 * 1000;  ///< 5 s.
+  uint64_t max_scrub_age_ms = 60000;
+  double stall_budget = 1;   ///< Watchdog stalls tolerated per window.
+  /// Default multi-window pair applied to specs that don't bring their own:
+  /// fast 10 s window at 14.4x burn, slow 60 s window at 6x.
+  std::vector<SloWindow> windows = {{10000, 14.4}, {60000, 6.0}};
+  /// Additional caller-defined objectives.
+  std::vector<SloSpec> extra;
+};
+
+/// Expands options into the concrete spec list the engine evaluates.
+std::vector<SloSpec> BuildDefaultSlos(const SloOptions& options);
+
+/// Declarative SLO engine: each EvaluateOnce computes every spec's burn
+/// rate per window from the metrics history (and scrub map), latches
+/// burn/recovery edges with hysteresis, files one kSloBurn dossier per
+/// burn episode through the forensics pipeline, and publishes per-SLO
+/// gauges the history then samples:
+///   slo.<name>.burning                0/1
+///   slo.<name>.burn_rate_x1000        slow-window burn rate, milli-units
+///   slo.<name>.budget_remaining_pct   100 * (1 - burn/max_burn), clamped
+/// Wired as a history tick hook, so evaluation rides the sampler cadence;
+/// tests call EvaluateOnce directly for determinism.
+class SloEngine {
+ public:
+  struct SloState {
+    SloSpec spec;
+    bool burning = false;
+    uint64_t burn_episodes = 0;
+    uint64_t last_incident_id = 0;
+    std::vector<double> burn;  ///< Last burn rate per window.
+    double budget_remaining_pct = 100;
+  };
+
+  /// `forensics` may be null (no dossiers filed — standalone tests).
+  /// `scrub` may be null (kMaxScrubAge specs evaluate to 0 burn).
+  SloEngine(MetricsRegistry* metrics, MetricsHistory* history,
+            ScrubMap* scrub, ForensicsRecorder* forensics,
+            std::vector<SloSpec> specs);
+
+  /// Evaluates every spec at `now_mono`. Called from the history tick hook
+  /// (after the sample lands, so windows include it).
+  void EvaluateOnce(uint64_t now_mono);
+
+  /// Non-empty while any SLO burns: "slo: commit_p99 burn 8.1x" — the
+  /// /healthz degradation string.
+  std::string BurnReason() const;
+  bool AnyBurning() const;
+
+  std::vector<SloState> Snapshot() const;
+
+  /// The slo_report.json document: per-SLO config, live burn rates, budget
+  /// remaining, episode count. Written next to metrics.json on flush/Close.
+  std::string ReportJson() const;
+
+  /// LSN context stamped onto burn dossiers (the owning Database points
+  /// this at the stable log end).
+  using LsnFn = std::function<uint64_t()>;
+  void set_lsn_fn(LsnFn fn) { lsn_fn_ = std::move(fn); }
+
+ private:
+  struct Instruments {
+    Gauge* burning;
+    Gauge* burn_rate_x1000;
+    Gauge* budget_remaining_pct;
+    Counter* burn_episodes;
+  };
+
+  /// Burn rate of `spec` over one window ending at now_mono.
+  double BurnRate(const SloSpec& spec, const SloWindow& window,
+                  uint64_t now_mono) const;
+
+  MetricsRegistry* metrics_;
+  MetricsHistory* history_;
+  ScrubMap* scrub_;
+  ForensicsRecorder* forensics_;
+  LsnFn lsn_fn_;
+
+  mutable std::mutex mu_;
+  std::vector<SloState> states_;
+  std::vector<Instruments> instruments_;
+};
+
+}  // namespace cwdb
+
+#endif  // CWDB_OBS_SLO_H_

@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <string_view>
 #include <thread>
 
 #include "common/result.h"
@@ -34,8 +35,15 @@ struct StatsServerOptions {
 ///   GET /incidents  raw incidents.jsonl (application/jsonl)
 ///   GET /spans      Chrome/Perfetto trace-event JSON of the live span
 ///                   rings ({"traceEvents":[]} when tracing is off)
-///   GET /healthz    200 "ok" / 503 "corrupt" or "stalled: ..." per the
-///                   health and degraded hooks
+///   GET /query?metric=<name>&window=<60s|500ms|5m>
+///                   time-series JSON from the metrics history (400 on a
+///                   malformed query or unknown metric; 404 with no
+///                   history wired)
+///   GET /healthz    200 "ok" / 503 "corrupt", "stalled: ..." or
+///                   "slo: ..." per the health/degraded/slo hooks
+///
+/// Query strings are split off before route dispatch (GET /metrics?x=y is
+/// still /metrics) and handed to the route handler.
 ///
 /// One connection is served at a time (close-after-response); this is an
 /// operator/scraper endpoint, not a data path. Stop() is prompt: the accept
@@ -51,6 +59,13 @@ class StatsServer {
     std::function<std::string()> spans_json;
     /// Stall description ("" = not degraded). Empty hook = no watchdog.
     std::function<std::string()> degraded;
+    /// Answers /query given the raw query string ("metric=...&window=...").
+    /// An error Status becomes a 400 with the message as the body. Empty
+    /// hook = no history wired; /query answers 404.
+    std::function<Result<std::string>(std::string_view query)> query;
+    /// SLO burn description ("slo: commit_p99 burn 8.1x", "" = budgets
+    /// healthy). Empty hook = no SLO engine.
+    std::function<std::string()> slo;
   };
 
   StatsServer() = default;

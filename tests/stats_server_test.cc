@@ -156,6 +156,14 @@ TEST(StatsServer, ServesMetricsIncidentsAndHealth) {
   EXPECT_NE(resp.find("cwdb_test_hits_total 7\n"), std::string::npos);
   ValidateExposition(BodyOf(resp));
 
+  // Routing matches on the path alone: a query string must not turn a
+  // known route into a 404 (Prometheus scrapers append parameters).
+  resp = HttpGet(server.port(), "/metrics?x=y");
+  EXPECT_NE(resp.find("HTTP/1.0 200 OK"), std::string::npos);
+  EXPECT_NE(resp.find("cwdb_test_hits_total 7\n"), std::string::npos);
+  resp = HttpGet(server.port(), "/healthz?verbose=1");
+  EXPECT_NE(resp.find("HTTP/1.0 200 OK"), std::string::npos);
+
   resp = HttpGet(server.port(), "/incidents");
   EXPECT_NE(resp.find("HTTP/1.0 200 OK"), std::string::npos);
   EXPECT_NE(resp.find("application/jsonl"), std::string::npos);
@@ -178,6 +186,53 @@ TEST(StatsServer, ServesMetricsIncidentsAndHealth) {
   server.Stop();
   EXPECT_EQ(server.port(), 0);
   EXPECT_TRUE(HttpGet(port, "/metrics").empty());
+}
+
+TEST(StatsServer, QueryRouteAndSloHealth) {
+  MetricsRegistry reg;
+  std::string slo_reason;
+  StatsServer server;
+  StatsServer::Hooks hooks;
+  hooks.snapshot = [&reg] { return reg.Capture(); };
+  hooks.healthy = [] { return true; };
+  hooks.query = [](std::string_view query) -> Result<std::string> {
+    if (query == "metric=ok") return std::string("{\"metric\": \"ok\"}\n");
+    return Status::InvalidArgument("unknown metric");
+  };
+  hooks.slo = [&slo_reason] { return slo_reason; };
+  ASSERT_OK(server.Start(StatsServerOptions{}, std::move(hooks)));
+
+  // /query hands the query string to the hook: 200 on success, 400 with
+  // the status text on a bad query.
+  std::string resp = HttpGet(server.port(), "/query?metric=ok");
+  EXPECT_NE(resp.find("HTTP/1.0 200 OK"), std::string::npos);
+  EXPECT_NE(resp.find("application/json"), std::string::npos);
+  EXPECT_EQ(BodyOf(resp), "{\"metric\": \"ok\"}\n");
+  resp = HttpGet(server.port(), "/query?metric=bogus");
+  EXPECT_NE(resp.find("HTTP/1.0 400"), std::string::npos);
+  EXPECT_NE(resp.find("unknown metric"), std::string::npos);
+
+  // /healthz degrades to 503 while the slo hook reports a burn, and
+  // recovers with it.
+  resp = HttpGet(server.port(), "/healthz");
+  EXPECT_NE(resp.find("HTTP/1.0 200 OK"), std::string::npos);
+  slo_reason = "slo: commit_p99 burn 8.1x";
+  resp = HttpGet(server.port(), "/healthz");
+  EXPECT_NE(resp.find("HTTP/1.0 503"), std::string::npos);
+  EXPECT_EQ(BodyOf(resp), "slo: commit_p99 burn 8.1x\n");
+  slo_reason.clear();
+  resp = HttpGet(server.port(), "/healthz");
+  EXPECT_NE(resp.find("HTTP/1.0 200 OK"), std::string::npos);
+}
+
+TEST(StatsServer, QueryWithoutHistoryIs404) {
+  MetricsRegistry reg;
+  StatsServer server;
+  StatsServer::Hooks hooks;
+  hooks.snapshot = [&reg] { return reg.Capture(); };
+  ASSERT_OK(server.Start(StatsServerOptions{}, std::move(hooks)));
+  std::string resp = HttpGet(server.port(), "/query?metric=x");
+  EXPECT_NE(resp.find("HTTP/1.0 404"), std::string::npos);
 }
 
 TEST(StatsServer, DatabaseIntegration) {
@@ -203,6 +258,16 @@ TEST(StatsServer, DatabaseIntegration) {
   EXPECT_NE(metrics.find("cwdb_txn_commits_total " +
                          std::to_string(commits) + "\n"),
             std::string::npos);
+
+  // GET /query serves time series out of the database's history ring.
+  (*db)->history()->SampleNow();
+  (*db)->history()->SampleNow();
+  std::string q =
+      HttpGet((*db)->stats_port(), "/query?metric=txn.commits&window=60s");
+  EXPECT_NE(q.find("HTTP/1.0 200 OK"), std::string::npos) << q;
+  EXPECT_NE(q.find("\"rate_per_s\""), std::string::npos);
+  q = HttpGet((*db)->stats_port(), "/query?metric=no.such&window=60s");
+  EXPECT_NE(q.find("HTTP/1.0 400"), std::string::npos);
 
   // A healthy database reports ok; after a failed audit writes the
   // corruption note it must report corrupt.

@@ -29,11 +29,21 @@
 //   cwdb_ctl explain-recovery <dir> [--dot]
 //                                        per-deleted-txn implication chains
 //                                        from the last corruption recovery
+//   cwdb_ctl top <dir> [--once] [--interval-ms N]
+//                                        live-refreshing terminal view of
+//                                        the persisted metrics history:
+//                                        commit rate, windowed p99, scrub
+//                                        age, SLO budget, sparklines.
+//                                        --once renders a single snapshot
+//                                        (for scripts/CI)
+//   cwdb_ctl scrub-map <dir>             per-shard audit-staleness heatmap
+//                                        from the persisted scrub.* gauges
 //
 // All subcommands except `recover` are read-only and work on a cold
 // directory without instantiating a Database.
 
 #include <array>
+#include <chrono>
 #include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
@@ -41,6 +51,7 @@
 #include <memory>
 #include <string>
 #include <string_view>
+#include <thread>
 #include <vector>
 
 #include "ckpt/att_codec.h"
@@ -49,6 +60,7 @@
 #include "common/json.h"
 #include "core/database.h"
 #include "obs/forensics.h"
+#include "obs/history.h"
 #include "obs/trace.h"
 #include "obs/trace_export.h"
 #include "recovery/corrupt_note.h"
@@ -62,8 +74,8 @@ namespace {
 int Usage() {
   std::fprintf(stderr,
                "usage: cwdb_ctl <info|tables|check|logdump|recover|stats|"
-               "trace|trace-export|spans|incidents|explain-recovery> "
-               "<dir> [args]\n");
+               "trace|trace-export|spans|incidents|explain-recovery|"
+               "top|scrub-map> <dir> [args]\n");
   return 2;
 }
 
@@ -674,6 +686,68 @@ int CmdExplainRecovery(const std::string& dir, bool dot) {
   return 0;
 }
 
+int CmdTop(const std::string& dir, bool once, uint64_t interval_ms) {
+  DbFiles files(dir);
+  for (;;) {
+    MetricsHistory history(nullptr, HistoryOptions{});
+    Status s = history.LoadFrom(files.MetricsHistoryFile());
+    if (!s.ok()) {
+      std::fprintf(stderr, "cannot read %s: %s\n",
+                   files.MetricsHistoryFile().c_str(), s.ToString().c_str());
+      return 1;
+    }
+    if (history.size() == 0) {
+      std::fprintf(stderr,
+                   "no metrics history at %s (open the database with "
+                   "history.interval_ms > 0 and flush or Close it)\n",
+                   files.MetricsHistoryFile().c_str());
+      return 1;
+    }
+    std::string view = history.RenderTop(history.LatestMono());
+    if (once) {
+      std::fwrite(view.data(), 1, view.size(), stdout);
+      return 0;
+    }
+    // Clear + home, then the frame: a plain-ANSI refresh loop, no curses.
+    std::printf("\x1b[2J\x1b[H%s\n(refreshing every %" PRIu64
+                " ms from %s — Ctrl-C to quit)\n",
+                view.c_str(), interval_ms, files.MetricsHistoryFile().c_str());
+    std::fflush(stdout);
+    std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+  }
+}
+
+int CmdScrubMap(const std::string& dir) {
+  DbFiles files(dir);
+  std::string json;
+  Status s = ReadFileToString(files.MetricsFile(), &json);
+  if (!s.ok()) {
+    std::fprintf(stderr, "no metrics snapshot at %s: %s\n",
+                 files.MetricsFile().c_str(), s.ToString().c_str());
+    return 1;
+  }
+  Result<JsonValue> doc = ParseJson(json);
+  if (!doc.ok()) {
+    std::fprintf(stderr, "cannot parse %s: %s\n", files.MetricsFile().c_str(),
+                 doc.status().ToString().c_str());
+    return 1;
+  }
+  const JsonValue* gauges = doc->Find("gauges");
+  if (gauges == nullptr || !gauges->is_object()) {
+    std::fprintf(stderr, "snapshot has no gauges object (schema %" PRIu64
+                 ")\n", doc->U64("schema_version"));
+    return 1;
+  }
+  std::vector<std::pair<std::string, int64_t>> gauge_list;
+  for (const auto& [name, value] : gauges->members()) {
+    gauge_list.emplace_back(name, value.AsI64());
+  }
+  std::string map =
+      RenderScrubMap(gauge_list, doc->U64("captured_wall_ns"));
+  std::fwrite(map.data(), 1, map.size(), stdout);
+  return 0;
+}
+
 }  // namespace
 }  // namespace cwdb
 
@@ -707,5 +781,21 @@ int main(int argc, char** argv) {
     bool dot = argc > 3 && std::strcmp(argv[3], "--dot") == 0;
     return CmdExplainRecovery(dir, dot);
   }
+  if (cmd == "top") {
+    bool once = false;
+    uint64_t interval_ms = 1000;
+    for (int i = 3; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--once") == 0) {
+        once = true;
+      } else if (std::strcmp(argv[i], "--interval-ms") == 0 && i + 1 < argc) {
+        interval_ms = std::strtoull(argv[++i], nullptr, 10);
+        if (interval_ms == 0) interval_ms = 1000;
+      } else {
+        return Usage();
+      }
+    }
+    return CmdTop(dir, once, interval_ms);
+  }
+  if (cmd == "scrub-map") return CmdScrubMap(dir);
   return Usage();
 }
