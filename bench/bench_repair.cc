@@ -1,0 +1,201 @@
+// Ablation A7: in-place parity repair vs delete-transaction recovery.
+// Both paths start from the same detected corruption (wild single-region
+// writes located by a codeword audit); the parity tier reconstructs the
+// regions in place while the database keeps its state, whereas the paper's
+// delete-transaction algorithm reloads the checkpoint and replays the log.
+// The gap is the point of the error-correcting tier: a detected single-
+// region fault should cost microseconds, not a full recovery.
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/database.h"
+#include "faultinject/fault_injector.h"
+#include "workload/tpcb.h"
+
+namespace cwdb {
+namespace {
+
+struct Config {
+  uint64_t corrupt_regions;
+  uint64_t ops_after_checkpoint;
+};
+
+struct PreparedDb {
+  Result<std::unique_ptr<Database>> db = Status::Internal("unprepared");
+  TpcbConfig cfg;
+  std::vector<CorruptRange> injected;
+};
+
+/// Opens a database, runs TPC-B history, checkpoints, runs more history,
+/// then lands one wild write in each of `corrupt_regions` distinct parity
+/// groups — the worst case the correction budget still covers.
+void Prepare(const std::string& dir, const Config& c, PreparedDb* out) {
+  out->cfg.accounts = 2000;
+  out->cfg.tellers = 200;
+  out->cfg.branches = 20;
+  out->cfg.ops_per_txn = 50;
+  out->cfg.history_capacity = 2 * c.ops_after_checkpoint + 4000;
+
+  DatabaseOptions opts;
+  opts.path = dir;
+  opts.page_size = 8192;
+  opts.arena_size =
+      (out->cfg.MinArenaSize(opts.page_size) + (8u << 20) + 8191) &
+      ~uint64_t{8191};
+  opts.protection.scheme = ProtectionScheme::kReadLog;
+  opts.protection.region_size = 512;
+  opts.protection.parity_group_regions = 64;
+  out->db = Database::Open(opts);
+  if (!out->db.ok()) {
+    std::fprintf(stderr, "open: %s\n", out->db.status().ToString().c_str());
+    std::exit(1);
+  }
+  Database* db = out->db->get();
+  TpcbWorkload workload(db, out->cfg);
+  if (!workload.Setup().ok() || !workload.RunOps(1000).ok()) std::exit(1);
+  if (!db->Checkpoint().ok()) std::exit(1);
+  if (!workload.RunOps(c.ops_after_checkpoint).ok()) std::exit(1);
+
+  const uint64_t group_bytes = 64ull * 512;  // One region per parity group.
+  const uint64_t base =
+      db->image()->RecordOff(workload.accounts(), 0) & ~uint64_t{511};
+  FaultInjector inject(db, 7);
+  out->injected.clear();
+  for (uint64_t g = 0; g < c.corrupt_regions; ++g) {
+    uint64_t off = base + g * group_bytes;
+    if (off + 8 > db->arena_size()) {
+      std::fprintf(stderr, "arena too small for %llu corrupt groups\n",
+                   static_cast<unsigned long long>(c.corrupt_regions));
+      std::exit(1);
+    }
+    uint64_t garbage = 0xBADBADBAD + g;
+    inject.WildWriteAt(off, Slice(reinterpret_cast<const char*>(&garbage),
+                                  sizeof(garbage)));
+    out->injected.push_back(CorruptRange{off, 512});
+  }
+}
+
+void RunCase(const std::string& dir, const Config& c, bool json) {
+  // Arm A: detect with a full audit sweep, repair in place from parity.
+  double repair_ms = 0;
+  {
+    PreparedDb prep;
+    Prepare(dir + "_repair", c, &prep);
+    Database* db = prep.db->get();
+    std::vector<CorruptRange> corrupt;
+    Status s = db->protection()->AuditAll(&corrupt);
+    if (!s.IsCorruption() || corrupt.size() != c.corrupt_regions) {
+      std::fprintf(stderr, "audit found %zu corrupt regions, expected %llu\n",
+                   corrupt.size(),
+                   static_cast<unsigned long long>(c.corrupt_regions));
+      std::exit(1);
+    }
+    auto t0 = std::chrono::steady_clock::now();
+    bool repaired = db->TryRepairRanges(corrupt, IncidentSource::kAudit);
+    auto t1 = std::chrono::steady_clock::now();
+    if (!repaired) {
+      std::fprintf(stderr, "in-place repair failed\n");
+      std::exit(1);
+    }
+    repair_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+    auto audit = db->Audit();
+    if (!audit.ok() || !audit->clean) {
+      std::fprintf(stderr, "post-repair audit not clean\n");
+      std::exit(1);
+    }
+    TpcbWorkload check(db, prep.cfg);
+    if (!check.Attach().ok() || !check.CheckConsistency().ok()) {
+      std::fprintf(stderr, "post-repair consistency violated\n");
+      std::exit(1);
+    }
+    DumpDbMetricsIfRequested(db);
+  }
+
+  // Arm B: same damage, paper path — note the corruption and run
+  // delete-transaction recovery (checkpoint reload + redo replay).
+  double recovery_ms = 0;
+  {
+    PreparedDb prep;
+    Config plain = c;
+    Prepare(dir + "_recover", plain, &prep);
+    Database* db = prep.db->get();
+    auto audit = db->Audit();
+    if (!audit.ok() || audit->clean) {
+      std::fprintf(stderr, "audit did not detect corruption\n");
+      std::exit(1);
+    }
+    auto t0 = std::chrono::steady_clock::now();
+    Status s = db->CrashAndRecover();
+    auto t1 = std::chrono::steady_clock::now();
+    if (!s.ok()) {
+      std::fprintf(stderr, "recovery: %s\n", s.ToString().c_str());
+      std::exit(1);
+    }
+    recovery_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+    TpcbWorkload check(db, prep.cfg);
+    if (!check.Attach().ok() || !check.CheckConsistency().ok()) {
+      std::fprintf(stderr, "post-recovery consistency violated\n");
+      std::exit(1);
+    }
+  }
+
+  double speedup = recovery_ms / repair_ms;
+  if (json) {
+    std::string name = "repair/r" + std::to_string(c.corrupt_regions) +
+                       "_ops" + std::to_string(c.ops_after_checkpoint);
+    PrintJsonMetricLine(name, "repair_ms", repair_ms, 1);
+    PrintJsonMetricLine(name, "recovery_ms", recovery_ms, 1);
+    PrintJsonMetricLine(name, "speedup", speedup, 1);
+  } else {
+    std::printf("  %10llu %12llu %12.3f %14.1f %10.0fx\n",
+                static_cast<unsigned long long>(c.corrupt_regions),
+                static_cast<unsigned long long>(c.ops_after_checkpoint),
+                repair_ms, recovery_ms, speedup);
+  }
+}
+
+}  // namespace
+}  // namespace cwdb
+
+int main(int argc, char** argv) {
+  cwdb::PinToCpu(0);
+  using namespace cwdb;
+  const bool json = JsonMode(argc, argv);
+  if (!json) {
+    std::printf(
+        "Ablation A7: in-place parity repair vs delete-transaction "
+        "recovery\n"
+        "(TPC-B, Data CW w/ReadLog, region 512 B, parity group 64 "
+        "regions)\n\n");
+    std::printf("  %10s %12s %12s %14s %11s\n", "corrupt", "ops after",
+                "repair", "recovery", "speedup");
+    std::printf("  %10s %12s %12s %14s %11s\n", "regions", "checkpoint",
+                "time (ms)", "time (ms)", "");
+    std::printf("  ---------- ------------ ------------ -------------- "
+                "-----------\n");
+  }
+
+  char tmpl[] = "/dev/shm/cwdb_bench_repair_XXXXXX";
+  char* base = ::mkdtemp(tmpl);
+  int idx = 0;
+  for (uint64_t regions : {1ull, 8ull, 64ull}) {
+    RunCase(std::string(base) + "/r" + std::to_string(idx++),
+            Config{regions, 2000}, json);
+  }
+  std::string cleanup = std::string("rm -rf '") + base + "'";
+  [[maybe_unused]] int rc = ::system(cleanup.c_str());
+
+  if (!json) {
+    std::printf(
+        "\nRepair touches only the damaged groups (one column XOR per\n"
+        "region plus a codeword re-verify); recovery reloads the whole\n"
+        "checkpoint image and replays the log behind it. The gap is the\n"
+        "case for correcting detected single-region faults in place.\n");
+  }
+  return 0;
+}

@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Validate a BENCH_repair.json trajectory from bench_repair --json.
+
+bench_repair measures, for the same detected corruption, the in-place
+parity-repair path against the paper's delete-transaction recovery path
+(checkpoint reload + redo replay). Its --json mode emits one object per
+line — {"name": "repair/r<K>_ops<N>", "<metric>": v, "threads": t} — with
+three metrics per case: repair_ms, recovery_ms and speedup. CI feeds the
+artifact through this script so a change that silently breaks the repair
+tier — no cases, a case missing an arm, repairs slower than recovery —
+fails loudly instead of shipping a dead benchmark.
+
+Usage:
+  check_repair_report.py <BENCH_repair.json> [--min-speedup X] [--strict]
+
+Structural problems (missing file, malformed lines, no cases, a case
+without all three metrics, non-finite or non-positive timings) always
+fail. A case below --min-speedup (default 10.0) prints a GitHub warning
+annotation and, with --strict, fails the job; without it that part is
+advisory (a loaded CI runner can legitimately flatten the gap).
+"""
+
+import argparse
+import json
+import math
+import sys
+
+METRICS = ("repair_ms", "recovery_ms", "speedup")
+
+
+def fail(msg):
+    print(f"::error title=repair report invalid::{msg}")
+    return 1
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("report", help="BENCH_repair.json from bench_repair --json")
+    ap.add_argument("--min-speedup", type=float, default=10.0,
+                    help="slowest acceptable repair-vs-recovery ratio")
+    ap.add_argument("--strict", action="store_true",
+                    help="fail if any case is below --min-speedup")
+    args = ap.parse_args()
+
+    cases = {}
+    try:
+        with open(args.report, "r", encoding="utf-8") as f:
+            for lineno, line in enumerate(f, 1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    obj = json.loads(line)
+                except ValueError as e:
+                    return fail(f"{args.report}:{lineno}: {e}")
+                name = obj.get("name")
+                if not isinstance(name, str) or not name.startswith("repair/"):
+                    return fail(f"{args.report}:{lineno}: bad name {name!r}")
+                case = cases.setdefault(name, {})
+                for metric in METRICS:
+                    if metric in obj:
+                        case[metric] = obj[metric]
+    except OSError as e:
+        return fail(f"{args.report}: {e}")
+
+    if not cases:
+        return fail(f"{args.report} has no repair/* cases; did bench_repair "
+                    "run with --json?")
+
+    slow = []
+    for name in sorted(cases):
+        case = cases[name]
+        missing = [m for m in METRICS if m not in case]
+        if missing:
+            return fail(f"{name} is missing metrics: {', '.join(missing)}")
+        for metric in METRICS:
+            v = case[metric]
+            if not isinstance(v, (int, float)) or not math.isfinite(v) or v <= 0:
+                return fail(f"{name}: non-positive {metric} {v!r}")
+        if case["speedup"] < args.min_speedup:
+            slow.append((name, case["speedup"]))
+
+    print(f"repair report: {len(cases)} cases")
+    for name in sorted(cases):
+        case = cases[name]
+        mark = "ok" if case["speedup"] >= args.min_speedup else "SLOW"
+        print(f"  {name:24s} {mark:5s} repair {case['repair_ms']:8.3f} ms  "
+              f"recovery {case['recovery_ms']:10.1f} ms  "
+              f"speedup {case['speedup']:7.1f}x")
+
+    if not slow:
+        return 0
+    for name, speedup in slow:
+        print(f"::warning title=repair speedup below gate::{name} repaired "
+              f"only {speedup:.1f}x faster than delete-transaction recovery "
+              f"(gate {args.min_speedup:.1f}x) — the parity tier may have "
+              "regressed; inspect the BENCH_repair.json artifact")
+    return 1 if args.strict else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,6 +11,8 @@
 #include "common/crashpoint.h"
 #include "common/crc32.h"
 #include "common/file_util.h"
+#include "obs/forensics.h"
+#include "protect/parity_repair.h"
 
 namespace cwdb {
 
@@ -69,6 +71,8 @@ Status Checkpointer::WriteCheckpointTo(int which, bool certify,
   std::vector<uint64_t> pages;
   std::string page_bytes;
   std::string att_blob;
+  std::string sidecar_blob;
+  bool have_sidecar = false;
   Lsn ck_end;
   {
     ExclusiveGuard guard(txns_->checkpoint_latch());
@@ -80,6 +84,11 @@ Status Checkpointer::WriteCheckpointTo(int which, bool certify,
                   image_->At(pages[i] * page_size), page_size);
     }
     att_blob = EncodeAtt(*txns_);
+    // Under the exclusive latch no update window (and no repair — repairs
+    // take the latch shared) is in flight, so the codewords and parity
+    // columns snapshotted here describe exactly the arena bytes the image
+    // file will hold once the captured pages land.
+    have_sidecar = protection_->SnapshotSidecar(ck_end, &sidecar_blob);
     // The snapshot is taken; pages dirtied from here on belong to the next
     // checkpoint of this image. If any durability step below fails, the
     // snapshot's bits are restored (see the failure path at the end) so
@@ -95,7 +104,8 @@ Status Checkpointer::WriteCheckpointTo(int which, bool certify,
 
   // --- Durability phase, off the critical path. ---
   Status s = WriteDurable(which, pages, page_bytes, ck_end,
-                          std::move(att_blob), certify, corrupt, ctx);
+                          std::move(att_blob), have_sidecar, sidecar_blob,
+                          certify, corrupt, ctx);
   if (ctx.sampled()) {
     tracer->RecordWithId(ctx.Under(0), root_span, SpanKind::kCheckpoint, t0,
                          NowNs(), pages.size(),
@@ -123,6 +133,8 @@ Status Checkpointer::WriteDurable(int which,
                                   const std::vector<uint64_t>& pages,
                                   const std::string& page_bytes,
                                   Lsn ck_end, std::string att_blob,
+                                  bool have_sidecar,
+                                  const std::string& sidecar_blob,
                                   bool certify,
                                   std::vector<CorruptRange>* corrupt,
                                   const SpanContext& trace) {
@@ -171,6 +183,17 @@ Status Checkpointer::WriteDurable(int which,
                      corrupt != nullptr ? corrupt->size() : 0);
     }
     if (!audit.ok()) return audit;
+  }
+
+  // The sidecar lands after the certified image and before the meta/anchor
+  // toggle. Atomic replace with no crash point: a crash mid-write leaves
+  // the previous sidecar, whose CK_end no longer matches the meta, so load
+  // recognizes it as stale and simply skips verification.
+  if (have_sidecar) {
+    CWDB_RETURN_IF_ERROR(WriteFileAtomic(files_.CkptParity(which),
+                                         sidecar_blob));
+  } else {
+    CWDB_RETURN_IF_ERROR(RemoveFileIfExists(files_.CkptParity(which)));
   }
 
   CheckpointMeta meta;
@@ -261,11 +284,91 @@ Result<CheckpointMeta> Checkpointer::LoadActive() {
   ::close(fd);
   CWDB_RETURN_IF_ERROR(s);
   CWDB_RETURN_IF_ERROR(image_->ValidateHeader());
+  // The old DESIGN §8 hole: certification audited the in-memory image, not
+  // the bytes that landed on disk, so a flip during the image write was
+  // loaded silently. Verify the loaded bytes against the checkpoint's
+  // parity sidecar and repair in place what the budget covers.
+  CWDB_RETURN_IF_ERROR(VerifyLoadedImage(which, meta));
   // Everything is dirty relative to both images until proven otherwise —
   // after a crash the volatile dirty sets are gone, so the next checkpoint
-  // to each image must be full.
+  // to each image must be full. (This also carries any load-time repair
+  // into the next certified checkpoint.)
   image_->MarkAllDirty();
   return meta;
+}
+
+Status Checkpointer::VerifyLoadedImage(int which, const CheckpointMeta& meta) {
+  std::string blob;
+  Status read = ReadFileToString(files_.CkptParity(which), &blob,
+                                 MissingFile::kTreatAsEmpty);
+  if (!read.ok() || blob.empty()) return Status::OK();  // No sidecar.
+  Result<ParitySidecar> decoded = DecodeParitySidecar(blob);
+  if (!decoded.ok()) {
+    // Torn or damaged sidecar: no verification possible, never a failure.
+    metrics_->counter("repair.sidecar_invalid")->Add();
+    return Status::OK();
+  }
+  const ParitySidecar& sidecar = decoded.value();
+  if (sidecar.ck_end != meta.ck_end || sidecar.arena_size != image_->size()) {
+    // A crash between the image write and the sidecar replace leaves the
+    // previous checkpoint's sidecar behind; its CK_end gives it away.
+    metrics_->counter("repair.sidecar_stale")->Add();
+    return Status::OK();
+  }
+
+  uint64_t regions_verified = 0;
+  std::vector<CorruptRange> detected =
+      VerifyImageAgainstSidecar(sidecar, image_->base(), &regions_verified);
+  metrics_->counter("repair.load_verified_regions")->Add(regions_verified);
+  if (detected.empty()) return Status::OK();
+
+  ForensicsRecorder* forensics = protection_->forensics();
+  // Detection dossier before the repair touches anything: its hexdump is
+  // the only durable record of the corrupt bytes. (The codeword probe may
+  // report stale live-table values here — the table still describes the
+  // pre-load arena — which is accepted noise; the sidecar evidence is
+  // what located the damage.)
+  uint64_t detection_id = 0;
+  if (forensics != nullptr) {
+    char detail[128];
+    std::snprintf(detail, sizeof(detail),
+                  "checkpoint image %c failed parity-sidecar verification at "
+                  "load; attempting repair",
+                  which == 0 ? 'A' : 'B');
+    detection_id = forensics->RecordIncident(
+        IncidentSource::kCkptLoad, meta.ck_end, /*last_clean_audit_lsn=*/0,
+        detected, detail);
+  }
+
+  ImageRepairReport report;
+  RepairImageWithSidecar(sidecar, image_->base(), detected, /*apply=*/true,
+                         &report);
+  metrics_->counter("repair.load_repaired")->Add(report.repaired.size());
+  metrics_->counter("repair.load_unrepaired")->Add(report.unrepaired.size());
+  for (const CorruptRange& r : report.repaired) {
+    metrics_->trace().Record(TraceEventType::kRepair, meta.ck_end, r.off,
+                             r.len);
+  }
+  if (!report.repaired.empty() && forensics != nullptr) {
+    char detail[160];
+    std::snprintf(detail, sizeof(detail),
+                  "reconstructed %zu checkpoint-load region(s) in place from "
+                  "the parity sidecar (%zu beyond the correction budget)",
+                  report.repaired.size(), report.unrepaired.size());
+    ForensicsRecorder::IncidentExtras extras;
+    extras.linked_incident_id = detection_id;
+    extras.repair_deltas = report.repair_deltas;
+    forensics->RecordIncident(IncidentSource::kRepair, meta.ck_end,
+                              /*last_clean_audit_lsn=*/0, report.repaired,
+                              detail, extras);
+  }
+  if (!report.unrepaired.empty()) {
+    // Delete-transaction recovery presumes a clean checkpoint, so it cannot
+    // paper over this. The silent load is gone; what remains is loud.
+    return Status::Corruption(
+        "checkpoint image corrupt beyond parity correction budget");
+  }
+  return Status::OK();
 }
 
 }  // namespace cwdb

@@ -24,6 +24,13 @@ struct DbFiles {
   std::string CkptMeta(int which) const {
     return dir_ + (which == 0 ? "/ckpt_A.meta" : "/ckpt_B.meta");
   }
+  /// Parity sidecar snapshotted with each checkpoint image: the per-region
+  /// codewords + XOR parity columns the image was written under, used to
+  /// verify (and repair) the image bytes at load time. Stale/missing/torn
+  /// sidecars are ignored, never an error.
+  std::string CkptParity(int which) const {
+    return dir_ + (which == 0 ? "/ckpt_A.parity" : "/ckpt_B.parity");
+  }
   std::string Anchor() const { return dir_ + "/cur_ckpt"; }
   std::string CorruptNote() const { return dir_ + "/corrupt.note"; }
   std::string AuditMeta() const { return dir_ + "/audit.meta"; }
@@ -123,11 +130,19 @@ class Checkpointer {
   /// context (unsampled when the tracer is off).
   Status WriteDurable(int which, const std::vector<uint64_t>& pages,
                       const std::string& page_bytes, Lsn ck_end,
-                      std::string att_blob, bool certify,
+                      std::string att_blob, bool have_sidecar,
+                      const std::string& sidecar_blob, bool certify,
                       std::vector<CorruptRange>* corrupt,
                       const SpanContext& trace);
   Status WriteMeta(int which, const CheckpointMeta& meta);
   Result<CheckpointMeta> ReadMeta(int which) const;
+  /// Closes the DESIGN §8 hole: verifies the freshly-loaded arena bytes
+  /// against image `which`'s parity sidecar, repairs what the correction
+  /// budget covers (filing a linked detection + kRepair dossier pair), and
+  /// fails loudly (Corruption) only when damage exceeds the budget. A
+  /// missing, torn or stale sidecar means "no verification possible" and
+  /// returns OK.
+  Status VerifyLoadedImage(int which, const CheckpointMeta& meta);
 
   struct Instruments {
     Counter* checkpoints;

@@ -192,6 +192,18 @@ bool BackgroundAuditor::AuditSlice() {
               [](const CorruptRange& a, const CorruptRange& b) {
                 return a.off < b.off;
               });
+    // The codewords located the damage; before escalating to the fatal
+    // path, try the error-correcting tier. A full in-place repair means
+    // the arena is clean again: no corruption note, no callback, and the
+    // auditor keeps sweeping. The round still publishes nothing into the
+    // coverage map — the slice observed corrupt data, so it certifies
+    // nothing; the next pass over these regions does.
+    std::vector<CorruptRange> unrepaired;
+    if (db_->TryRepairRanges(corrupt, IncidentSource::kAudit, &unrepaired)) {
+      db_->metrics()->counter("auditor.repaired_rounds")->Add();
+      return false;
+    }
+    if (!unrepaired.empty()) corrupt = std::move(unrepaired);
     corruption_seen_.store(true);
     AuditReport report;
     report.clean = false;

@@ -137,6 +137,11 @@ Status Database::OpenImpl() {
       });
   forensics_->set_active_txns_fn([this] { return txns_->ActiveTxnIds(); });
   protection_->set_forensics(forensics_.get());
+  // A live in-place repair writes image bytes, so it must order against
+  // the checkpointer's copy phase like a prescribed update window.
+  ProtectionManager::RepairHooks hooks;
+  hooks.checkpoint_latch = &txns_->checkpoint_latch();
+  protection_->set_repair_hooks(hooks);
 
   // A damaged WAL tail (a complete frame failing its CRC — not explainable
   // as a torn append) is a detection in its own right: file the dossier
@@ -436,6 +441,23 @@ Status Database::CacheRecover(const std::vector<CorruptRange>& ranges) {
 
 Status Database::ReportCorruption(const std::vector<CorruptRange>& ranges) {
   return NoteCorruption(ranges);
+}
+
+bool Database::TryRepairRanges(const std::vector<CorruptRange>& ranges,
+                               IncidentSource source,
+                               std::vector<CorruptRange>* unrepaired) {
+  for (const CorruptRange& r : ranges) {
+    metrics_.NoteDetection(r.off, r.len);
+    metrics_.trace().Record(TraceEventType::kCorruptionDetected,
+                            log_->CurrentLsn(), r.off, r.len,
+                            shard_map_.ShardOf(r.off));
+  }
+  ProtectionManager::RepairEpisode episode;
+  bool ok = protection_->RepairWithForensics(
+      source, log_->CurrentLsn(), LastCleanAuditLsn(), ranges,
+      "corruption detected; attempting in-place parity repair", &episode);
+  if (unrepaired != nullptr) *unrepaired = episode.outcome.unrepaired;
+  return ok;
 }
 
 Status Database::RecoverFromCorruption(const std::vector<CorruptRange>& ranges,

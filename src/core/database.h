@@ -241,6 +241,17 @@ class Database {
   /// algorithm over it.
   Status ReportCorruption(const std::vector<CorruptRange>& ranges);
 
+  /// In-place error-correcting repair of detected-corrupt ranges from the
+  /// parity tier. Files a detection dossier (as `source`), attempts the
+  /// reconstruction, and on any success files a linked kRepair dossier.
+  /// Returns true when every range was repaired (the codewords re-verify
+  /// and no corruption note is needed); ranges beyond the correction
+  /// budget are returned through *unrepaired (may be null) and still need
+  /// delete-transaction recovery.
+  bool TryRepairRanges(const std::vector<CorruptRange>& ranges,
+                       IncidentSource source,
+                       std::vector<CorruptRange>* unrepaired = nullptr);
+
   /// Explicit corruption recovery for errors found by means other than a
   /// codeword audit (§4: "if other audit mechanisms ... are available to
   /// determine the location and a lower bound on the time of the error,

@@ -69,6 +69,8 @@ const char* IncidentSourceName(IncidentSource s) {
     case IncidentSource::kOperator: return "operator";
     case IncidentSource::kStallWatchdog: return "stall_watchdog";
     case IncidentSource::kSloBurn: return "slo_burn";
+    case IncidentSource::kRepair: return "repair";
+    case IncidentSource::kCkptLoad: return "ckpt_load";
   }
   return "unknown";
 }
@@ -86,6 +88,9 @@ std::string CorruptionIncident::ToJson() const {
   Appendf(&out, ",\"lsn\":%" PRIu64 ",\"last_clean_audit_lsn\":%" PRIu64
           ",\"detail\":", lsn, last_clean_audit_lsn);
   out.append(JsonQuote(detail));
+  if (linked_incident_id != 0) {
+    Appendf(&out, ",\"linked_incident_id\":%" PRIu64, linked_incident_id);
+  }
   out.append(",\"regions\":[");
   bool first = true;
   for (const IncidentRegion& r : regions) {
@@ -98,6 +103,9 @@ std::string CorruptionIncident::ToJson() const {
               ",\"codeword_stored\":%u,\"codeword_computed\":%u"
               ",\"codeword_delta\":%u",
               r.codeword_stored, r.codeword_computed, r.codeword_delta());
+    }
+    if (r.have_repair_delta) {
+      Appendf(&out, ",\"repair_delta\":%u", r.repair_delta);
     }
     if (!r.hexdump.empty()) {
       Appendf(&out, ",\"hexdump_off\":%" PRIu64 ",\"hexdump\":\"%s\"",
@@ -166,7 +174,16 @@ uint64_t ForensicsRecorder::next_id() const {
 uint64_t ForensicsRecorder::RecordIncident(
     IncidentSource source, uint64_t lsn, uint64_t last_clean_audit_lsn,
     const std::vector<CorruptRange>& ranges, std::string_view detail) {
+  return RecordIncident(source, lsn, last_clean_audit_lsn, ranges, detail,
+                        IncidentExtras());
+}
+
+uint64_t ForensicsRecorder::RecordIncident(
+    IncidentSource source, uint64_t lsn, uint64_t last_clean_audit_lsn,
+    const std::vector<CorruptRange>& ranges, std::string_view detail,
+    const IncidentExtras& extras) {
   CorruptionIncident inc;
+  inc.linked_incident_id = extras.linked_incident_id;
   inc.mono_ns = NowNs();
   inc.wall_ns = WallNowNs();
   if (metrics_ != nullptr) {
@@ -203,6 +220,10 @@ uint64_t ForensicsRecorder::RecordIncident(
     if (codeword_probe_) {
       r.have_codewords = codeword_probe_(r.range.off, &r.codeword_stored,
                                          &r.codeword_computed);
+    }
+    if (i < extras.repair_deltas.size()) {
+      r.have_repair_delta = true;
+      r.repair_delta = extras.repair_deltas[i];
     }
     inc.regions.push_back(std::move(r));
   }
@@ -290,6 +311,10 @@ std::string RenderIncident(const JsonValue& incident) {
           incident.Str("scheme").c_str(),
           Iso8601Utc(incident.U64("wall_ns")).c_str(), incident.U64("lsn"),
           incident.U64("last_clean_audit_lsn"));
+  if (incident.U64("linked_incident_id") != 0) {
+    Appendf(&out, "  linked to incident #%" PRIu64 "\n",
+            incident.U64("linked_incident_id"));
+  }
   std::string detail = incident.Str("detail");
   if (!detail.empty()) Appendf(&out, "  detail: %s\n", detail.c_str());
 
@@ -303,6 +328,10 @@ std::string RenderIncident(const JsonValue& incident) {
                 static_cast<unsigned>(r.U64("codeword_delta")),
                 static_cast<unsigned>(r.U64("codeword_stored")),
                 static_cast<unsigned>(r.U64("codeword_computed")));
+      }
+      if (r.Find("repair_delta") != nullptr) {
+        Appendf(&out, "  repaired delta=0x%08x",
+                static_cast<unsigned>(r.U64("repair_delta")));
       }
       out.push_back('\n');
       if (const JsonValue* attr = r.Find("attribution");

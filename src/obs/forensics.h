@@ -33,6 +33,8 @@ enum class IncidentSource : uint8_t {
   kOperator = 6,        ///< Filed manually (cwdb_ctl / API).
   kStallWatchdog = 7,   ///< Watchdog: a pipeline stage stopped progressing.
   kSloBurn = 8,         ///< SLO engine: an error budget is burning.
+  kRepair = 9,          ///< Parity tier reconstructed region(s) in place.
+  kCkptLoad = 10,       ///< Checkpoint-load sidecar verification mismatch.
 };
 
 const char* IncidentSourceName(IncidentSource s);
@@ -54,6 +56,12 @@ struct IncidentRegion {
 
   DbPtr hexdump_off = 0;     ///< Image offset of the first dumped byte.
   std::string hexdump;       ///< Lowercase hex, 2 chars/byte, no spacing.
+
+  /// kRepair dossiers: XOR of the region codeword before and after the
+  /// reconstruction — the codeword-space image of the bytes the repair
+  /// removed.
+  bool have_repair_delta = false;
+  codeword_t repair_delta = 0;
 };
 
 /// A structured corruption-incident dossier: the durable record of one
@@ -74,6 +82,9 @@ struct CorruptionIncident {
   std::vector<TxnId> active_txns;      ///< ATT at detection time.
   std::vector<TraceEvent> recent_events;  ///< Tail of the trace ring.
   std::string detail;       ///< Free-form context from the detection site.
+  /// Id of the incident this one continues (a kRepair dossier links back to
+  /// the detection dossier that triggered it). 0 = standalone.
+  uint64_t linked_incident_id = 0;
 
   /// Single-line JSON (the incidents.jsonl record format).
   std::string ToJson() const;
@@ -110,6 +121,14 @@ class ForensicsRecorder {
   }
   void set_active_txns_fn(ActiveTxnsFn fn) { active_txns_fn_ = std::move(fn); }
 
+  /// Optional extras a detection site can attach to a dossier.
+  struct IncidentExtras {
+    /// Links this dossier to an earlier one (repair -> detection).
+    uint64_t linked_incident_id = 0;
+    /// Per-range repair XOR deltas, parallel to `ranges` (kRepair only).
+    std::vector<codeword_t> repair_deltas;
+  };
+
   /// Assembles and durably appends a dossier. Returns the assigned id
   /// (also on persistence failure — the id is still burned and the failure
   /// is counted in obs.incident_append_failures).
@@ -117,6 +136,13 @@ class ForensicsRecorder {
                           uint64_t last_clean_audit_lsn,
                           const std::vector<CorruptRange>& ranges,
                           std::string_view detail);
+
+  /// Same, with extras (linked incident, repair deltas).
+  uint64_t RecordIncident(IncidentSource source, uint64_t lsn,
+                          uint64_t last_clean_audit_lsn,
+                          const std::vector<CorruptRange>& ranges,
+                          std::string_view detail,
+                          const IncidentExtras& extras);
 
   /// Id the next incident will get (1-based; seeded from the existing
   /// incidents.jsonl line count at construction).

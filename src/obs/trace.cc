@@ -22,13 +22,13 @@ const char* TraceEventTypeName(TraceEventType type) {
     case TraceEventType::kCheckpoint: return "checkpoint";
     case TraceEventType::kMprotectFault: return "mprotect_fault";
     case TraceEventType::kWalTailDamage: return "wal_tail_damage";
+    case TraceEventType::kRepair: return "repair";
   }
   return "?";
 }
 
 bool TraceEventTypeFromName(const std::string& name, TraceEventType* type) {
-  for (int i = 0; i <= static_cast<int>(TraceEventType::kWalTailDamage);
-       ++i) {
+  for (int i = 0; i <= static_cast<int>(TraceEventType::kRepair); ++i) {
     TraceEventType t = static_cast<TraceEventType>(i);
     if (name == TraceEventTypeName(t)) {
       *type = t;
@@ -46,6 +46,7 @@ std::string DescribeTraceEvent(const TraceEvent& e) {
     case TraceEventType::kCorruptionDetected:
     case TraceEventType::kPrecheckFailed:
     case TraceEventType::kMprotectFault:
+    case TraceEventType::kRepair:
       std::snprintf(buf, sizeof(buf), "off=%llu len=%llu",
                     static_cast<unsigned long long>(e.a),
                     static_cast<unsigned long long>(e.b));

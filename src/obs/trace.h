@@ -25,6 +25,8 @@ enum class TraceEventType : uint8_t {
   kWalTailDamage = 11,     ///< a=damage offset, b=file bytes — a complete
                            ///< WAL frame failed its CRC at open (not a torn
                            ///< tail: valid frames follow the bad one).
+  kRepair = 12,            ///< a=off, b=len — region reconstructed in place
+                           ///< from its parity group.
 };
 
 const char* TraceEventTypeName(TraceEventType type);

@@ -4,6 +4,7 @@
 #include <bit>
 #include <cinttypes>
 #include <cstdio>
+#include <cstring>
 #include <thread>
 
 #include "obs/forensics.h"
@@ -58,6 +59,10 @@ CodewordProtection::CodewordProtection(const ProtectionOptions& options,
   }
   validated_reads_ = metrics_->counter("protect.validated_reads");
   validated_fallbacks_ = metrics_->counter("protect.validated_fallbacks");
+  if (options.parity_group_regions >= 2) {
+    parity_ = std::make_unique<ParityTier>(shard_map_, options.region_size,
+                                           options.parity_group_regions);
+  }
 }
 
 Result<std::unique_ptr<ProtectionManager>> CodewordProtection::Create(
@@ -87,11 +92,13 @@ void CodewordProtection::RebuildAllShards() {
   for (auto& sh : shards_) {
     sh->codewords.RebuildAll(image_->base(), pool);
   }
+  if (parity_ != nullptr) parity_->RebuildAll(image_->base());
 }
 
 uint64_t CodewordProtection::SpaceOverheadBytes() const {
   uint64_t total = 0;
   for (const auto& sh : shards_) total += sh->codewords.space_overhead_bytes();
+  if (parity_ != nullptr) total += parity_->space_overhead_bytes();
   return total;
 }
 
@@ -163,6 +170,11 @@ void CodewordProtection::EndUpdate(const UpdateHandle& h,
     uint32_t chunk =
         static_cast<uint32_t>(std::min<uint64_t>(remaining, shard_end - pos));
     shards_[s]->codewords.ApplyDelta(pos, undo, image_->At(pos), chunk);
+    // The same delta feeds the parity column — the write path's entire
+    // cost for the error-correcting tier is this one extra fold.
+    if (parity_ != nullptr) {
+      parity_->ApplyDelta(pos, undo, image_->At(pos), chunk);
+    }
     pos += chunk;
     undo += chunk;
     remaining -= chunk;
@@ -232,41 +244,39 @@ Status CodewordProtection::PrecheckRead(DbPtr off, uint32_t len) {
   thread_local uint32_t precheck_sample = 0;
   const bool timed = (precheck_sample++ & 63) == 0;
   const uint64_t t0 = timed ? NowNs() : 0;
-  bool clean = true;
-  uint64_t bad_region = 0;
   for (uint64_t r = first; r <= last; ++r) {
     ins_.prechecks->Add();
     shards_[ShardOfRegion(r)]->prechecks->Add();
-    if (!RegionCleanForRead(r)) {
-      clean = false;
-      bad_region = r;
-      break;
-    }
-  }
-  if (timed) ins_.precheck_latency_ns->Record(NowNs() - t0);
-  if (!clean) {
-    // Read-time detection (§3.1): the read is refused before corrupt data
-    // can reach the transaction. Stamp the detection for latency
-    // accounting and the flight recorder.
-    ins_.precheck_failures->Add();
+    if (RegionCleanForRead(r)) continue;
+    // Read-time detection (§3.1). Stamp the detection for latency
+    // accounting and the flight recorder, then try to make the read
+    // succeed anyway: reconstruct the region from its parity group and
+    // re-verify. The dossier pair (detection + kRepair) is filed by
+    // RepairWithForensics after the latches are released — the dossier's
+    // codeword probe re-takes the failing region's latch.
     metrics_->NoteDetection(off, len);
     metrics_->trace().Record(TraceEventType::kPrecheckFailed, 0, off, len,
-                             ShardOfRegion(bad_region));
-    if (forensics_ != nullptr) {
-      // Filed after the latches are released: the dossier's codeword probe
-      // re-takes the failing region's latch.
-      char detail[96];
-      std::snprintf(detail, sizeof(detail),
-                    "read precheck refused read of [%" PRIu64 ",+%u)",
-                    static_cast<uint64_t>(off), len);
-      forensics_->RecordIncident(
-          IncidentSource::kReadPrecheck, /*lsn=*/0,
-          /*last_clean_audit_lsn=*/0,
-          {CorruptRange{RegionStart(bad_region), options_.region_size}},
-          detail);
+                             ShardOfRegion(r));
+    char detail[128];
+    std::snprintf(detail, sizeof(detail),
+                  "read precheck refused read of [%" PRIu64
+                  ",+%u); attempting parity repair",
+                  static_cast<uint64_t>(off), len);
+    std::vector<CorruptRange> ranges{
+        CorruptRange{RegionStart(r), options_.region_size}};
+    if (RepairWithForensics(IncidentSource::kReadPrecheck, /*lsn=*/0,
+                            /*last_clean_audit_lsn=*/0, ranges, detail,
+                            nullptr) &&
+        RegionCleanForRead(r)) {
+      continue;  // Repaired in place: the read proceeds transparently.
     }
+    // Beyond the correction budget: the read is refused before corrupt
+    // data can reach the transaction.
+    ins_.precheck_failures->Add();
+    if (timed) ins_.precheck_latency_ns->Record(NowNs() - t0);
     return Status::Corruption("read precheck failed: codeword mismatch");
   }
+  if (timed) ins_.precheck_latency_ns->Record(NowNs() - t0);
   return Status::OK();
 }
 
@@ -378,7 +388,133 @@ Status CodewordProtection::RecomputeRegions(DbPtr off, uint64_t len) {
       EpochAt(stripe).fetch_add(1, std::memory_order_release);
     }
   }
+  // The parity columns describe the same bytes the codewords do; an
+  // out-of-band image write (cache recovery) invalidates both.
+  if (parity_ != nullptr) parity_->RecomputeGroups(image_->base(), off, len);
   return Status::OK();
+}
+
+bool CodewordProtection::RepairRegionInPlace(uint64_t region,
+                                             codeword_t* delta) {
+  std::vector<uint64_t> members;
+  parity_->GroupMembers(region, &members);
+  // Every member's protection latch, exclusive, ascending global stripe
+  // order (the update path's own discipline, so this composes with it).
+  std::vector<size_t> stripes;
+  stripes.reserve(members.size());
+  for (uint64_t m : members) stripes.push_back(StripeOfRegion(m));
+  std::sort(stripes.begin(), stripes.end());
+  stripes.erase(std::unique(stripes.begin(), stripes.end()), stripes.end());
+  for (size_t s : stripes) ProtectionLatchAt(s).LockExclusive();
+
+  bool ok = false;
+  do {
+    bool region_bad = false;
+    uint64_t others_bad = 0;
+    for (uint64_t m : members) {
+      if (!VerifyRegion(m)) {
+        if (m == region) {
+          region_bad = true;
+        } else {
+          ++others_bad;
+        }
+      }
+    }
+    if (!region_bad && others_bad == 0) {
+      // Raced with another repairer, or the flag was stale: already clean.
+      *delta = 0;
+      ok = true;
+      break;
+    }
+    if (others_bad != 0) break;  // >= 2 corrupt regions: budget exceeded.
+    std::vector<uint8_t> recon(options_.region_size);
+    parity_->ReconstructRegion(image_->base(), region, recon.data());
+    CodewordTable& table = TableForRegion(region);
+    const codeword_t stored = table.Get(region);
+    if (CodewordCompute(recon.data(), options_.region_size) != stored) {
+      // The reconstruction fails the locator: the parity column itself is
+      // damaged (or a second, codeword-canceling corruption hides in the
+      // group). Fall back rather than write unverified bytes.
+      break;
+    }
+    const codeword_t computed = table.ComputeFromImage(image_->base(), region);
+    const size_t stripe = StripeOfRegion(region);
+    if (exclusive_updates_) {
+      // Odd epoch while the bytes are in flux, exactly like an update
+      // window, so optimistic prechecks discard what they saw.
+      EpochAt(stripe).fetch_add(1, std::memory_order_release);
+    }
+    std::memcpy(image_->base() + RegionStart(region), recon.data(),
+                options_.region_size);
+    if (exclusive_updates_) {
+      EpochAt(stripe).fetch_add(1, std::memory_order_release);
+    }
+    // The stored codeword and the parity column both already describe the
+    // restored bytes — neither needs a write. The image does: the repair
+    // must reach the next checkpoint.
+    image_->MarkDirty(RegionStart(region), options_.region_size);
+    *delta = computed ^ stored;
+    ok = true;
+  } while (false);
+
+  for (auto it = stripes.rbegin(); it != stripes.rend(); ++it) {
+    ProtectionLatchAt(*it).UnlockExclusive();
+  }
+  return ok;
+}
+
+Status CodewordProtection::TryRepair(const std::vector<CorruptRange>& ranges,
+                                     RepairOutcome* outcome) {
+  if (parity_ == nullptr) {
+    outcome->unrepaired = ranges;
+    return Status::OK();
+  }
+  // A repair writes image bytes, so it must order against the
+  // checkpointer's copy phase like any prescribed update window does.
+  Latch* ck = repair_hooks_.checkpoint_latch;
+  if (ck != nullptr) ck->LockShared();
+  std::vector<uint64_t> regions;
+  for (const CorruptRange& range : ranges) {
+    if (range.len == 0) continue;
+    uint64_t first = RegionOf(range.off);
+    uint64_t last = RegionOf(range.off + range.len - 1);
+    for (uint64_t r = first; r <= last; ++r) regions.push_back(r);
+  }
+  std::sort(regions.begin(), regions.end());
+  regions.erase(std::unique(regions.begin(), regions.end()), regions.end());
+  for (uint64_t r : regions) {
+    codeword_t delta = 0;
+    if (RepairRegionInPlace(r, &delta)) {
+      outcome->repaired.push_back(
+          CorruptRange{RegionStart(r), options_.region_size});
+      outcome->repair_deltas.push_back(delta);
+    } else {
+      outcome->unrepaired.push_back(
+          CorruptRange{RegionStart(r), options_.region_size});
+    }
+  }
+  if (ck != nullptr) ck->UnlockShared();
+  return Status::OK();
+}
+
+bool CodewordProtection::SnapshotSidecar(uint64_t ck_end, std::string* blob) {
+  if (parity_ == nullptr) return false;
+  ParitySidecar s;
+  s.ck_end = ck_end;
+  s.arena_size = image_->size();
+  s.region_size = options_.region_size;
+  s.group_regions = parity_->group_regions();
+  for (size_t i = 0; i < shard_map_.shard_count(); ++i) {
+    s.shards.emplace_back(shard_map_.ShardStart(i), shard_map_.ShardLen(i));
+  }
+  const uint64_t region_count = image_->size() >> region_shift_;
+  s.codewords.resize(region_count);
+  for (uint64_t r = 0; r < region_count; ++r) {
+    s.codewords[r] = TableForRegion(r).Get(r);
+  }
+  parity_->AppendColumns(&s.columns);
+  *blob = EncodeParitySidecar(s);
+  return true;
 }
 
 }  // namespace cwdb

@@ -9,6 +9,7 @@
 #include "common/latch.h"
 #include "common/parallel.h"
 #include "protect/codeword_table.h"
+#include "protect/parity_repair.h"
 #include "protect/protection.h"
 #include "storage/shard_map.h"
 
@@ -62,8 +63,15 @@ class CodewordProtection : public ProtectionManager {
   bool RegionCodewords(DbPtr off, codeword_t* stored,
                        codeword_t* computed) override;
   uint64_t SpaceOverheadBytes() const override;
+  bool CanRepair() const override { return parity_ != nullptr; }
+  Status TryRepair(const std::vector<CorruptRange>& ranges,
+                   RepairOutcome* outcome) override;
+  bool SnapshotSidecar(uint64_t ck_end, std::string* blob) override;
 
   const ShardMap& shard_map() const { return shard_map_; }
+  /// The error-correcting tier (null when parity_group_regions == 0 in the
+  /// options).
+  const ParityTier* parity() const { return parity_.get(); }
   /// Reads that verified a region without touching a latch / that gave up
   /// and took the latch (tests, bench).
   uint64_t validated_reads() const { return validated_reads_->Value(); }
@@ -163,6 +171,16 @@ class CodewordProtection : public ProtectionManager {
   /// Rebuilds every shard's table from the image (Create/ResetFromImage).
   void RebuildAllShards();
 
+  /// In-place reconstruction of one flagged region from its parity group.
+  /// Takes every member region's protection latch exclusively (ascending
+  /// global stripe order) — that alone excludes concurrent folds into the
+  /// group's column, so no group mutex is needed and the lock order stays
+  /// checkpoint latch -> protection latch -> {codeword latch, group mutex}.
+  /// On success *delta is the XOR of the region codeword computed from the
+  /// corrupt bytes and from the reconstruction. Caller must hold no
+  /// latches.
+  bool RepairRegionInPlace(uint64_t region, codeword_t* delta);
+
   /// Sweep pool for RebuildAll / AuditAll partitions, created on first use
   /// (never created when options.sweep_threads == 1). Lanes only ever run
   /// whole-region work under the region's own protection latch, so pool
@@ -175,6 +193,7 @@ class CodewordProtection : public ProtectionManager {
   ShardMap shard_map_;
   size_t stripes_per_shard_;
   std::vector<std::unique_ptr<Shard>> shards_;
+  std::unique_ptr<ParityTier> parity_;  ///< Null when the tier is disabled.
 
   Counter* validated_reads_;
   Counter* validated_fallbacks_;

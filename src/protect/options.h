@@ -57,6 +57,17 @@ struct ProtectionOptions {
   /// coincide with the storage shard map.
   uint64_t shard_align = 0;
 
+  /// Regions per XOR parity group of the error-correcting repair tier.
+  /// Every group of this many consecutive regions (within one shard)
+  /// carries one parity column of region_size bytes, maintained from the
+  /// same deltas that feed the codeword table; a single corrupt region per
+  /// group can be reconstructed in place instead of falling back to
+  /// delete-transaction recovery. 0 disables the tier. Space overhead is
+  /// roughly region_size / (group * region_size) = 1/group of the arena
+  /// (~1.6% at the default 64), plus one extra XOR fold per update.
+  /// Only meaningful for codeword schemes.
+  uint32_t parity_group_regions = 64;
+
   /// Worker lanes for the bulk codeword sweeps — full-image rebuilds
   /// (checkpoint load / recovery) and AuditAll / parallel audit slices.
   /// Regions are independent, so the sweeps partition embarrassingly.

@@ -1,6 +1,10 @@
 #include "protect/protection.h"
 
+#include <cinttypes>
+#include <cstdio>
+
 #include "common/codeword.h"
+#include "obs/forensics.h"
 #include "protect/codeword_protection.h"
 #include "protect/hardware_protection.h"
 
@@ -40,6 +44,10 @@ ProtectionManager::ProtectionManager(const ProtectionOptions& options,
   ins_.fold_latency_ns = metrics_->histogram("protect.fold_latency_ns");
   ins_.precheck_latency_ns =
       metrics_->histogram("protect.precheck_latency_ns");
+  ins_.repair_attempts = metrics_->counter("repair.attempts");
+  ins_.repair_success = metrics_->counter("repair.success");
+  ins_.repair_failed = metrics_->counter("repair.failed");
+  ins_.repair_latency_ns = metrics_->histogram("repair.latency_ns");
   // Pre-register so every snapshot carries the histogram (empty until a
   // fault is detected) — the stats schema shouldn't depend on whether an
   // injection campaign ran.
@@ -84,6 +92,52 @@ class NoProtection : public ProtectionManager {
 };
 
 }  // namespace
+
+bool ProtectionManager::RepairWithForensics(
+    IncidentSource source, uint64_t lsn, uint64_t last_clean_audit_lsn,
+    const std::vector<CorruptRange>& ranges, std::string_view detail,
+    RepairEpisode* episode) {
+  RepairEpisode local;
+  RepairEpisode* ep = episode != nullptr ? episode : &local;
+  *ep = RepairEpisode();
+  // The detection dossier is filed before anything touches the image: its
+  // hexdump captures the bytes as found, and a repair would destroy that
+  // evidence.
+  if (forensics_ != nullptr) {
+    ep->detection_incident = forensics_->RecordIncident(
+        source, lsn, last_clean_audit_lsn, ranges, detail);
+  }
+  if (!CanRepair()) {
+    ep->outcome.unrepaired = ranges;
+    return false;
+  }
+  ins_.repair_attempts->Add();
+  uint64_t t0 = NowNs();
+  Status s = TryRepair(ranges, &ep->outcome);
+  ins_.repair_latency_ns->Record(NowNs() - t0);
+  ep->fully_repaired = s.ok() && ep->outcome.unrepaired.empty();
+  ins_.repair_success->Add(ep->outcome.repaired.size());
+  ins_.repair_failed->Add(ep->outcome.unrepaired.size());
+  for (const CorruptRange& r : ep->outcome.repaired) {
+    metrics_->trace().Record(TraceEventType::kRepair, lsn, r.off, r.len);
+  }
+  if (!ep->outcome.repaired.empty() && forensics_ != nullptr) {
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "reconstructed %zu region(s) in place from parity "
+                  "(%zu beyond the correction budget)",
+                  ep->outcome.repaired.size(),
+                  ep->outcome.unrepaired.size());
+    ForensicsRecorder::IncidentExtras extras;
+    extras.linked_incident_id = ep->detection_incident;
+    extras.repair_deltas = ep->outcome.repair_deltas;
+    ep->repair_incident =
+        forensics_->RecordIncident(IncidentSource::kRepair, lsn,
+                                   last_clean_audit_lsn,
+                                   ep->outcome.repaired, buf, extras);
+  }
+  return ep->fully_repaired;
+}
 
 codeword_t ProtectionManager::ChecksumBytes(const DbImage& image, DbPtr off,
                                             uint32_t len) {

@@ -2,6 +2,8 @@
 #define CWDB_PROTECT_PROTECTION_H_
 
 #include <memory>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/codeword.h"
@@ -15,6 +17,8 @@
 namespace cwdb {
 
 class ForensicsRecorder;
+class Latch;
+enum class IncidentSource : uint8_t;
 
 /// Hook points of the prescribed update interface. The transaction layer
 /// calls BeginUpdate / EndUpdate (or AbortUpdate) around every in-place
@@ -126,6 +130,72 @@ class ProtectionManager {
   void set_forensics(ForensicsRecorder* forensics) { forensics_ = forensics; }
   ForensicsRecorder* forensics() const { return forensics_; }
 
+  /// What one in-place repair attempt did. `repair_deltas[i]` is the XOR of
+  /// `repaired[i]`'s codeword before and after reconstruction — the
+  /// codeword-space image of the corruption the repair removed.
+  struct RepairOutcome {
+    std::vector<CorruptRange> repaired;    ///< Ascending offset order.
+    std::vector<CorruptRange> unrepaired;  ///< Beyond the correction budget.
+    std::vector<codeword_t> repair_deltas; ///< Parallel to `repaired`.
+  };
+
+  /// The linked dossier pair one RepairWithForensics call files.
+  struct RepairEpisode {
+    uint64_t detection_incident = 0;  ///< Dossier of the bytes as found.
+    uint64_t repair_incident = 0;     ///< kRepair dossier (0 = none filed).
+    RepairOutcome outcome;
+    bool fully_repaired = false;
+  };
+
+  /// Engine latches a live repair must respect, installed by the owning
+  /// Database. The checkpoint latch (taken shared) orders the repair's
+  /// image write against the checkpointer's exclusive copy phase, exactly
+  /// like a prescribed update window. Null entries are skipped — standalone
+  /// managers (tests, cwdb_ctl cold images) repair without them.
+  struct RepairHooks {
+    Latch* checkpoint_latch = nullptr;
+  };
+  void set_repair_hooks(const RepairHooks& hooks) { repair_hooks_ = hooks; }
+
+  /// True when the scheme maintains an error-correcting parity tier and can
+  /// attempt in-place reconstruction of flagged regions.
+  virtual bool CanRepair() const { return false; }
+
+  /// Attempts in-place reconstruction of the given corrupt ranges. Every
+  /// input range lands in outcome->repaired or outcome->unrepaired; image
+  /// bytes are only modified for repaired ranges, and only with
+  /// reconstructions that re-verified against the stored codeword. Default:
+  /// nothing is repairable.
+  virtual Status TryRepair(const std::vector<CorruptRange>& ranges,
+                           RepairOutcome* outcome) {
+    outcome->unrepaired = ranges;
+    return Status::OK();
+  }
+
+  /// Serializes the codeword table + parity columns into the checkpoint
+  /// sidecar format (protect/parity_repair.h), stamped with `ck_end`.
+  /// Returns false when the scheme keeps no parity tier. Caller must hold
+  /// the checkpoint latch exclusively (the copy phase), which quiesces
+  /// every update window.
+  virtual bool SnapshotSidecar(uint64_t ck_end, std::string* blob) {
+    (void)ck_end;
+    (void)blob;
+    return false;
+  }
+
+  /// The detect→locate→repair driver every detection path funnels through:
+  /// files a detection dossier for `ranges` *before* touching the bytes
+  /// (the dossier's hexdump is the only record of the corrupt state), runs
+  /// TryRepair, and files a linked kRepair dossier for whatever was
+  /// reconstructed. Returns true when every range was repaired — the caller
+  /// may then proceed as if the corruption never happened; false means fall
+  /// back to delete-transaction recovery with episode->outcome.unrepaired.
+  /// `episode` may be null.
+  bool RepairWithForensics(IncidentSource source, uint64_t lsn,
+                           uint64_t last_clean_audit_lsn,
+                           const std::vector<CorruptRange>& ranges,
+                           std::string_view detail, RepairEpisode* episode);
+
   /// Recomputes the codeword of the bytes at [off, off+len) in `image`
   /// *without* consulting the stored table — used by recovery to evaluate
   /// logged read checksums against a recovered image. Folds from lane 0.
@@ -151,6 +221,10 @@ class ProtectionManager {
     Counter* pages_unprotected;
     Histogram* fold_latency_ns;      ///< Sampled 1-in-64.
     Histogram* precheck_latency_ns;  ///< Sampled 1-in-64.
+    Counter* repair_attempts;        ///< RepairWithForensics invocations.
+    Counter* repair_success;         ///< Regions reconstructed in place.
+    Counter* repair_failed;          ///< Regions beyond the budget.
+    Histogram* repair_latency_ns;    ///< Per TryRepair call.
   };
 
   ProtectionManager(const ProtectionOptions& options, DbImage* image,
@@ -161,6 +235,7 @@ class ProtectionManager {
   std::unique_ptr<MetricsRegistry> own_metrics_;
   MetricsRegistry* metrics_;
   ForensicsRecorder* forensics_ = nullptr;
+  RepairHooks repair_hooks_;
   Instruments ins_;
 };
 

@@ -328,12 +328,14 @@ Status ExecuteLogicalUndo(TxnManager& mgr, Transaction* txn,
 
     case UndoCode::kDeleteSlot: {
       // Undo of insert. Idempotent: slot already free means a prior
-      // (crashed) execution completed.
-      if (!image->SlotAllocated(undo.table, undo.slot)) return Status::OK();
+      // (crashed) execution completed. The probe must run under the table
+      // lock — concurrent inserts write the same bitmap word under it, so
+      // an unlocked read here would race them.
       const TableMetaRaw* meta = image->table_meta(undo.table);
       LockId table_lock = LockId::Table(undo.table);
       CWDB_RETURN_IF_ERROR(
           AcquireLock(mgr, txn, table_lock, LockMode::kExclusive));
+      if (!image->SlotAllocated(undo.table, undo.slot)) return Status::OK();
       std::string old(
           reinterpret_cast<const char*>(
               image->At(image->RecordOff(undo.table, undo.slot))),

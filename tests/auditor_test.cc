@@ -19,6 +19,18 @@
 namespace cwdb {
 namespace {
 
+/// Image offset of a *different* region in the same parity group as `off`
+/// (fixture geometry: 512-byte regions, default 64-region groups).
+/// Corrupting both exceeds the repair tier's one-region-per-group budget,
+/// so the auditor must fall back to the detection callback instead of
+/// silently reconstructing the damage in place.
+DbPtr SameGroupSibling(DbPtr off) {
+  constexpr uint64_t kRegion = 512, kGroup = 64;
+  uint64_t r = off / kRegion;
+  uint64_t sib = (r % kGroup != kGroup - 1) ? r + 1 : r - 1;
+  return sib * kRegion;
+}
+
 class AuditorTest : public ::testing::Test {
  protected:
   void SetUp() override {
@@ -80,9 +92,13 @@ TEST_F(AuditorTest, DetectsInjectedCorruptionAndFiresCallback) {
   auditor.Start();
   auditor.WaitForFullSweep();  // Let it establish a clean baseline.
 
+  // Two corrupt regions in one parity group: past the repair tier's
+  // correction budget, so the sweep must surface the damage instead of
+  // fixing it in place.
   FaultInjector inject(db_.get(), 9);
   DbPtr off = db_->image()->RecordOff(table_, 50);
   inject.WildWriteAt(off, "ASYNC CORRUPTION");
+  inject.WildWriteAt(SameGroupSibling(off) + 16, "ASYNC CORRUPTION");
 
   // Bounded detection latency: within ~one sweep.
   auditor.WaitForFullSweep();
@@ -95,14 +111,47 @@ TEST_F(AuditorTest, DetectsInjectedCorruptionAndFiresCallback) {
   EXPECT_TRUE(FileExists(files.CorruptNote()));
 }
 
+TEST_F(AuditorTest, LoneCorruptionIsRepairedInPlaceWithoutCallback) {
+  // A single corrupt region per parity group is within the repair tier's
+  // correction budget: the sweep reconstructs it in place, re-audits, and
+  // never escalates to the corruption callback.
+  std::atomic<bool> fired{false};
+  BackgroundAuditor auditor(db_.get(), FastOptions(),
+                            [&](const AuditReport&) { fired = true; });
+  auditor.Start();
+  auditor.WaitForFullSweep();
+  FaultInjector inject(db_.get(), 12);
+  ASSERT_TRUE(
+      inject.WildWriteAt(db_->image()->RecordOff(table_, 50), "wild@r1te")
+          .changed_bits);
+  auditor.WaitForFullSweep();
+  auditor.WaitForFullSweep();  // At least one full sweep past the repair.
+  auditor.Stop();
+  EXPECT_FALSE(fired.load());
+  EXPECT_GE(db_->metrics()->counter("repair.success")->Value(), 1u);
+
+  auto audit = db_->Audit();
+  ASSERT_TRUE(audit.ok());
+  EXPECT_TRUE(audit->clean);
+  auto txn = db_->Begin();
+  std::string got;
+  ASSERT_OK(db_->Read(*txn, table_, 50, &got));
+  EXPECT_EQ(got, std::string(100, 'a'));
+  ASSERT_OK(db_->Commit(*txn));
+}
+
 TEST_F(AuditorTest, CallbackDrivenRecoveryRoundTrip) {
   std::atomic<bool> fired{false};
   BackgroundAuditor auditor(db_.get(), FastOptions(),
                             [&](const AuditReport&) { fired = true; });
   auditor.Start();
   auditor.WaitForFullSweep();
+  // Exceed the correction budget so the callback-driven recovery path runs
+  // rather than an in-place repair.
   FaultInjector inject(db_.get(), 10);
-  inject.WildWriteAt(db_->image()->RecordOff(table_, 7), "ZAP");
+  DbPtr off = db_->image()->RecordOff(table_, 7);
+  inject.WildWriteAt(off, "ZAP");
+  inject.WildWriteAt(SameGroupSibling(off) + 8, "ZAP");
   auditor.WaitForFullSweep();
   auditor.Stop();
   ASSERT_TRUE(fired.load());
@@ -186,8 +235,12 @@ TEST_F(ParallelAuditorTest, DetectsInjectedCorruptionAcrossLanes) {
   auditor.Start();
   auditor.WaitForFullSweep();
 
+  // Over-budget damage (two regions, one group) so the parallel lanes
+  // must report it rather than repair it away.
   FaultInjector inject(db_.get(), 21);
-  inject.WildWriteAt(db_->image()->RecordOff(table_, 50), "LANE CORRUPTION");
+  DbPtr off = db_->image()->RecordOff(table_, 50);
+  inject.WildWriteAt(off, "LANE CORRUPTION");
+  inject.WildWriteAt(SameGroupSibling(off) + 32, "LANE CORRUPTION");
 
   auditor.WaitForFullSweep();
   auditor.Stop();
@@ -271,7 +324,7 @@ TEST(ScanTest, CallbackErrorStopsScan) {
   ASSERT_OK((*db)->Commit(*txn));
 }
 
-TEST(ScanTest, PrecheckedScanRefusesCorruptRecord) {
+TEST(ScanTest, PrecheckedScanRepairsCorruptRecordInPlace) {
   TempDir dir;
   auto db = Database::Open(
       SmallDbOptions(dir.path(), ProtectionScheme::kReadPrecheck, 128));
@@ -285,14 +338,25 @@ TEST(ScanTest, PrecheckedScanRefusesCorruptRecord) {
   ASSERT_OK((*db)->Commit(*txn));
 
   FaultInjector inject(db->get(), 3);
-  inject.WildWriteAt((*db)->image()->RecordOff(*t, 2), "BAD");
+  ASSERT_TRUE(
+      inject.WildWriteAt((*db)->image()->RecordOff(*t, 2), "BAD").changed_bits);
 
+  // The scan's precheck detects the lone corrupt region and repairs it
+  // from its parity group in place: every record comes back intact.
   txn = (*db)->Begin();
-  Status s = (*db)->Scan(*txn, *t, [](uint32_t, Slice) {
+  int seen = 0;
+  Status s = (*db)->Scan(*txn, *t, [&](uint32_t, Slice data) {
+    EXPECT_EQ(data.ToString(), std::string(128, 's'));
+    ++seen;
     return Status::OK();
   });
-  EXPECT_TRUE(s.IsCorruption());
+  EXPECT_OK(s);
+  EXPECT_EQ(seen, 4);
+  EXPECT_GE((*db)->metrics()->counter("repair.success")->Value(), 1u);
   ASSERT_OK((*db)->Abort(*txn));
+  auto audit = (*db)->Audit();
+  ASSERT_TRUE(audit.ok());
+  EXPECT_TRUE(audit->clean);
 }
 
 // ---------- Concurrent TPC-B extension ----------

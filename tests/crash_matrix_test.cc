@@ -104,6 +104,28 @@ TEST(CrashMatrix, MetaBitFlipIsDetected) {
                    "meta.bitflip");
 }
 
+/// A bit flip in a checkpoint *page* write was the documented undetected
+/// fault (DESIGN §8): the certification audit sees the in-memory image and
+/// the page write carried no disk checksum, so the flipped byte silently
+/// became durable. The parity sidecar closes the hole: at the next load
+/// the flipped region fails sidecar verification and is reconstructed in
+/// place, so every harness invariant — byte-exact records, atomicity, and
+/// the clean full audit — must now hold wherever in the checkpoint stream
+/// the flip lands. (A flip that hits the image header still surfaces as a
+/// clean Corruption diagnosis at reopen, which the harness accepts for
+/// bit-flip cases.)
+TEST(CrashMatrix, CkptPageBitFlipSweepIsRepairedAtLoad) {
+  for (uint32_t countdown : {1u, 2u, 3u, 4u, 5u, 8u, 13u}) {
+    TempDir dir;
+    CaseSpec spec = MakeSpec("ckpt.page.pwrite", Mode::kBitFlip);
+    spec.countdown = countdown;
+    ExpectCasePasses(dir, spec,
+                     "ckpt.page.bitflip.cd" + std::to_string(countdown));
+    ASSERT_FALSE(::testing::Test::HasFatalFailure())
+        << "countdown " << countdown;
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Regression: a checkpoint that fails after clearing its image's dirty bits
 // must restore them. Before the fix, the failed attempt left the bits

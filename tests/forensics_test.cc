@@ -1,9 +1,10 @@
 // Corruption-forensics tests: every detection path must file a structured
 // incident dossier into incidents.jsonl (with attribution, codeword
 // evidence and the note linkage), delete-transaction recovery must emit a
-// provenance graph explaining each deleted transaction, and — just as
-// important — the one documented *undetected* fault (DESIGN §8's
-// checkpoint-page bit flip) must NOT produce a false dossier.
+// provenance graph explaining each deleted transaction, and the once-
+// undetected fault of DESIGN §8 — a checkpoint-page bit flip on disk — is
+// now caught at load by the parity sidecar, repaired in place, and filed
+// as a linked detection + repair dossier pair.
 
 #include <algorithm>
 #include <string>
@@ -149,9 +150,16 @@ TEST(Forensics, ReadPrecheckRefusalFilesDossier) {
   Fixture f = Fixture::Build(dir.path(), ProtectionScheme::kReadPrecheck);
   ASSERT_NE(f.db, nullptr);
 
+  // Corrupt the victim's region *and* a sibling region in the same
+  // 64-region parity group: over the repair tier's correction budget, so
+  // the precheck refuses the read (a lone corrupt region would be
+  // reconstructed in place and the read would succeed).
   FaultInjector inject(f.db.get(), 11);
   DbPtr victim = f.db->image()->RecordOff(f.table, f.slots[2]);
+  uint64_t r = victim / 512;
+  uint64_t sib = (r % 64 != 63) ? r + 1 : r - 1;
   inject.WildWriteAt(victim, "clobbered");
+  ASSERT_TRUE(inject.WildWriteAt(sib * 512 + 8, "clobbered").changed_bits);
 
   auto txn = f.db->Begin();
   ASSERT_TRUE(txn.ok());
@@ -336,12 +344,14 @@ TEST(Forensics, WalBitFlipFilesWalCrcDossier) {
             std::string::npos);
 }
 
-// The other §8 carve-out, inverted: a bit flip in a checkpoint page is
-// documented as NOT detected (certification audits the in-memory image;
-// the page write carries no disk checksum). Reopening from the flipped
-// image must succeed and must NOT fabricate an incident — no detection
-// path fired, so no dossier may claim one did.
-TEST(Forensics, UndetectedCheckpointPageFlipFilesNoDossier) {
+// The §8 hole, closed: a bit flip in a checkpoint page used to be
+// undetected (certification audits the in-memory image; the page write
+// carried no disk checksum). The parity sidecar now verifies the loaded
+// image bytes: the flip is detected at checkpoint load, reconstructed in
+// place from the group's parity column, and filed as a linked detection +
+// repair dossier pair — no transaction is deleted and the repaired data
+// reads back byte-identical.
+TEST(Forensics, CheckpointPageFlipIsDetectedAndRepairedAtLoad) {
   TempDir dir;
   DbPtr victim = 0;
   {
@@ -366,11 +376,33 @@ TEST(Forensics, UndetectedCheckpointPageFlipFilesNoDossier) {
   auto db = Database::Open(
       SmallDbOptions(dir.path(), ProtectionScheme::kDataCodeword));
   ASSERT_TRUE(db.ok()) << db.status().ToString();
+  // Repaired in place: nothing for the delete-transaction algorithm to do.
   EXPECT_TRUE((*db)->last_recovery_report().deleted_txns.empty());
 
   std::vector<JsonValue> incidents = LoadIncidents(dir.path());
-  EXPECT_TRUE(incidents.empty())
-      << "false dossier: " << incidents[0].Str("source");
+  const JsonValue* detect = FindBySource(incidents, "ckpt_load");
+  ASSERT_NE(detect, nullptr) << "checkpoint-load verification did not fire";
+  const JsonValue* repair = FindBySource(incidents, "repair");
+  ASSERT_NE(repair, nullptr) << "parity repair did not file a dossier";
+  EXPECT_EQ(repair->U64("linked_incident_id"), detect->U64("id"));
+  ASSERT_EQ(repair->Find("regions")->array().size(), 1u);
+  const JsonValue& region = repair->Find("regions")->array()[0];
+  EXPECT_LE(region.U64("off"), victim);
+  EXPECT_GT(region.U64("off") + region.U64("len"), victim);
+  EXPECT_NE(region.U64("repair_delta"), 0u);  // The flip, in codeword space.
+
+  // The repaired bytes read back exactly as committed, and a full audit
+  // over the loaded arena is clean.
+  auto txn = (*db)->Begin();
+  ASSERT_TRUE(txn.ok());
+  std::string rec;
+  TableId table = *(*db)->FindTable("acct");
+  ASSERT_OK((*db)->Read(*txn, table, 1, &rec));
+  EXPECT_EQ(rec, std::string(64, 'b'));
+  ASSERT_OK((*db)->Commit(*txn));
+  auto audit = (*db)->Audit();
+  ASSERT_TRUE(audit.ok());
+  EXPECT_TRUE(audit->clean);
 }
 
 }  // namespace

@@ -218,8 +218,13 @@ INSTANTIATE_TEST_SUITE_P(
 
 TEST(ReadPrecheck, CorruptReadIsRefused) {
   TempDir dir;
-  auto db = Database::Open(
-      SmallDbOptions(dir.path(), ProtectionScheme::kReadPrecheck, 128));
+  DatabaseOptions opts =
+      SmallDbOptions(dir.path(), ProtectionScheme::kReadPrecheck, 128);
+  // 32, not the default 64: the repair attempt this test provokes holds
+  // every member region's protection latch at once, and TSan's deadlock
+  // detector aborts the process past 64 simultaneously held locks.
+  opts.protection.parity_group_regions = 32;
+  auto db = Database::Open(opts);
   ASSERT_TRUE(db.ok());
   auto txn = (*db)->Begin();
   auto t = (*db)->CreateTable(*txn, "t", 128, 16);
@@ -228,9 +233,18 @@ TEST(ReadPrecheck, CorruptReadIsRefused) {
   ASSERT_TRUE(rid.ok());
   ASSERT_OK((*db)->Commit(*txn));
 
+  // A lone corrupt region would be repaired in place by the parity tier
+  // and the read would succeed; corrupt a *second* region in the same
+  // parity group so the damage exceeds the correction budget and the
+  // precheck must refuse the read. The sibling is picked two regions away
+  // so the fresh insert below (slot 1, one region over at this 128-byte
+  // record size) stays clean.
   DbPtr off = (*db)->image()->RecordOff(*t, rid->slot);
+  uint64_t r = off / 128;
+  uint64_t sib = (r % 32 <= 29) ? r + 2 : r - 2;
   FaultInjector inject(db->get(), 3);
   inject.WildWriteAt(off + 4, "XX");
+  ASSERT_TRUE(inject.WildWriteAt(sib * 128 + 4, "XX").changed_bits);
 
   txn = (*db)->Begin();
   std::string got;
@@ -248,8 +262,11 @@ TEST(ReadPrecheck, CorruptReadIsRefused) {
 
 TEST(ReadPrecheck, CacheRecoveryRepairsRegionInPlace) {
   TempDir dir;
-  auto db = Database::Open(
-      SmallDbOptions(dir.path(), ProtectionScheme::kReadPrecheck, 128));
+  DatabaseOptions opts =
+      SmallDbOptions(dir.path(), ProtectionScheme::kReadPrecheck, 128);
+  // 32-region groups for the same TSan held-locks reason as above.
+  opts.protection.parity_group_regions = 32;
+  auto db = Database::Open(opts);
   ASSERT_TRUE(db.ok());
   auto txn = (*db)->Begin();
   auto t = (*db)->CreateTable(*txn, "t", 128, 16);
@@ -264,9 +281,15 @@ TEST(ReadPrecheck, CacheRecoveryRepairsRegionInPlace) {
   ASSERT_OK((*db)->Update(*txn, *t, rid->slot, 0, "NEWVAL"));
   ASSERT_OK((*db)->Commit(*txn));
 
+  // Two corrupt regions in one parity group: past the in-place repair
+  // budget, so the read is refused and the cache-recovery path below is
+  // what heals the image.
   DbPtr off = (*db)->image()->RecordOff(*t, rid->slot);
+  uint64_t r = off / 128;
+  uint64_t sib = (r % 32 <= 29) ? r + 2 : r - 2;
   FaultInjector inject(db->get(), 4);
   inject.WildWriteAt(off + 2, "??");
+  ASSERT_TRUE(inject.WildWriteAt(sib * 128 + 2, "??").changed_bits);
 
   txn = (*db)->Begin();
   std::string got;
@@ -410,11 +433,17 @@ TEST(CodewordLimits, CancellingWildWritesEscapeDetection) {
 TEST(ProtectionStats, SpaceOverheadMatchesRegionSize) {
   TempDir dir;
   for (uint32_t region : {64u, 512u, 8192u}) {
-    auto db = Database::Open(SmallDbOptions(
+    DatabaseOptions opts = SmallDbOptions(
         dir.path() + "/r" + std::to_string(region),
-        ProtectionScheme::kDataCodeword, region));
+        ProtectionScheme::kDataCodeword, region);
+    auto db = Database::Open(opts);
     ASSERT_TRUE(db.ok());
-    uint64_t expected = (4ull << 20) / region * sizeof(codeword_t);
+    // One codeword per region, plus one region-sized XOR parity column
+    // per parity group (the error-correcting repair tier).
+    uint64_t regions = (4ull << 20) / region;
+    uint64_t group = opts.protection.parity_group_regions;
+    uint64_t expected =
+        regions * sizeof(codeword_t) + (regions + group - 1) / group * region;
     EXPECT_EQ((*db)->GetStats().protection_space_overhead_bytes, expected);
   }
 }

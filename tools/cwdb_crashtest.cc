@@ -7,9 +7,10 @@
 //
 //   cwdb_crashtest <workdir> [--seed N] [--iters N]
 //                  [--point NAME] [--mode abort|eio|torn|bitflip]
+//                  [--countdown N]
 //
-// With --point (and optionally --mode) only that case runs — the way to
-// reproduce a single failure from a sweep.
+// With --point (and optionally --mode / --countdown) only that case runs —
+// the way to reproduce a single failure from a sweep.
 
 #include <cstdio>
 #include <cstdlib>
@@ -76,7 +77,7 @@ bool RunOne(const std::string& workdir, int index, const CaseSpec& spec) {
 int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s <workdir> [--seed N] [--iters N] [--point NAME] "
-               "[--mode abort|eio|torn|bitflip]\n",
+               "[--mode abort|eio|torn|bitflip] [--countdown N]\n",
                argv0);
   return 2;
 }
@@ -90,6 +91,7 @@ int main(int argc, char** argv) {
   int iters = 8;
   std::string only_point;
   std::string only_mode;
+  uint32_t countdown = 1;
   for (int i = 2; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--seed" && i + 1 < argc) {
@@ -100,6 +102,8 @@ int main(int argc, char** argv) {
       only_point = argv[++i];
     } else if (arg == "--mode" && i + 1 < argc) {
       only_mode = argv[++i];
+    } else if (arg == "--countdown" && i + 1 < argc) {
+      countdown = static_cast<uint32_t>(std::strtoul(argv[++i], nullptr, 10));
     } else {
       return Usage(argv[0]);
     }
@@ -119,7 +123,9 @@ int main(int argc, char** argv) {
       modes = {Mode::kAbort, Mode::kEio, Mode::kTornWrite};
     }
     for (Mode m : modes) {
-      if (!RunOne(workdir, index++, MakeSpec(only_point, m, 1))) ++failures;
+      if (!RunOne(workdir, index++, MakeSpec(only_point, m, countdown))) {
+        ++failures;
+      }
     }
   } else {
     std::printf("named sweep: %zu points x {abort, eio, torn}\n",

@@ -2,9 +2,12 @@
 //
 //   cwdb_ctl info <dir>                  checkpoint / log / audit overview
 //   cwdb_ctl tables <dir>                table directory of the active image
-//   cwdb_ctl check <dir>                 offline integrity check (meta CRCs,
+//   cwdb_ctl check <dir> [--repair]      offline integrity check (meta CRCs,
 //                                        image header, layout invariants,
-//                                        log frame validity)
+//                                        log frame validity, parity-sidecar
+//                                        verification of the image bytes);
+//                                        --repair rewrites regions the
+//                                        parity columns can reconstruct
 //   cwdb_ctl logdump <dir> [from-lsn]    decode the stable system log
 //   cwdb_ctl recover <dir> [scheme]      open the database (running restart
 //                                        or corruption recovery) and report
@@ -25,7 +28,14 @@
 //                                        by trace; --attribute renders the
 //                                        per-stage latency shares of the
 //                                        p50/p99 commit cohorts instead
-//   cwdb_ctl incidents <dir>             render incidents.jsonl dossiers
+//   cwdb_ctl incidents <dir>             render incidents.jsonl dossiers;
+//                                        a detection dossier and the kRepair
+//                                        dossier linked to it are rendered
+//                                        together as one episode
+//   cwdb_ctl repairs <dir>               in-place repair activity: repair.*
+//                                        counters/latency from the metrics
+//                                        snapshot plus every repair episode
+//                                        from incidents.jsonl
 //   cwdb_ctl explain-recovery <dir> [--dot]
 //                                        per-deleted-txn implication chains
 //                                        from the last corruption recovery
@@ -42,13 +52,18 @@
 // All subcommands except `recover` are read-only and work on a cold
 // directory without instantiating a Database.
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <array>
 #include <chrono>
 #include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <string_view>
 #include <thread>
@@ -63,6 +78,7 @@
 #include "obs/history.h"
 #include "obs/trace.h"
 #include "obs/trace_export.h"
+#include "protect/parity_repair.h"
 #include "recovery/corrupt_note.h"
 #include "recovery/provenance.h"
 #include "storage/integrity.h"
@@ -74,7 +90,7 @@ namespace {
 int Usage() {
   std::fprintf(stderr,
                "usage: cwdb_ctl <info|tables|check|logdump|recover|stats|"
-               "trace|trace-export|spans|incidents|explain-recovery|"
+               "trace|trace-export|spans|incidents|repairs|explain-recovery|"
                "top|scrub-map> <dir> [args]\n");
   return 2;
 }
@@ -176,17 +192,86 @@ int CmdTables(const std::string& dir) {
   return 0;
 }
 
-int CmdCheck(const std::string& dir) {
+int CmdCheck(const std::string& dir, bool repair) {
   DbFiles files(dir);
   int failures = 0;
   CheckpointMeta meta;
-  auto image = LoadColdImage(files, &meta, nullptr);
+  int which = 0;
+  auto image = LoadColdImage(files, &meta, &which);
   if (!image.ok()) {
     std::printf("checkpoint image : FAIL (%s)\n",
                 image.status().ToString().c_str());
     return 1;
   }
   std::printf("checkpoint image : ok (meta CRC, header)\n");
+
+  // Parity sidecar: verify the cold image bytes against the codewords it
+  // was checkpointed under and report what the parity columns could
+  // reconstruct; --repair rewrites those regions in the image file.
+  std::string blob;
+  Status ps = ReadFileToString(files.CkptParity(which), &blob,
+                               MissingFile::kTreatAsEmpty);
+  if (!ps.ok()) {
+    ++failures;
+    std::printf("parity sidecar   : FAIL (%s)\n", ps.ToString().c_str());
+  } else if (blob.empty()) {
+    std::printf("parity sidecar   : none (scheme without a parity tier)\n");
+  } else if (Result<ParitySidecar> sc = DecodeParitySidecar(Slice(blob));
+             !sc.ok()) {
+    ++failures;
+    std::printf("parity sidecar   : FAIL (%s)\n",
+                sc.status().ToString().c_str());
+  } else if (sc->ck_end != meta.ck_end || sc->arena_size != (*image)->size()) {
+    std::printf("parity sidecar   : stale (CK_end %" PRIu64 " vs %" PRIu64
+                ") — verification skipped\n",
+                sc->ck_end, meta.ck_end);
+  } else {
+    uint64_t verified = 0;
+    std::vector<CorruptRange> detected =
+        VerifyImageAgainstSidecar(*sc, (*image)->base(), &verified);
+    if (detected.empty()) {
+      std::printf("parity sidecar   : ok (%" PRIu64 " regions verified)\n",
+                  verified);
+    } else {
+      ImageRepairReport rep;
+      RepairImageWithSidecar(*sc, (*image)->base(), detected, repair, &rep);
+      std::printf("parity sidecar   : %zu corrupt region(s) — %zu "
+                  "reconstructable, %zu beyond the correction budget\n",
+                  detected.size(), rep.repaired.size(),
+                  rep.unrepaired.size());
+      for (size_t i = 0; i < rep.repaired.size(); ++i) {
+        std::printf("  [%" PRIu64 ", +%" PRIu64 ") reconstructable "
+                    "(delta 0x%08x)%s\n",
+                    rep.repaired[i].off, rep.repaired[i].len,
+                    rep.repair_deltas[i], repair ? " — repaired" : "");
+      }
+      for (const CorruptRange& r : rep.unrepaired) {
+        std::printf("  [%" PRIu64 ", +%" PRIu64 ") NOT reconstructable\n",
+                    r.off, r.len);
+      }
+      if (repair && !rep.repaired.empty()) {
+        // Write the reconstructed regions back into the image file (file
+        // offset == arena offset for the full-arena checkpoint image).
+        int fd = ::open(files.CkptImage(which).c_str(), O_WRONLY);
+        Status ws = fd < 0 ? Status::IoError("open for --repair failed")
+                           : Status::OK();
+        for (const CorruptRange& r : rep.repaired) {
+          if (!ws.ok()) break;
+          ws = PWriteAll(fd, (*image)->base() + r.off, r.len, r.off);
+        }
+        if (ws.ok() && fd >= 0) ws = FsyncFd(fd);
+        if (fd >= 0) ::close(fd);
+        if (!ws.ok()) {
+          ++failures;
+          std::printf("  write-back     : FAIL (%s)\n", ws.ToString().c_str());
+        } else {
+          std::printf("  write-back     : %zu region(s) repaired in %s\n",
+                      rep.repaired.size(), files.CkptImage(which).c_str());
+        }
+      }
+      if (!repair || !rep.unrepaired.empty()) ++failures;
+    }
+  }
 
   auto violations = CheckImageIntegrity(**image);
   if (violations.empty()) {
@@ -545,12 +630,95 @@ int CmdIncidents(const std::string& dir) {
                 files.IncidentsFile().c_str());
     return 0;
   }
+  // A kRepair dossier names the detection it continues via
+  // linked_incident_id; render the pair as one episode at the detection's
+  // position instead of as two unrelated dossiers.
+  std::map<uint64_t, const JsonValue*> repair_for;  // detection id -> repair
+  std::set<uint64_t> paired_repairs;
   for (const JsonValue& inc : *incidents) {
-    std::fputs(RenderIncident(inc).c_str(), stdout);
+    uint64_t linked = inc.U64("linked_incident_id");
+    if (inc.Str("source") == "repair" && linked != 0) {
+      repair_for[linked] = &inc;
+      paired_repairs.insert(inc.U64("id"));
+    }
+  }
+  for (const JsonValue& inc : *incidents) {
+    uint64_t id = inc.U64("id");
+    if (paired_repairs.count(id) != 0) continue;  // Rendered with its pair.
+    auto pair = repair_for.find(id);
+    if (pair != repair_for.end()) {
+      std::printf("━ episode: detection #%" PRIu64
+                  " repaired in place by #%" PRIu64 " ━\n",
+                  id, pair->second->U64("id"));
+      std::fputs(RenderIncident(inc).c_str(), stdout);
+      std::fputs(RenderIncident(*pair->second).c_str(), stdout);
+    } else {
+      std::fputs(RenderIncident(inc).c_str(), stdout);
+    }
     std::printf("\n");
   }
   if (skipped > 0) {
     std::printf("(%zu unparseable line(s) skipped — torn tail?)\n", skipped);
+  }
+  return 0;
+}
+
+int CmdRepairs(const std::string& dir) {
+  DbFiles files(dir);
+  // repair.* instruments from the persisted metrics snapshot.
+  std::string json;
+  if (ReadFileToString(files.MetricsFile(), &json).ok()) {
+    Result<JsonValue> doc = ParseJson(json);
+    if (doc.ok()) {
+      if (const JsonValue* counters = doc->Find("counters");
+          counters != nullptr && counters->is_object()) {
+        for (const auto& [name, value] : counters->members()) {
+          if (name.rfind("repair.", 0) != 0) continue;
+          std::printf("%-28s %12" PRIu64 "\n", name.c_str(), value.AsU64());
+        }
+      }
+      if (const JsonValue* hists = doc->Find("histograms");
+          hists != nullptr && hists->is_object()) {
+        for (const auto& [name, h] : hists->members()) {
+          if (name.rfind("repair.", 0) != 0 || h.U64("count") == 0) continue;
+          std::printf("%-28s count=%" PRIu64 " p50=%" PRIu64 "ns p99=%" PRIu64
+                      "ns max=%" PRIu64 "ns\n",
+                      name.c_str(), h.U64("count"), h.U64("p50"), h.U64("p99"),
+                      h.U64("max"));
+        }
+      }
+    }
+  } else {
+    std::printf("no metrics snapshot at %s\n", files.MetricsFile().c_str());
+  }
+
+  // Repair episodes from the dossier file.
+  Result<std::vector<JsonValue>> incidents =
+      LoadIncidentFile(files.IncidentsFile());
+  if (!incidents.ok()) {
+    std::fprintf(stderr, "%s\n", incidents.status().ToString().c_str());
+    return 1;
+  }
+  size_t episodes = 0;
+  for (const JsonValue& inc : *incidents) {
+    if (inc.Str("source") != "repair") continue;
+    ++episodes;
+    const JsonValue* regions = inc.Find("regions");
+    size_t n = regions != nullptr ? regions->array().size() : 0;
+    std::printf("episode: repair #%" PRIu64 " (detection #%" PRIu64
+                ") at LSN %" PRIu64 " — %zu region(s)\n",
+                inc.U64("id"), inc.U64("linked_incident_id"), inc.U64("lsn"),
+                n);
+    if (regions != nullptr) {
+      for (const JsonValue& r : regions->array()) {
+        std::printf("  [%" PRIu64 ", +%" PRIu64 ") delta=0x%08" PRIx64 "\n",
+                    r.U64("off"), r.U64("len"), r.U64("repair_delta"));
+      }
+    }
+  }
+  if (episodes == 0) {
+    std::printf("no repair episodes recorded at %s\n",
+                files.IncidentsFile().c_str());
   }
   return 0;
 }
@@ -758,7 +926,10 @@ int main(int argc, char** argv) {
   std::string dir = argv[2];
   if (cmd == "info") return CmdInfo(dir);
   if (cmd == "tables") return CmdTables(dir);
-  if (cmd == "check") return CmdCheck(dir);
+  if (cmd == "check") {
+    bool repair = argc > 3 && std::string(argv[3]) == "--repair";
+    return CmdCheck(dir, repair);
+  }
   if (cmd == "logdump") {
     Lsn from = argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 0;
     return CmdLogDump(dir, from);
@@ -777,6 +948,7 @@ int main(int argc, char** argv) {
     return CmdSpans(dir, attribute);
   }
   if (cmd == "incidents") return CmdIncidents(dir);
+  if (cmd == "repairs") return CmdRepairs(dir);
   if (cmd == "explain-recovery") {
     bool dot = argc > 3 && std::strcmp(argv[3], "--dot") == 0;
     return CmdExplainRecovery(dir, dot);
