@@ -1,0 +1,27 @@
+// Fuzzes the metrics_history.bin ring loader: LoadFromBuffer ingests a
+// file written by a prior incarnation (so possibly torn at any byte or
+// bit-flipped in place) and must load the longest valid prefix of any
+// input without crashing. A loaded ring must also render and serialize.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "obs/history.h"
+#include "obs/metrics.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  cwdb::MetricsRegistry metrics;
+  cwdb::HistoryOptions opts;
+  opts.retention = 64;  // Bounded ring however many samples the input holds.
+  cwdb::MetricsHistory history(&metrics, opts);
+  history.LoadFromBuffer(
+      std::string(reinterpret_cast<const char*>(data), size));
+
+  // Whatever loaded must be renderable and re-serializable.
+  if (history.size() > 0) {
+    (void)history.RenderTop(history.LatestMono());
+    (void)history.QueryJson("series=txn.commits&window_s=60");
+  }
+  return 0;
+}

@@ -56,6 +56,11 @@ struct DbFiles {
   /// SLO engine report (per-objective burn rates, budget remaining),
   /// written next to metrics.json; gated by scripts/check_slo_report.py.
   std::string SloReportFile() const { return dir_ + "/slo_report.json"; }
+  /// Crash-surviving flight-recorder mapping for the live incarnation.
+  std::string BlackBox() const { return dir_ + "/blackbox.bin"; }
+  /// Prior incarnation's box, rotated aside at reopen after an unclean
+  /// death so `cwdb_ctl postmortem` can read the episode offline.
+  std::string BlackBoxPrev() const { return dir_ + "/blackbox.prev.bin"; }
   const std::string& dir() const { return dir_; }
 
  private:

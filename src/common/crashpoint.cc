@@ -51,7 +51,36 @@ struct Registry {
   /// Fast path: number of armed points; when zero, a hit only bumps its
   /// counter. These boundaries sit next to syscalls, so the lock is noise.
   std::atomic<int> armed_count{0};
+  std::function<void(const std::string&)> observer;
 };
+
+const char* ModeName(Mode m) {
+  switch (m) {
+    case Mode::kOff: return "off";
+    case Mode::kAbort: return "abort";
+    case Mode::kEio: return "eio";
+    case Mode::kTornWrite: return "torn";
+    case Mode::kBitFlip: return "bitflip";
+  }
+  return "?";
+}
+
+/// Renders the armed set and hands it to the observer. Caller holds reg.mu.
+void NotifyObserverLocked(Registry& reg) {
+  if (!reg.observer) return;
+  std::string out;
+  for (const PointDef& p : kPoints) {  // Stable order for the rendering.
+    auto it = reg.armed.find(p.name);
+    if (it == reg.armed.end()) continue;
+    if (!out.empty()) out.push_back(',');
+    out += p.name;
+    out.push_back('=');
+    out += ModeName(it->second.mode);
+    out.push_back(':');
+    out += std::to_string(it->second.countdown);
+  }
+  reg.observer(out);
+}
 
 Registry& Reg() {
   static Registry* r = new Registry;  // Leaked: alive through _exit paths.
@@ -91,6 +120,13 @@ Spec OnHit(const char* name) {
   reg.armed.erase(it);
   reg.armed_count.fetch_sub(1, std::memory_order_relaxed);
   reg.fired.fetch_add(1, std::memory_order_relaxed);
+  // Tell the observer only when the process survives the firing (kEio,
+  // kBitFlip). The dying modes _exit on the next line of the caller: the
+  // black box must keep the pre-fire armed set so the postmortem shows
+  // which point killed the process, not a freshly-cleared mirror.
+  if (spec.mode == Mode::kEio || spec.mode == Mode::kBitFlip) {
+    NotifyObserverLocked(reg);
+  }
   return spec;
 }
 
@@ -108,6 +144,7 @@ void Arm(const std::string& name, const Spec& spec) {
   auto [it, inserted] = reg.armed.insert_or_assign(name, spec);
   (void)it;
   if (inserted) reg.armed_count.fetch_add(1, std::memory_order_relaxed);
+  NotifyObserverLocked(reg);
 }
 
 void Disarm(const std::string& name) {
@@ -115,6 +152,7 @@ void Disarm(const std::string& name) {
   std::lock_guard<std::mutex> lock(reg.mu);
   if (reg.armed.erase(name) > 0) {
     reg.armed_count.fetch_sub(1, std::memory_order_relaxed);
+    NotifyObserverLocked(reg);
   }
 }
 
@@ -123,6 +161,16 @@ void DisarmAll() {
   std::lock_guard<std::mutex> lock(reg.mu);
   reg.armed.clear();
   reg.armed_count.store(0, std::memory_order_relaxed);
+  NotifyObserverLocked(reg);
+}
+
+void SetArmObserver(std::function<void(const std::string&)> observer) {
+  Registry& reg = Reg();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  reg.observer = std::move(observer);
+  // Seed the new observer with the current set (points may have been armed
+  // from the environment before the database opened).
+  NotifyObserverLocked(reg);
 }
 
 Status ArmFromString(const std::string& specs) {

@@ -2,6 +2,7 @@
 #define CWDB_COMMON_CRASHPOINT_H_
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -55,6 +56,16 @@ struct Spec {
 void Arm(const std::string& name, const Spec& spec);
 void Disarm(const std::string& name);
 void DisarmAll();
+
+/// Observes armed-set changes: called with a rendered "name=mode:countdown"
+/// comma list (empty string = nothing armed) on every Arm/Disarm and on a
+/// point's one-shot self-disarm, plus once at installation with the current
+/// set. The flight recorder mirrors this into the black box so a postmortem
+/// shows which points were live when the process died. Called under the
+/// registry lock: the observer must not call back into crashpoint:: and
+/// must be async-light (the flight recorder's seqlocked text store is).
+/// Pass nullptr to uninstall. Process-wide, like the registry itself.
+void SetArmObserver(std::function<void(const std::string&)> observer);
 
 /// Parses and arms one or more comma-separated specs of the form
 /// "name=mode[:countdown[:param]]", mode in {abort, eio, torn, bitflip}.

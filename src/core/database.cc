@@ -10,8 +10,10 @@
 #include <cstring>
 
 #include "ckpt/archive.h"
+#include "common/crashpoint.h"
 #include "common/file_util.h"
 #include "common/parallel.h"
+#include "obs/process_stats.h"
 #include "obs/trace_export.h"
 
 namespace cwdb {
@@ -45,7 +47,21 @@ Result<std::unique_ptr<Database>> Database::Open(
   return db;
 }
 
-Database::~Database() { StopBackgroundWork(); }
+Database::~Database() {
+  StopBackgroundWork();
+  if (flight_recorder_ != nullptr) {
+    // Detach the process-wide hooks before any member dies; the recorder
+    // itself (and its fatal handler) is torn down by member destruction,
+    // after the components that mirror into it.
+    metrics_.trace().set_sink(nullptr);
+    crashpoint::SetArmObserver(nullptr);
+    // An orderly destructor is not a crash, even without Close(): the
+    // "unclean" signal means the process died with this incarnation still
+    // live. (Unflushed work is a durability question the WAL answers; the
+    // black box answers "did we die mid-flight".)
+    flight_recorder_->MarkCleanShutdown();
+  }
+}
 
 void Database::StopBackgroundWork() {
   // The history sampler first: its tick hooks call into the SLO engine and
@@ -118,8 +134,54 @@ Status Database::OpenImpl() {
   CWDB_ASSIGN_OR_RETURN(
       protection_,
       ProtectionManager::Create(options_.protection, image_.get(), &metrics_));
+
+  // Flight recorder: stash the prior incarnation's black box first (a box
+  // without the clean-shutdown mark is a crash episode — rotate it aside
+  // for `cwdb_ctl postmortem` and remember it so a kCrash dossier can be
+  // filed once forensics is up), then map a fresh box and start mirroring
+  // before the first component that feeds it exists. Creation failure is
+  // not fatal: the database runs fine without a box.
+  if (options_.flight_recorder.enabled) {
+    Result<BlackBoxReport> prior = ReadBlackBox(files_.BlackBox());
+    if (prior.ok() && !prior->clean_shutdown) {
+      prior_blackbox_ = std::move(prior.value());
+      if (std::rename(files_.BlackBox().c_str(),
+                      files_.BlackBoxPrev().c_str()) != 0) {
+        metrics_.counter("obs.blackbox_rotate_failures")->Add();
+      }
+    }
+    FlightRecorderInfo info;
+    info.arena_size = options_.arena_size;
+    info.page_size = options_.page_size;
+    info.shard_count = static_cast<uint32_t>(shard_map_.shard_count());
+    info.scheme = ProtectionSchemeName(options_.protection.scheme);
+    info.boot_mono_ns = metrics_.boot_mono_ns();
+    info.boot_wall_ns = metrics_.boot_wall_ns();
+    Result<std::unique_ptr<FlightRecorder>> fr =
+        FlightRecorder::Create(files_.BlackBox(), info);
+    if (fr.ok()) {
+      flight_recorder_ = std::move(fr.value());
+      flight_recorder_->SetArena(image_->base(), image_->size(), &shard_map_);
+      metrics_.trace().set_sink(flight_recorder_.get());
+      // Armed crash points mirror into the box as they change (the
+      // observer is process-wide, like the crashpoint registry; the last
+      // database to open owns it, and ~Database clears it).
+      FlightRecorder* recorder = flight_recorder_.get();
+      crashpoint::SetArmObserver([recorder](const std::string& armed) {
+        recorder->NoteStatusText(blackbox::StatusSlot::kArmedCrashpoints,
+                                 armed);
+      });
+      if (options_.flight_recorder.install_fatal_handler) {
+        flight_recorder_->InstallFatalHandler();
+      }
+    } else {
+      metrics_.counter("obs.blackbox_create_failures")->Add();
+    }
+  }
+
   CWDB_ASSIGN_OR_RETURN(log_, SystemLog::Open(files_.SystemLog(), &metrics_,
-                                              shard_map_.shard_count()));
+                                              shard_map_.shard_count(),
+                                              flight_recorder_.get()));
   txns_ = std::make_unique<TxnManager>(image_.get(), protection_.get(),
                                        log_.get(), &metrics_,
                                        shard_map_.shard_count());
@@ -180,6 +242,55 @@ Status Database::OpenImpl() {
   // (recovery and formatting write the image directly).
   CWDB_RETURN_IF_ERROR(protection_->ReprotectAll());
 
+  // The prior incarnation died uncleanly: file the crash episode as a
+  // dossier, carrying its trace tail (translated onto this incarnation's
+  // time base so the per-event wall stamps stay honest) and — when the
+  // fatal handler attributed the fault to the arena — the faulting byte,
+  // which RecordIncident resolves to page/table/record like any
+  // corruption range.
+  if (prior_blackbox_) {
+    const BlackBoxReport& box = *prior_blackbox_;
+    char detail[256];
+    if (box.crash.valid) {
+      std::snprintf(detail, sizeof(detail),
+                    "prior incarnation (pid %llu) died on signal %d at "
+                    "addr 0x%llx%s; durable_lsn=%llu logical_end=%llu; "
+                    "black box rotated to blackbox.prev.bin",
+                    static_cast<unsigned long long>(box.pid), box.crash.signal,
+                    static_cast<unsigned long long>(box.crash.fault_addr),
+                    box.crash.fault_in_arena ? " (in arena)" : "",
+                    static_cast<unsigned long long>(box.durable_lsn),
+                    static_cast<unsigned long long>(box.logical_end_lsn));
+    } else {
+      std::snprintf(detail, sizeof(detail),
+                    "prior incarnation (pid %llu) died uncleanly with no "
+                    "fatal-signal record (killed, or _exit at a crash "
+                    "point); durable_lsn=%llu logical_end=%llu; black box "
+                    "rotated to blackbox.prev.bin",
+                    static_cast<unsigned long long>(box.pid),
+                    static_cast<unsigned long long>(box.durable_lsn),
+                    static_cast<unsigned long long>(box.logical_end_lsn));
+    }
+    ForensicsRecorder::IncidentExtras extras;
+    extras.override_recent_events = true;
+    extras.recent_events = box.events;
+    for (TraceEvent& e : extras.recent_events) {
+      const uint64_t wall = box.WallFromMono(e.t_ns);
+      e.t_ns = wall == 0 ? 0
+                         : metrics_.boot_mono_ns() +
+                               (wall - metrics_.boot_wall_ns());
+    }
+    std::vector<CorruptRange> ranges;
+    if (box.crash.valid && box.crash.fault_in_arena &&
+        box.crash.fault_off < image_->size()) {
+      ranges.push_back(CorruptRange{box.crash.fault_off, 1});
+    }
+    crash_incident_id_ = forensics_->RecordIncident(
+        IncidentSource::kCrash, log_->CurrentLsn(), LastCleanAuditLsn(),
+        ranges, detail, extras);
+    metrics_.counter("obs.crash_dossiers_filed")->Add();
+  }
+
   if (options_.watchdog.enabled) {
     watchdog_ = std::make_unique<Watchdog>(
         &metrics_, forensics_.get(),
@@ -226,8 +337,14 @@ Status Database::OpenImpl() {
   // refresh the scrub gauges and evaluate SLOs on every sample tick.
   history_ = std::make_unique<MetricsHistory>(&metrics_, options_.history);
   CWDB_RETURN_IF_ERROR(history_->LoadFrom(files_.MetricsHistoryFile()));
-  history_->AddTickHook(
-      [this](uint64_t now_mono) { scrub_->UpdateGauges(now_mono); });
+  history_->AddTickHook([this](uint64_t now_mono) {
+    scrub_->UpdateGauges(now_mono);
+    // Process-level gauges ride the sampling cadence so /metrics and the
+    // history ring always carry fresh uptime/RSS/fd/disk numbers.
+    PublishProcessStats(&metrics_,
+                        SampleProcessStats(files_.dir(),
+                                           metrics_.boot_mono_ns()));
+  });
   if (options_.slo.enabled) {
     slo_ = std::make_unique<SloEngine>(&metrics_, history_.get(),
                                        scrub_.get(), forensics_.get(),
@@ -235,6 +352,22 @@ Status Database::OpenImpl() {
     slo_->set_lsn_fn([this] { return log_->end_of_stable_log(); });
     history_->AddTickHook(
         [this](uint64_t now_mono) { slo_->EvaluateOnce(now_mono); });
+  }
+  if (flight_recorder_ != nullptr) {
+    // The black box's metrics sample and watchdog/SLO status text refresh
+    // on the same tick (after the scrub/SLO hooks above so it sees their
+    // updates). Each is a seqlock'd in-place write into the mapping.
+    history_->AddTickHook([this](uint64_t) {
+      flight_recorder_->WriteMetricsSample(metrics_.Capture());
+      if (watchdog_ != nullptr) {
+        flight_recorder_->NoteStatusText(blackbox::StatusSlot::kWatchdog,
+                                         watchdog_->DegradedReason());
+      }
+      if (slo_ != nullptr) {
+        flight_recorder_->NoteStatusText(blackbox::StatusSlot::kSlo,
+                                         slo_->BurnReason());
+      }
+    });
   }
   history_->Start();
 
@@ -533,7 +666,13 @@ DatabaseStats Database::GetStats() const {
 }
 
 Result<std::string> Database::DumpMetrics() {
+  // Refresh the process gauges so an explicit dump (and `cwdb_ctl stats`
+  // reading its output) carries current uptime/RSS/fd/disk numbers even
+  // when no history sampler is running.
+  PublishProcessStats(
+      &metrics_, SampleProcessStats(files_.dir(), metrics_.boot_mono_ns()));
   MetricsSnapshot snap = metrics_.Capture();
+  if (flight_recorder_ != nullptr) flight_recorder_->WriteMetricsSample(snap);
   std::string json = snap.ToJson();
   CWDB_RETURN_IF_ERROR(WriteFileAtomic(files_.MetricsFile(), json));
   if (metrics_.tracer()->enabled()) {

@@ -15,8 +15,10 @@
 #include "common/result.h"
 #include "common/slice.h"
 #include "common/status.h"
+#include "obs/flight_recorder.h"
 #include "obs/forensics.h"
 #include "obs/history.h"
+#include "obs/postmortem.h"
 #include "obs/metrics.h"
 #include "obs/slo.h"
 #include "obs/stats_server.h"
@@ -115,6 +117,14 @@ struct DatabaseOptions {
   /// stats_port() once open.
   bool serve_stats = false;
   StatsServerOptions stats_server;
+
+  /// Crash-surviving flight recorder (src/obs/flight_recorder.h): a
+  /// mmap-backed black box at <dir>/blackbox.bin mirroring the trace-ring
+  /// tail, LSN frontiers, armed crash points and watchdog/SLO state, plus
+  /// an optional fatal-signal handler that appends a crash record. At
+  /// reopen after an unclean death the box is rotated aside, a kCrash
+  /// dossier is filed, and `cwdb_ctl postmortem` renders the episode.
+  FlightRecorderOptions flight_recorder;
 };
 
 /// Result of an explicit audit (§3.2).
@@ -322,6 +332,9 @@ class Database {
     CWDB_RETURN_IF_ERROR(log_->Flush());
     StopBackgroundWork();
     Result<std::string> snap = DumpMetrics();
+    // Marked last: everything above can still die mid-write and the box
+    // would rightly read as unclean.
+    if (flight_recorder_ != nullptr) flight_recorder_->MarkCleanShutdown();
     return snap.ok() ? Status::OK() : snap.status();
   }
 
@@ -360,6 +373,19 @@ class Database {
 
   /// SLO engine, or nullptr when options.slo.enabled is false.
   SloEngine* slo() { return slo_.get(); }
+
+  /// The crash-surviving black box, or nullptr when
+  /// options.flight_recorder.enabled is false (or its mapping failed —
+  /// the database runs fine without one).
+  FlightRecorder* flight_recorder() { return flight_recorder_.get(); }
+
+  /// Decoded black box of the previous incarnation when it died uncleanly
+  /// (rotated to blackbox.prev.bin at this open); nullptr otherwise.
+  const BlackBoxReport* prior_blackbox() const {
+    return prior_blackbox_ ? &*prior_blackbox_ : nullptr;
+  }
+  /// Id of the kCrash dossier filed for that death (0 = none filed).
+  uint64_t crash_incident_id() const { return crash_incident_id_; }
 
   /// Port of the live stats endpoint, or 0 when serve_stats is off.
   uint16_t stats_port() const {
@@ -405,6 +431,12 @@ class Database {
   /// Declared before the components so it is destroyed after them — every
   /// component holds bare Counter*/Histogram* pointers into it.
   MetricsRegistry metrics_;
+  /// Right after metrics_, so it outlives every component that mirrors
+  /// into it (the system log holds a bare pointer; the trace sink and the
+  /// crashpoint observer are cleared in ~Database before teardown).
+  std::unique_ptr<FlightRecorder> flight_recorder_;
+  std::optional<BlackBoxReport> prior_blackbox_;
+  uint64_t crash_incident_id_ = 0;
   std::unique_ptr<DbImage> image_;
   /// Before protection_ (which keeps a bare pointer to it) so it outlives
   /// every component that files incidents.

@@ -5,12 +5,16 @@
 #include <unistd.h>
 
 #include <map>
+#include <optional>
 #include <set>
 #include <sstream>
+#include <utility>
 
+#include "ckpt/checkpoint.h"
 #include "common/coding.h"
 #include "common/file_util.h"
 #include "core/database.h"
+#include "obs/postmortem.h"
 
 namespace cwdb {
 namespace crashharness {
@@ -178,6 +182,7 @@ void RunWorkloadChild(const std::string& dir,
 Status VerifyAfterCrash(const std::string& dir,
                         const std::string& progress_path,
                         bool require_committed_survive,
+                        bool expect_unclean_box,
                         uint64_t* committed_out) {
   std::string progress;
   CWDB_RETURN_IF_ERROR(ReadFileToString(progress_path, &progress,
@@ -195,6 +200,34 @@ Status VerifyAfterCrash(const std::string& dir,
   }
   if (committed_out != nullptr) *committed_out = committed.size();
 
+  // The dead child must have left a decodable, unclean black box (the
+  // flight recorder is on by default and the child exits without Close()).
+  // Read it before the reopen rotates it to blackbox.prev.bin. Absence is
+  // tolerated only for children that died before the recorder existed
+  // (points armed before Database::Open).
+  DbFiles files(dir);
+  std::optional<BlackBoxReport> box;
+  if (FileExists(files.BlackBox())) {
+    Result<BlackBoxReport> decoded = ReadBlackBox(files.BlackBox());
+    if (!decoded.ok()) {
+      return Status::Internal("black box of the dead child does not decode: " +
+                              decoded.status().ToString());
+    }
+    if (decoded->clean_shutdown) {
+      // Dying modes _exit at the fire point — no destructor, so a clean
+      // mark there is a recorder bug. A survivable mode can instead fail
+      // Database::Open with the injected error; the half-built Database is
+      // destructed orderly, the box is honestly clean, and there is no
+      // crash for the reopen to ingest.
+      if (expect_unclean_box) {
+        return Status::Internal("black box claims a clean shutdown of a "
+                                "child that never called Close()");
+      }
+    } else {
+      box = std::move(*decoded);
+    }
+  }
+
   Result<std::unique_ptr<Database>> db = Database::Open(HarnessOptions(dir));
   if (!db.ok()) {
     // Only a bit-flip case may fail to reopen, and only with a clean
@@ -204,6 +237,23 @@ Status VerifyAfterCrash(const std::string& dir,
     }
     return Status::Internal("reopen after crash failed: " +
                             db.status().ToString());
+  }
+
+  if (box.has_value()) {
+    // Postmortem consistency: the reopen must have filed a crash dossier,
+    // and the durable frontier the drainer last mirrored into the box can
+    // never exceed the log prefix recovery replayed. (A bit-flip case may
+    // legitimately truncate the valid prefix below the mirror.)
+    if ((*db)->crash_incident_id() == 0) {
+      return Status::Internal(
+          "reopen after an unclean death filed no crash dossier");
+    }
+    const RecoveryReport& rec = (*db)->last_recovery_report();
+    if (require_committed_survive && box->durable_lsn > rec.redo_end) {
+      return Status::Internal(
+          "black box durable LSN " + std::to_string(box->durable_lsn) +
+          " exceeds the recovered log end " + std::to_string(rec.redo_end));
+    }
   }
 
   Result<TableId> table = (*db)->FindTable("t");
@@ -311,6 +361,7 @@ Result<CaseResult> RunCase(const std::string& dir, const CaseSpec& spec) {
 
   const bool require_committed = spec.mode != Mode::kBitFlip;
   CWDB_RETURN_IF_ERROR(VerifyAfterCrash(dir, progress, require_committed,
+                                        /*expect_unclean_box=*/expect_crash,
                                         &result.committed));
   result.detail = spec.point + ": child exit " +
                   std::to_string(result.child_exit) + ", " +

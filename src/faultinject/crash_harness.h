@@ -60,9 +60,15 @@ struct CaseResult {
 /// for bit-flip cases, where a detected-and-truncated log tail may
 /// legitimately drop acked commits (the CRC turns the flip into a torn
 /// tail); atomicity and audit cleanliness must still hold.
+/// `expect_unclean_box` is true for modes that kill the child at the fire
+/// point (abort, torn write): those children `_exit` without destructors,
+/// so the flight recorder must read back unclean. Survivable modes (eio,
+/// bit flip) may instead fail Database::Open with the injected error and
+/// tear down orderly — a clean box, and no crash to verify.
 Status VerifyAfterCrash(const std::string& dir,
                         const std::string& progress_path,
                         bool require_committed_survive,
+                        bool expect_unclean_box,
                         uint64_t* committed_out = nullptr);
 
 /// Fork + workload + wait + verify for one case. `dir` must be fresh.

@@ -1,7 +1,10 @@
 #include "faultinject/fault_injector.h"
 
+#include <unistd.h>
+
 #include <csetjmp>
 #include <csignal>
+#include <cstdint>
 #include <cstring>
 
 #include "common/logging.h"
@@ -15,28 +18,49 @@ namespace {
 // handler longjmps out of the faulting store; the write is then known to
 // have been prevented by page protection. Not thread-safe by design: fault
 // injection is a single-threaded test harness activity.
+//
+// The trap only claims faults inside the injected write's page window.
+// Anything else (a genuine bug, a store the flight recorder's fatal
+// handler should record) chains: the handler restores the previously
+// installed actions and returns, so the faulting instruction re-executes
+// under the prior handler — without this, installing a global fatal
+// handler would make the scoped trap swallow real crashes as "prevented".
 sigjmp_buf g_fault_jmp;
+uintptr_t g_trap_lo = 0;
+uintptr_t g_trap_hi = 0;
+struct sigaction g_old_segv;
+struct sigaction g_old_bus;
 
-void FaultHandler(int) { siglongjmp(g_fault_jmp, 1); }
+void FaultHandler(int, siginfo_t* si, void*) {
+  const uintptr_t addr = reinterpret_cast<uintptr_t>(si->si_addr);
+  if (addr >= g_trap_lo && addr < g_trap_hi) siglongjmp(g_fault_jmp, 1);
+  ::sigaction(SIGSEGV, &g_old_segv, nullptr);
+  ::sigaction(SIGBUS, &g_old_bus, nullptr);
+}
 
 class ScopedTrap {
  public:
-  ScopedTrap() {
+  /// Claims faults on the pages of [target, target+len) — the protection
+  /// granularity of the hardware scheme — for the trap's lifetime.
+  ScopedTrap(const void* target, size_t len) {
+    const uintptr_t page = static_cast<uintptr_t>(::sysconf(_SC_PAGESIZE));
+    const uintptr_t t = reinterpret_cast<uintptr_t>(target);
+    g_trap_lo = t & ~(page - 1);
+    g_trap_hi = (t + len + page - 1) & ~(page - 1);
     struct sigaction sa;
     std::memset(&sa, 0, sizeof(sa));
-    sa.sa_handler = FaultHandler;
+    sa.sa_sigaction = FaultHandler;
+    sa.sa_flags = SA_SIGINFO;
     sigemptyset(&sa.sa_mask);
-    ::sigaction(SIGSEGV, &sa, &old_segv_);
-    ::sigaction(SIGBUS, &sa, &old_bus_);
+    ::sigaction(SIGSEGV, &sa, &g_old_segv);
+    ::sigaction(SIGBUS, &sa, &g_old_bus);
   }
   ~ScopedTrap() {
-    ::sigaction(SIGSEGV, &old_segv_, nullptr);
-    ::sigaction(SIGBUS, &old_bus_, nullptr);
+    ::sigaction(SIGSEGV, &g_old_segv, nullptr);
+    ::sigaction(SIGBUS, &g_old_bus, nullptr);
+    g_trap_lo = 0;
+    g_trap_hi = 0;
   }
-
- private:
-  struct sigaction old_segv_;
-  struct sigaction old_bus_;
 };
 
 }  // namespace
@@ -50,7 +74,7 @@ FaultInjector::Outcome FaultInjector::WildWriteAt(DbPtr off, Slice bytes) {
   // Reading is always permitted (pages are PROT_READ at minimum).
   std::string before(reinterpret_cast<const char*>(target), bytes.size());
 
-  ScopedTrap trap;
+  ScopedTrap trap(target, bytes.size());
   if (sigsetjmp(g_fault_jmp, 1) == 0) {
     std::memcpy(target, bytes.data(), bytes.size());
     out.prevented = false;

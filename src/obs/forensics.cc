@@ -71,6 +71,7 @@ const char* IncidentSourceName(IncidentSource s) {
     case IncidentSource::kSloBurn: return "slo_burn";
     case IncidentSource::kRepair: return "repair";
     case IncidentSource::kCkptLoad: return "ckpt_load";
+    case IncidentSource::kCrash: return "crash";
   }
   return "unknown";
 }
@@ -238,7 +239,16 @@ uint64_t ForensicsRecorder::RecordIncident(
       inc.active_txns.resize(options_.max_active_txns);
     }
   }
-  if (metrics_ != nullptr) {
+  if (extras.override_recent_events) {
+    // kCrash dossiers: the events belong to the prior incarnation (its black
+    // box's mirrored tail), not to this process's trace ring.
+    inc.recent_events = extras.recent_events;
+    if (inc.recent_events.size() > options_.trace_events) {
+      inc.recent_events.erase(
+          inc.recent_events.begin(),
+          inc.recent_events.end() - options_.trace_events);
+    }
+  } else if (metrics_ != nullptr) {
     std::vector<TraceEvent> events = metrics_->trace().Snapshot();
     size_t keep = std::min(events.size(), options_.trace_events);
     inc.recent_events.assign(events.end() - keep, events.end());

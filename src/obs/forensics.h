@@ -35,6 +35,7 @@ enum class IncidentSource : uint8_t {
   kSloBurn = 8,         ///< SLO engine: an error budget is burning.
   kRepair = 9,          ///< Parity tier reconstructed region(s) in place.
   kCkptLoad = 10,       ///< Checkpoint-load sidecar verification mismatch.
+  kCrash = 11,          ///< Prior incarnation died uncleanly (black box).
 };
 
 const char* IncidentSourceName(IncidentSource s);
@@ -127,6 +128,10 @@ class ForensicsRecorder {
     uint64_t linked_incident_id = 0;
     /// Per-range repair XOR deltas, parallel to `ranges` (kRepair only).
     std::vector<codeword_t> repair_deltas;
+    /// Replaces the live trace-ring tail with events recovered from a
+    /// prior incarnation (kCrash dossiers: the black box's mirrored tail).
+    bool override_recent_events = false;
+    std::vector<TraceEvent> recent_events;
   };
 
   /// Assembles and durably appends a dossier. Returns the assigned id

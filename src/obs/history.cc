@@ -601,7 +601,11 @@ Status MetricsHistory::LoadFrom(const std::string& path) {
   Status s =
       ReadFileToString(path, &data, MissingFile::kTreatAsEmpty);
   if (!s.ok()) return s;
+  LoadFromBuffer(data);
+  return Status::OK();
+}
 
+void MetricsHistory::LoadFromBuffer(const std::string& data) {
   std::vector<std::string> counters, gauges, hists;
   std::deque<Sample> ring;
 
@@ -702,7 +706,6 @@ Status MetricsHistory::LoadFrom(const std::string& path) {
   hist_names_ = std::move(hists);
   ring_ = std::move(ring);
   while (ring_.size() > options_.retention) ring_.pop_front();
-  return Status::OK();
 }
 
 // ---------------------------------------------------------------------------

@@ -196,6 +196,11 @@ class MetricsHistory {
   /// loads as empty). Only a filesystem error (not corruption) fails.
   Status LoadFrom(const std::string& path);
 
+  /// LoadFrom's parsing core on in-memory bytes, factored out so the ring
+  /// codec can be fuzzed without touching the filesystem. Never fails:
+  /// arbitrary input loads to its longest valid prefix (possibly empty).
+  void LoadFromBuffer(const std::string& data);
+
   /// Renders the operator "top" view: uptime, commit rate, commit p99,
   /// scrub age, SLO budget remaining, sparklines over the ring. `now_mono`
   /// = the render instant; use the latest sample's stamp for a cold

@@ -1,0 +1,87 @@
+#include "obs/process_stats.h"
+
+#include <dirent.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstdio>
+
+#include "obs/metrics.h"
+
+namespace cwdb {
+
+namespace {
+
+/// Resident-set bytes from /proc/self/statm (second field, in pages).
+int64_t ReadRssBytes() {
+  FILE* f = std::fopen("/proc/self/statm", "r");
+  if (f == nullptr) return 0;
+  long long size_pages = 0, rss_pages = 0;
+  const int n = std::fscanf(f, "%lld %lld", &size_pages, &rss_pages);
+  std::fclose(f);
+  if (n != 2 || rss_pages < 0) return 0;
+  const long page = ::sysconf(_SC_PAGESIZE);
+  return static_cast<int64_t>(rss_pages) * (page > 0 ? page : 4096);
+}
+
+int64_t CountOpenFds() {
+  DIR* d = ::opendir("/proc/self/fd");
+  if (d == nullptr) return 0;
+  int64_t n = 0;
+  while (struct dirent* e = ::readdir(d)) {
+    if (e->d_name[0] == '.') continue;
+    ++n;
+  }
+  ::closedir(d);
+  // The opendir itself holds one descriptor; don't count it.
+  return n > 0 ? n - 1 : 0;
+}
+
+/// Recursive byte total of regular files under `dir`. The DB data dir is
+/// flat-ish (one level of files plus nothing deep), so plain recursion is
+/// fine; symlinks are not followed.
+int64_t DirBytes(const std::string& dir, int depth) {
+  if (depth > 8) return 0;
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) return 0;
+  int64_t total = 0;
+  while (struct dirent* e = ::readdir(d)) {
+    const std::string name = e->d_name;
+    if (name == "." || name == "..") continue;
+    const std::string path = dir + "/" + name;
+    struct stat st;
+    if (::lstat(path.c_str(), &st) != 0) continue;
+    if (S_ISREG(st.st_mode)) {
+      total += static_cast<int64_t>(st.st_size);
+    } else if (S_ISDIR(st.st_mode)) {
+      total += DirBytes(path, depth + 1);
+    }
+  }
+  ::closedir(d);
+  return total;
+}
+
+}  // namespace
+
+ProcessStats SampleProcessStats(const std::string& data_dir,
+                                uint64_t boot_mono_ns) {
+  ProcessStats s;
+  const uint64_t now = NowNs();
+  if (boot_mono_ns != 0 && now > boot_mono_ns) {
+    s.uptime_ms = static_cast<int64_t>((now - boot_mono_ns) / 1'000'000ull);
+  }
+  s.rss_bytes = ReadRssBytes();
+  s.open_fds = CountOpenFds();
+  if (!data_dir.empty()) s.data_dir_bytes = DirBytes(data_dir, 0);
+  return s;
+}
+
+void PublishProcessStats(MetricsRegistry* metrics, const ProcessStats& stats) {
+  if (metrics == nullptr) return;
+  metrics->gauge("process.uptime_ms")->Set(stats.uptime_ms);
+  metrics->gauge("process.rss_bytes")->Set(stats.rss_bytes);
+  metrics->gauge("process.open_fds")->Set(stats.open_fds);
+  metrics->gauge("process.data_dir_bytes")->Set(stats.data_dir_bytes);
+}
+
+}  // namespace cwdb

@@ -1,0 +1,33 @@
+#ifndef CWDB_OBS_PROCESS_STATS_H_
+#define CWDB_OBS_PROCESS_STATS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace cwdb {
+
+class MetricsRegistry;
+
+/// Point-in-time process-level facts, sampled from /proc and the data
+/// directory. Fields are best-effort: a field that could not be read
+/// stays at its zero value (containers occasionally hide /proc views).
+struct ProcessStats {
+  int64_t uptime_ms = 0;        ///< Since `boot_mono_ns`.
+  int64_t rss_bytes = 0;        ///< Resident set, from /proc/self/statm.
+  int64_t open_fds = 0;         ///< Entries in /proc/self/fd.
+  int64_t data_dir_bytes = 0;   ///< Recursive byte total under the DB dir.
+};
+
+/// Samples the current process. `boot_mono_ns` is the engine's monotonic
+/// open anchor; `data_dir` may be empty to skip the directory walk.
+ProcessStats SampleProcessStats(const std::string& data_dir,
+                                uint64_t boot_mono_ns);
+
+/// Publishes a sample as gauges (process.uptime_ms, process.rss_bytes,
+/// process.open_fds, process.data_dir_bytes) so it reaches /metrics,
+/// `cwdb_ctl stats` and the flight recorder's mirrored sample for free.
+void PublishProcessStats(MetricsRegistry* metrics, const ProcessStats& stats);
+
+}  // namespace cwdb
+
+#endif  // CWDB_OBS_PROCESS_STATS_H_

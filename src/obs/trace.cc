@@ -117,14 +117,26 @@ void EventTrace::Record(TraceEventType type, uint64_t lsn, uint64_t a,
                         uint64_t b, uint64_t shard) {
   uint64_t seq = head_.fetch_add(1, std::memory_order_relaxed);
   Slot& s = slots_[seq & (slots_.size() - 1)];
+  const uint64_t t_ns = NowNs();
   s.ticket.store(2 * seq + 1, std::memory_order_release);
-  s.t_ns.store(NowNs(), std::memory_order_relaxed);
+  s.t_ns.store(t_ns, std::memory_order_relaxed);
   s.lsn.store(lsn, std::memory_order_relaxed);
   s.a.store(a, std::memory_order_relaxed);
   s.b.store(b, std::memory_order_relaxed);
   s.shard.store(shard, std::memory_order_relaxed);
   s.type.store(static_cast<uint8_t>(type), std::memory_order_relaxed);
   s.ticket.store(2 * seq + 2, std::memory_order_release);
+  if (TraceSink* sink = sink_.load(std::memory_order_acquire)) {
+    TraceEvent e;
+    e.seq = seq;
+    e.t_ns = t_ns;
+    e.lsn = lsn;
+    e.a = a;
+    e.b = b;
+    e.shard = shard;
+    e.type = type;
+    sink->OnTraceEvent(e);
+  }
 }
 
 std::vector<TraceEvent> EventTrace::Snapshot() const {

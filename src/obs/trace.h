@@ -70,6 +70,16 @@ struct TraceEvent {
 /// and the dossier's trace-snapshot rendering.
 std::string DescribeTraceEvent(const TraceEvent& e);
 
+/// Receives every recorded trace event on the recording thread, after the
+/// slot publishes. Implementations must be lock-free and non-blocking (the
+/// hot paths record events while holding shard latches): the flight
+/// recorder mirrors events into its mmap'd ring with plain stores.
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void OnTraceEvent(const TraceEvent& e) noexcept = 0;
+};
+
 /// Fixed-capacity lock-light flight recorder. Writers claim a slot with one
 /// atomic fetch_add and publish it with a per-slot ticket (odd = write in
 /// progress, even = complete); every payload field is a relaxed atomic, so
@@ -94,6 +104,13 @@ class EventTrace {
 
   size_t capacity() const { return slots_.size(); }
 
+  /// Installs (or clears, with nullptr) the mirror sink. The owner must
+  /// guarantee the sink outlives every Record() call that can observe it —
+  /// Database clears the sink before the flight recorder is destroyed.
+  void set_sink(TraceSink* sink) {
+    sink_.store(sink, std::memory_order_release);
+  }
+
  private:
   struct Slot {
     /// 2*seq+1 while the writer of `seq` is filling the slot, 2*seq+2 once
@@ -109,6 +126,7 @@ class EventTrace {
 
   std::vector<Slot> slots_;
   std::atomic<uint64_t> head_{0};
+  std::atomic<TraceSink*> sink_{nullptr};
 };
 
 }  // namespace cwdb

@@ -15,6 +15,7 @@
 #include "common/crc32.h"
 #include "common/file_util.h"
 #include "common/logging.h"
+#include "obs/flight_recorder.h"
 
 namespace cwdb {
 
@@ -148,6 +149,7 @@ SystemLog::SystemLog(std::string path, int fd, uint64_t stable_size,
     char name[48];
     std::snprintf(name, sizeof(name), "wal.shard%zu.appends", s);
     shard->appends = metrics_->counter(name);
+    shard->index = s;
     shards_.push_back(std::move(shard));
   }
   drainer_ = std::thread([this] { DrainerLoop(); });
@@ -165,7 +167,8 @@ SystemLog::~SystemLog() {
 
 Result<std::unique_ptr<SystemLog>> SystemLog::Open(const std::string& path,
                                                    MetricsRegistry* metrics,
-                                                   size_t shards) {
+                                                   size_t shards,
+                                                   FlightRecorder* recorder) {
   std::string contents;
   CWDB_RETURN_IF_ERROR(
       ReadFileToString(path, &contents, MissingFile::kTreatAsEmpty));
@@ -186,6 +189,12 @@ Result<std::unique_ptr<SystemLog>> SystemLog::Open(const std::string& path,
   }
   auto log = std::unique_ptr<SystemLog>(
       new SystemLog(path, fd, stable, metrics, shards));
+  log->recorder_ = recorder;
+  if (recorder != nullptr) {
+    // Seed the black box's frontiers with the recovered stable state so a
+    // crash before the first append still reads sensibly.
+    recorder->NoteDurableLsn(stable, stable);
+  }
   log->tail_scan_ = scan;
   if (scan.damaged) {
     // The caller (Database recovery) files the incident dossier; the
@@ -223,6 +232,11 @@ Lsn SystemLog::StageFrameLocked(AppendShard& sh, Slice payload) {
   sh.frames.emplace_back(lsn, std::move(frame));
   sh.bytes += frame_bytes;
   ins_.bytes_appended->Add(frame_bytes);
+  if (recorder_ != nullptr) {
+    // Mirror the staged frontier into the black box: one relaxed store on
+    // a path that already holds the shard mutex — no new synchronization.
+    recorder_->NoteStagedLsn(sh.index, lsn + frame_bytes);
+  }
   return lsn;
 }
 
@@ -454,6 +468,10 @@ void SystemLog::DrainerLoop() {
         const uint64_t advance =
             write_pos_ - durable_.load(std::memory_order_relaxed);
         durable_.store(write_pos_, std::memory_order_release);
+        if (recorder_ != nullptr) {
+          recorder_->NoteDurableLsn(
+              write_pos_, logical_end_.load(std::memory_order_relaxed));
+        }
         ins_.flushes->Add();
         ins_.flush_latency_ns->Record(NowNs() - t0);
         ins_.flush_batch_bytes->Record(advance);

@@ -20,6 +20,8 @@
 
 namespace cwdb {
 
+class FlightRecorder;
+
 /// Trace tag riding a published batch through the group-commit queue (the
 /// cross-thread hop of a sampled commit's trace): the commit's span
 /// context — already re-parented at the client-side flush-wait span — the
@@ -77,10 +79,12 @@ class SystemLog {
   /// batch sizes and append volume are reported into `metrics` (nullptr = a
   /// private registry, for standalone construction in tests). `shards` is
   /// the number of append staging buffers (1 = a single buffer, the
-  /// pre-sharding behavior).
+  /// pre-sharding behavior). `recorder`, when given, mirrors the staged and
+  /// durable LSN frontiers into the crash-surviving black box on the
+  /// existing hot-path stores (two relaxed writes per event, no new locks).
   static Result<std::unique_ptr<SystemLog>> Open(
       const std::string& path, MetricsRegistry* metrics = nullptr,
-      size_t shards = 1);
+      size_t shards = 1, FlightRecorder* recorder = nullptr);
 
   ~SystemLog();
   SystemLog(const SystemLog&) = delete;
@@ -160,6 +164,7 @@ class SystemLog {
     std::vector<std::pair<Lsn, std::string>> frames;
     std::vector<WalTraceTag> tags;
     size_t bytes = 0;
+    size_t index = 0;  ///< Position in shards_, for black-box attribution.
     Counter* appends = nullptr;
   };
 
@@ -201,6 +206,7 @@ class SystemLog {
   WalTailScan tail_scan_;
   std::unique_ptr<MetricsRegistry> own_metrics_;
   MetricsRegistry* metrics_;
+  FlightRecorder* recorder_ = nullptr;  ///< May be null (no black box).
   Instruments ins_;
 
   /// Next LSN to assign; advanced by fetch_add under the owning shard's mu

@@ -20,9 +20,12 @@ trap 'rm -rf "$DIR"' EXIT
 "$CTL" logdump "$DIR/db" | grep -q "end of valid log"
 "$CTL" recover "$DIR/db" readlog | grep -q "recovery complete"
 
-# stats re-emits the metrics snapshot quickstart's Close() persisted.
+# stats re-emits the metrics snapshot quickstart's Close() persisted,
+# including the process gauges sampled at dump time.
 "$CTL" stats "$DIR/db" | grep -q '"txn.commits"'
 "$CTL" stats "$DIR/db" | grep -q '"txn.commit_latency_ns"'
+"$CTL" stats "$DIR/db" | grep -q '"process.rss_bytes"'
+"$CTL" stats "$DIR/db" | grep -q '"process.data_dir_bytes"'
 
 # --per-shard renders one row per engine shard from the same snapshot.
 "$CTL" stats "$DIR/db" --per-shard | grep -q "wal_appends"
@@ -38,8 +41,21 @@ trap 'rm -rf "$DIR"' EXIT
 "$CTL" top "$DIR/db" --once | grep -q "commit rate"
 "$CTL" scrub-map "$DIR/db" | grep -q "shard"
 
-# A clean database has no dossiers.
+# A clean database has no dossiers and a cleanly-marked black box.
 "$CTL" incidents "$DIR/db" | grep -q "no incidents recorded"
+"$CTL" postmortem "$DIR/db" | grep -q "clean shutdown; no crash recorded"
+
+# A process killed at an armed crash point leaves an unclean black box;
+# postmortem renders it cold, the next open rotates it and files a crash
+# dossier, and postmortem then renders the rotated box + dossier episode.
+CWDB_CRASHPOINT="wal.flush.fdatasync=abort" "$QUICKSTART" "$DIR/crashdb" \
+  > /dev/null 2>&1 || true
+"$CTL" postmortem "$DIR/crashdb" | grep -q "UNCLEAN"
+"$CTL" postmortem "$DIR/crashdb" | grep -q "wal.flush.fdatasync"
+"$CTL" recover "$DIR/crashdb" > /dev/null
+"$CTL" postmortem "$DIR/crashdb" | grep -q "blackbox.prev.bin"
+"$CTL" postmortem "$DIR/crashdb" | grep -q "crash dossier"
+"$CTL" incidents "$DIR/crashdb" | grep -q "source=crash"
 
 # The forensics walkthrough leaves an incident dossier and a recovery
 # provenance graph behind; the forensics subcommands must decode both.

@@ -48,6 +48,14 @@
 //                                        (for scripts/CI)
 //   cwdb_ctl scrub-map <dir>             per-shard audit-staleness heatmap
 //                                        from the persisted scrub.* gauges
+//   cwdb_ctl postmortem <dir>            render the flight recorder's black
+//                                        box: the crash record, LSN
+//                                        frontiers, trace tail and metrics
+//                                        sample of the last unclean death
+//                                        (blackbox.bin, or the rotated
+//                                        blackbox.prev.bin after reopen),
+//                                        plus the crash dossier the reopen
+//                                        filed into incidents.jsonl
 //
 // All subcommands except `recover` are read-only and work on a cold
 // directory without instantiating a Database.
@@ -76,6 +84,7 @@
 #include "core/database.h"
 #include "obs/forensics.h"
 #include "obs/history.h"
+#include "obs/postmortem.h"
 #include "obs/trace.h"
 #include "obs/trace_export.h"
 #include "protect/parity_repair.h"
@@ -91,7 +100,7 @@ int Usage() {
   std::fprintf(stderr,
                "usage: cwdb_ctl <info|tables|check|logdump|recover|stats|"
                "trace|trace-export|spans|incidents|repairs|explain-recovery|"
-               "top|scrub-map> <dir> [args]\n");
+               "top|scrub-map|postmortem> <dir> [args]\n");
   return 2;
 }
 
@@ -916,6 +925,59 @@ int CmdScrubMap(const std::string& dir) {
   return 0;
 }
 
+/// Renders the most recent unclean black box of the directory. A live
+/// blackbox.bin that records an unclean death is the freshest evidence (the
+/// crashed incarnation has not been reopened yet); otherwise the rotated
+/// blackbox.prev.bin holds the one the last reopen ingested. A clean
+/// current box with no rotated predecessor means nothing ever crashed.
+int CmdPostmortem(const std::string& dir) {
+  DbFiles files(dir);
+  Result<BlackBoxReport> cur = ReadBlackBox(files.BlackBox());
+  Result<BlackBoxReport> prev = ReadBlackBox(files.BlackBoxPrev());
+
+  const BlackBoxReport* box = nullptr;
+  const char* which = nullptr;
+  if (cur.ok() && !cur->clean_shutdown) {
+    box = &*cur;
+    which = "blackbox.bin (not yet ingested by a reopen)";
+  } else if (prev.ok() && !prev->clean_shutdown) {
+    box = &*prev;
+    which = "blackbox.prev.bin (rotated at the reopen after the crash)";
+  }
+
+  if (box == nullptr) {
+    if (!cur.ok() && !prev.ok()) {
+      std::printf("no black box at %s (database opened without a flight "
+                  "recorder, or never opened)\n",
+                  files.BlackBox().c_str());
+    } else {
+      std::printf("clean shutdown; no crash recorded\n");
+    }
+    return 0;
+  }
+
+  std::printf("black box: %s\n\n", which);
+  std::fputs(RenderBlackBox(*box).c_str(), stdout);
+
+  // The dossier the reopen filed for this death, if one has happened yet.
+  Result<std::vector<JsonValue>> incidents =
+      LoadIncidentFile(files.IncidentsFile());
+  if (incidents.ok()) {
+    const JsonValue* latest_crash = nullptr;
+    for (const JsonValue& inc : *incidents) {
+      if (inc.Str("source") == "crash") latest_crash = &inc;
+    }
+    if (latest_crash != nullptr) {
+      std::printf("\ncrash dossier (incidents.jsonl):\n");
+      std::fputs(RenderIncident(*latest_crash).c_str(), stdout);
+    } else {
+      std::printf("\nno crash dossier yet (reopen the database to file "
+                  "one)\n");
+    }
+  }
+  return 0;
+}
+
 }  // namespace
 }  // namespace cwdb
 
@@ -969,5 +1031,6 @@ int main(int argc, char** argv) {
     return CmdTop(dir, once, interval_ms);
   }
   if (cmd == "scrub-map") return CmdScrubMap(dir);
+  if (cmd == "postmortem") return CmdPostmortem(dir);
   return Usage();
 }
